@@ -1,0 +1,351 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§VI, Fig. 4a–4d), plus ablations over the design choices
+// DESIGN.md calls out and micro-benchmarks of the security-critical hot
+// paths. Figure benchmarks run the complete in-silico field study and
+// report the paper's quantities via b.ReportMetric, so
+//
+//	go test -bench=Fig4 -benchtime=1x
+//
+// prints the measured series next to wall-clock cost. EXPERIMENTS.md
+// records paper-vs-measured for each.
+package sos_test
+
+import (
+	"crypto/rand"
+	"fmt"
+	"testing"
+	"time"
+
+	"sos"
+	"sos/internal/id"
+	"sos/internal/metrics"
+	"sos/internal/msg"
+	"sos/internal/secure"
+	"sos/internal/sim"
+	"sos/internal/socialgraph"
+	"sos/internal/store"
+	"sos/internal/wire"
+)
+
+// runGainesville executes the §VI replay once and returns the results.
+func runGainesville(b *testing.B, cfg sim.GainesvilleConfig) (*sim.Result, *sim.Gainesville) {
+	b.Helper()
+	scenario, err := sim.NewGainesville(cfg)
+	if err != nil {
+		b.Fatalf("NewGainesville: %v", err)
+	}
+	s, err := sim.New(scenario.Config)
+	if err != nil {
+		b.Fatalf("sim.New: %v", err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		b.Fatalf("Run: %v", err)
+	}
+	return res, scenario
+}
+
+// BenchmarkFig4a_SocialGraph regenerates the §VI-A social-relationship
+// statistics (Fig. 4a): density 0.64, average path length 1.3, diameter
+// 2, radius 1, transitivity 0.80.
+func BenchmarkFig4a_SocialGraph(b *testing.B) {
+	var stats socialgraph.Stats
+	for i := 0; i < b.N; i++ {
+		stats = socialgraph.ComputeStats(socialgraph.Deployment())
+	}
+	b.ReportMetric(stats.Density, "density")
+	b.ReportMetric(stats.AvgPathLength, "avg-path")
+	b.ReportMetric(float64(stats.Diameter), "diameter")
+	b.ReportMetric(float64(stats.Radius), "radius")
+	b.ReportMetric(stats.Transitivity, "transitivity")
+}
+
+// BenchmarkFig4b_ActivityMap regenerates the Fig. 4b map data: message
+// generation and dissemination events across the 11 km × 8 km area.
+func BenchmarkFig4b_ActivityMap(b *testing.B) {
+	var created, passed, contacts int
+	for i := 0; i < b.N; i++ {
+		res, _ := runGainesville(b, sim.GainesvilleConfig{Seed: 1})
+		created = len(res.Recorder.Events(1))
+		passed = len(res.Recorder.Events(2))
+		contacts = res.Recorder.ContactCount()
+	}
+	b.ReportMetric(float64(created), "gen-events")
+	b.ReportMetric(float64(passed), "diss-events")
+	b.ReportMetric(float64(contacts), "contacts")
+}
+
+// BenchmarkFig4c_DelayCDF regenerates the Fig. 4c delay CDFs. Paper:
+// All 0.43 ≤ 24 h and 0.90 ≤ 94 h; 1-hop 0.44 ≤ 24 h and 0.92 ≤ 94 h.
+func BenchmarkFig4c_DelayCDF(b *testing.B) {
+	var all24, all94, one24, one94 float64
+	for i := 0; i < b.N; i++ {
+		res, _ := runGainesville(b, sim.GainesvilleConfig{Seed: 1})
+		all := res.Collector.DelayCDF(metrics.AllHops)
+		one := res.Collector.DelayCDF(metrics.OneHop)
+		all24, all94 = all.At(24), all.At(94)
+		one24, one94 = one.At(24), one.At(94)
+	}
+	b.ReportMetric(all24, "all-cdf-24h")
+	b.ReportMetric(all94, "all-cdf-94h")
+	b.ReportMetric(one24, "1hop-cdf-24h")
+	b.ReportMetric(one94, "1hop-cdf-94h")
+}
+
+// BenchmarkFig4d_DeliveryRatio regenerates the Fig. 4d per-subscription
+// delivery ratios. Paper: 0.30 of subscriptions > 0.80 and 0.50 > 0.70
+// (All); 0.25 ≥ 0.80 (1-hop); 0.826 of deliveries in one hop.
+func BenchmarkFig4d_DeliveryRatio(b *testing.B) {
+	var above80, above70, one80, oneHopShare, disseminations float64
+	for i := 0; i < b.N; i++ {
+		res, scenario := runGainesville(b, sim.GainesvilleConfig{Seed: 1})
+		ratiosAll := res.Collector.DeliveryRatios(scenario.Subscriptions, metrics.AllHops)
+		ratiosOne := res.Collector.DeliveryRatios(scenario.Subscriptions, metrics.OneHop)
+		above80 = metrics.FractionAbove(ratiosAll, 0.80)
+		above70 = metrics.FractionAbove(ratiosAll, 0.70)
+		one80 = metrics.FractionAtLeast(ratiosOne, 0.80)
+		oneHopShare = res.Collector.OneHopShare()
+		disseminations = float64(res.Collector.Disseminations())
+	}
+	b.ReportMetric(above80, "subs-above-0.8")
+	b.ReportMetric(above70, "subs-above-0.7")
+	b.ReportMetric(one80, "1hop-subs-at-0.8")
+	b.ReportMetric(oneHopShare, "1hop-share")
+	b.ReportMetric(disseminations, "disseminations")
+}
+
+// BenchmarkAblationScheme compares the four routing schemes on an
+// identical 3-day workload: deliveries achieved and transfer overhead.
+func BenchmarkAblationScheme(b *testing.B) {
+	for _, scheme := range []string{"epidemic", "interest", "spray-and-wait", "prophet"} {
+		b.Run(scheme, func(b *testing.B) {
+			var delivered, frames float64
+			for i := 0; i < b.N; i++ {
+				res, _ := runGainesville(b, sim.GainesvilleConfig{
+					Seed: 7, Days: 3, Posts: 100, InAppFollows: 20, Scheme: scheme,
+				})
+				delivered = float64(len(res.Collector.Deliveries(metrics.AllHops)))
+				frames = float64(res.MediumStats.FramesDelivered)
+			}
+			b.ReportMetric(delivered, "deliveries")
+			b.ReportMetric(frames, "frames")
+		})
+	}
+}
+
+// BenchmarkAblationDensity explores the paper's closing question —
+// behaviour "at higher densities" — by scaling the population.
+func BenchmarkAblationDensity(b *testing.B) {
+	for _, users := range []int{10, 20, 30} {
+		b.Run(fmt.Sprintf("users=%d", users), func(b *testing.B) {
+			var delivered, oneHop float64
+			for i := 0; i < b.N; i++ {
+				res, _ := runGainesville(b, sim.GainesvilleConfig{
+					Seed: 7, Days: 2, Posts: 80, InAppFollows: 20, Users: users,
+				})
+				delivered = float64(len(res.Collector.Deliveries(metrics.AllHops)))
+				oneHop = res.Collector.OneHopShare()
+			}
+			b.ReportMetric(delivered, "deliveries")
+			b.ReportMetric(oneHop, "1hop-share")
+		})
+	}
+}
+
+// BenchmarkAblationRelayTTL measures the forwarder buffer policy's effect
+// on hop mix and overhead (DESIGN.md substitution note).
+func BenchmarkAblationRelayTTL(b *testing.B) {
+	for _, ttl := range []time.Duration{12 * time.Hour, 24 * time.Hour, -1} {
+		name := "unlimited"
+		if ttl > 0 {
+			name = ttl.String()
+		}
+		b.Run(name, func(b *testing.B) {
+			var oneHop, delivered float64
+			for i := 0; i < b.N; i++ {
+				res, _ := runGainesville(b, sim.GainesvilleConfig{
+					Seed: 7, Days: 3, Posts: 100, InAppFollows: 20, RelayTTL: ttl,
+				})
+				oneHop = res.Collector.OneHopShare()
+				delivered = float64(len(res.Collector.Deliveries(metrics.AllHops)))
+			}
+			b.ReportMetric(oneHop, "1hop-share")
+			b.ReportMetric(delivered, "deliveries")
+		})
+	}
+}
+
+// --- micro-benchmarks of the hot paths ---
+
+// BenchmarkSessionSealOpen measures per-frame AEAD cost on the D2D path.
+func BenchmarkSessionSealOpen(b *testing.B) {
+	aliceIdent, _ := id.NewIdentity(id.NewUserID("alice"), rand.Reader)
+	bobIdent, _ := id.NewIdentity(id.NewUserID("bob"), rand.Reader)
+	sa, err := secure.NewSession(aliceIdent.Key, bobIdent.Public(), []byte("ctx"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sb, err := secure.NewSession(bobIdent.Key, aliceIdent.Public(), []byte("ctx"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame, err := sa.Seal(payload, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sb.Open(frame, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(payload)))
+}
+
+// BenchmarkSessionEstablish measures ECDH + HKDF session setup (both
+// directions of one handshake).
+func BenchmarkSessionEstablish(b *testing.B) {
+	aliceIdent, _ := id.NewIdentity(id.NewUserID("alice"), rand.Reader)
+	bobIdent, _ := id.NewIdentity(id.NewUserID("bob"), rand.Reader)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := secure.NewSession(aliceIdent.Key, bobIdent.Public(), []byte("ctx")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMessageSignVerify measures the author-signature path every
+// relayed message pays.
+func BenchmarkMessageSignVerify(b *testing.B) {
+	ident, _ := id.NewIdentity(id.NewUserID("alice"), rand.Reader)
+	m := &msg.Message{
+		Author: ident.User, Seq: 1, Kind: msg.KindPost,
+		Created: time.Now(), Payload: make([]byte, 256),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Sign(ident); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.VerifyWithKey(ident.Public()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnvelopeSealOpen measures end-to-end sealed direct messages.
+func BenchmarkEnvelopeSealOpen(b *testing.B) {
+	sender, _ := id.NewIdentity(id.NewUserID("alice"), rand.Reader)
+	recipient, _ := id.NewIdentity(id.NewUserID("bob"), rand.Reader)
+	payload := make([]byte, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env, err := secure.SealEnvelope(nil, recipient.Public(), sender, payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := secure.OpenEnvelope(recipient.Key, sender.Public(), env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireRoundTrip measures frame codec throughput for a
+// representative batch.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	author := id.NewUserID("alice")
+	batch := &wire.Batch{}
+	for seq := uint64(1); seq <= 16; seq++ {
+		batch.Msgs = append(batch.Msgs, &msg.Message{
+			Author: author, Seq: seq, Kind: msg.KindPost,
+			Created: time.Unix(1491472800, 0), Payload: make([]byte, 200),
+			Sig: make([]byte, 70), CertDER: make([]byte, 500),
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := wire.Encode(batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wire.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreSummary measures the advertisement-summary path that runs
+// on every store change.
+func BenchmarkStoreSummary(b *testing.B) {
+	st := store.New(id.NewUserID("self"))
+	for a := 0; a < 50; a++ {
+		author := id.NewUserID(fmt.Sprintf("author%d", a))
+		for seq := uint64(1); seq <= 20; seq++ {
+			if _, err := st.Put(&msg.Message{
+				Author: author, Seq: seq, Kind: msg.KindPost, Created: time.Unix(1491472800, 0),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(st.Summary()) != 50 {
+			b.Fatal("bad summary")
+		}
+	}
+}
+
+// BenchmarkLiveDelivery measures the complete live path end to end: two
+// fresh nodes join an in-process medium, authenticate (certificate
+// handshake, transcript signatures, session keys), exchange summaries,
+// and deliver one signed post.
+func BenchmarkLiveDelivery(b *testing.B) {
+	ca, err := sos.NewCA("bench-root", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cld := sos.NewCloud(ca, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		medium := sos.NewMemMedium()
+		aliceCreds, err := sos.Bootstrap(cld, fmt.Sprintf("alice-%d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		bobCreds, err := sos.Bootstrap(cld, fmt.Sprintf("bob-%d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		got := make(chan struct{})
+		alice, err := sos.NewNode(sos.NodeConfig{Creds: aliceCreds, Medium: medium})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bob, err := sos.NewNode(sos.NodeConfig{
+			Creds:  bobCreds,
+			Medium: medium,
+			OnReceive: func(*sos.Message, sos.UserID) {
+				select {
+				case got <- struct{}{}:
+				default:
+				}
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := alice.Post([]byte("bench post")); err != nil {
+			b.Fatal(err)
+		}
+		select {
+		case <-got:
+		case <-time.After(10 * time.Second):
+			b.Fatal("delivery timeout")
+		}
+		alice.Close()
+		bob.Close()
+	}
+}

@@ -1,0 +1,123 @@
+// Command sosbench runs parameter sweeps over the in-silico field study:
+// routing scheme × population size × relay TTL, printing one table row
+// per configuration. It answers the paper's closing call for "further
+// investigations at higher densities".
+//
+// Usage:
+//
+//	sosbench [-days 2] [-posts 80] [-seeds 3] [-sweep scheme|density|ttl]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sos/internal/metrics"
+	"sos/internal/sim"
+)
+
+func main() {
+	var (
+		days  = flag.Int("days", 2, "study length per run")
+		posts = flag.Int("posts", 80, "posts per run")
+		seeds = flag.Int("seeds", 3, "seeds to average over")
+		sweep = flag.String("sweep", "scheme", "sweep dimension: scheme|density|ttl")
+	)
+	flag.Parse()
+	if err := run(*days, *posts, *seeds, *sweep); err != nil {
+		fmt.Fprintln(os.Stderr, "sosbench:", err)
+		os.Exit(1)
+	}
+}
+
+// result aggregates the metrics of one configuration over seeds.
+type result struct {
+	deliveries float64
+	oneHop     float64
+	frames     float64
+	kib        float64
+	delay24    float64
+}
+
+func run(days, posts, seeds int, sweep string) error {
+	type variant struct {
+		label string
+		cfg   sim.GainesvilleConfig
+	}
+	var variants []variant
+	base := sim.GainesvilleConfig{Days: days, Posts: posts, InAppFollows: 20}
+
+	switch sweep {
+	case "scheme":
+		for _, s := range []string{"epidemic", "interest", "spray-and-wait", "prophet"} {
+			cfg := base
+			cfg.Scheme = s
+			variants = append(variants, variant{label: s, cfg: cfg})
+		}
+	case "density":
+		for _, users := range []int{10, 15, 20, 30} {
+			cfg := base
+			cfg.Users = users
+			variants = append(variants, variant{label: fmt.Sprintf("users=%d", users), cfg: cfg})
+		}
+	case "ttl":
+		for _, ttl := range []time.Duration{6 * time.Hour, 12 * time.Hour, 24 * time.Hour, 48 * time.Hour, -1} {
+			cfg := base
+			cfg.RelayTTL = ttl
+			label := "unlimited"
+			if ttl > 0 {
+				label = ttl.String()
+			}
+			variants = append(variants, variant{label: "ttl=" + label, cfg: cfg})
+		}
+	default:
+		return fmt.Errorf("unknown sweep %q", sweep)
+	}
+
+	fmt.Printf("sweep=%s days=%d posts=%d seeds=%d\n\n", sweep, days, posts, seeds)
+	fmt.Printf("%-16s %11s %11s %11s %11s %11s\n",
+		"variant", "deliveries", "1hop-share", "frames", "KiB", "cdf@24h")
+	for _, v := range variants {
+		agg, err := average(v.cfg, seeds)
+		if err != nil {
+			return fmt.Errorf("%s: %w", v.label, err)
+		}
+		fmt.Printf("%-16s %11.1f %11.2f %11.1f %11.1f %11.2f\n",
+			v.label, agg.deliveries, agg.oneHop, agg.frames, agg.kib, agg.delay24)
+	}
+	return nil
+}
+
+// average runs a configuration across seeds and averages the metrics.
+func average(cfg sim.GainesvilleConfig, seeds int) (result, error) {
+	var agg result
+	for seed := 1; seed <= seeds; seed++ {
+		cfg.Seed = int64(seed * 1000003)
+		scenario, err := sim.NewGainesville(cfg)
+		if err != nil {
+			return agg, err
+		}
+		s, err := sim.New(scenario.Config)
+		if err != nil {
+			return agg, err
+		}
+		res, err := s.Run()
+		if err != nil {
+			return agg, err
+		}
+		agg.deliveries += float64(len(res.Collector.Deliveries(metrics.AllHops)))
+		agg.oneHop += res.Collector.OneHopShare()
+		agg.frames += float64(res.MediumStats.FramesDelivered)
+		agg.kib += float64(res.MediumStats.BytesDelivered) / 1024
+		agg.delay24 += res.Collector.DelayCDF(metrics.AllHops).At(24)
+	}
+	n := float64(seeds)
+	agg.deliveries /= n
+	agg.oneHop /= n
+	agg.frames /= n
+	agg.kib /= n
+	agg.delay24 /= n
+	return agg, nil
+}

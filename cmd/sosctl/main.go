@@ -1,0 +1,274 @@
+// Command sosctl is the operator's toolbox for an SOS deployment: it
+// initializes a certificate authority, issues and inspects user
+// certificates (the one-time infrastructure requirement), and computes
+// the social-graph statistics the evaluation reports.
+//
+// Subcommands:
+//
+//	sosctl ca-init  -out ca.pem                     create a root CA
+//	sosctl issue    -ca ca.pem -handle alice        issue a user certificate
+//	sosctl inspect  -cert alice.pem                 print certificate fields
+//	sosctl graph    [-edges file]                   §VI-A stats (default: deployment graph)
+package main
+
+import (
+	"bufio"
+	"crypto/ecdsa"
+	"crypto/x509"
+	"encoding/pem"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sos/internal/id"
+	"sos/internal/pki"
+	"sos/internal/socialgraph"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sosctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: sosctl <ca-init|issue|inspect|graph> [flags]")
+	}
+	switch args[0] {
+	case "ca-init":
+		return caInit(args[1:])
+	case "issue":
+		return issue(args[1:])
+	case "inspect":
+		return inspect(args[1:])
+	case "graph":
+		return graphStats(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+// caInit creates a fresh root CA and writes its certificate and key PEM.
+func caInit(args []string) error {
+	fs := flag.NewFlagSet("ca-init", flag.ContinueOnError)
+	out := fs.String("out", "ca.pem", "output PEM path (certificate + private key)")
+	name := fs.String("name", "AlleyOop Root CA", "CA common name")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ca, err := pki.NewCA(*name)
+	if err != nil {
+		return err
+	}
+	keyDER, err := x509.MarshalECPrivateKey(caKey(ca))
+	if err != nil {
+		return fmt.Errorf("marshaling CA key: %w", err)
+	}
+	f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o600)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := pem.Encode(f, &pem.Block{Type: "CERTIFICATE", Bytes: ca.RootDER()}); err != nil {
+		return err
+	}
+	if err := pem.Encode(f, &pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER}); err != nil {
+		return err
+	}
+	fmt.Printf("wrote root CA %q to %s\n", *name, *out)
+	return nil
+}
+
+// issue loads a CA PEM, generates a user identity, and writes the
+// certificate plus private key for the handle.
+func issue(args []string) error {
+	fs := flag.NewFlagSet("issue", flag.ContinueOnError)
+	caPath := fs.String("ca", "ca.pem", "CA PEM written by ca-init")
+	handle := fs.String("handle", "", "user handle")
+	out := fs.String("out", "", "output PEM path (default <handle>.pem)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *handle == "" {
+		return fmt.Errorf("issue: -handle is required")
+	}
+	if *out == "" {
+		*out = *handle + ".pem"
+	}
+	ca, err := loadCA(*caPath)
+	if err != nil {
+		return err
+	}
+	ident, err := id.NewIdentity(id.NewUserID(*handle), nil)
+	if err != nil {
+		return err
+	}
+	cert, err := ca.Issue(ident.User, ident.Public())
+	if err != nil {
+		return err
+	}
+	keyDER, err := x509.MarshalECPrivateKey(ident.Key)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o600)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := pem.Encode(f, &pem.Block{Type: "CERTIFICATE", Bytes: cert.DER}); err != nil {
+		return err
+	}
+	if err := pem.Encode(f, &pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER}); err != nil {
+		return err
+	}
+	fmt.Printf("issued certificate serial %s for user %s (%s) to %s\n",
+		cert.Serial, *handle, ident.User, *out)
+	return nil
+}
+
+// inspect prints the fields of a certificate PEM.
+func inspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
+	certPath := fs.String("cert", "", "certificate PEM path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *certPath == "" {
+		return fmt.Errorf("inspect: -cert is required")
+	}
+	raw, err := os.ReadFile(*certPath)
+	if err != nil {
+		return err
+	}
+	block, _ := pem.Decode(raw)
+	if block == nil || block.Type != "CERTIFICATE" {
+		return fmt.Errorf("no certificate block in %s", *certPath)
+	}
+	cert, err := x509.ParseCertificate(block.Bytes)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("subject:    %s\n", cert.Subject.CommonName)
+	if user, err := id.ParseUserID(cert.Subject.CommonName); err == nil {
+		fmt.Printf("user id:    %s (valid 10-byte SOS identifier)\n", user)
+	}
+	fmt.Printf("issuer:     %s\n", cert.Issuer.CommonName)
+	fmt.Printf("serial:     %s\n", cert.SerialNumber)
+	fmt.Printf("not before: %s\n", cert.NotBefore.Format("2006-01-02 15:04:05 MST"))
+	fmt.Printf("not after:  %s\n", cert.NotAfter.Format("2006-01-02 15:04:05 MST"))
+	fmt.Printf("is CA:      %v\n", cert.IsCA)
+	return nil
+}
+
+// graphStats prints the §VI-A metrics for the deployment graph or an edge
+// list file ("from to" per line, 1-based).
+func graphStats(args []string) error {
+	fs := flag.NewFlagSet("graph", flag.ContinueOnError)
+	edges := fs.String("edges", "", "edge list file (default: built-in deployment graph)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var g *socialgraph.Graph
+	if *edges == "" {
+		g = socialgraph.Deployment()
+		fmt.Println("graph: built-in 10-node deployment digraph")
+	} else {
+		loaded, err := loadEdges(*edges)
+		if err != nil {
+			return err
+		}
+		g = loaded
+		fmt.Printf("graph: %s\n", *edges)
+	}
+	stats := socialgraph.ComputeStats(g)
+	fmt.Printf("nodes:                 %d\n", stats.Nodes)
+	fmt.Printf("directed edges:        %d\n", stats.DirectedEdges)
+	fmt.Printf("density:               %.3f\n", stats.Density)
+	fmt.Printf("undirected edges:      %d\n", stats.UndirectedEdges)
+	fmt.Printf("avg path length:       %.3f\n", stats.AvgPathLength)
+	fmt.Printf("diameter:              %d\n", stats.Diameter)
+	fmt.Printf("radius:                %d\n", stats.Radius)
+	fmt.Printf("center (1-based):      %v\n", stats.Center)
+	fmt.Printf("transitivity:          %.3f\n", stats.Transitivity)
+	fmt.Printf("strongly connected:    %v\n", stats.StronglyConnected)
+	return nil
+}
+
+// loadCA reads a ca-init PEM back into a usable CA.
+func loadCA(path string) (*pki.CA, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var certDER, keyDER []byte
+	for {
+		var block *pem.Block
+		block, raw = pem.Decode(raw)
+		if block == nil {
+			break
+		}
+		switch block.Type {
+		case "CERTIFICATE":
+			certDER = block.Bytes
+		case "EC PRIVATE KEY":
+			keyDER = block.Bytes
+		}
+	}
+	if certDER == nil || keyDER == nil {
+		return nil, fmt.Errorf("%s lacks certificate or key block", path)
+	}
+	key, err := x509.ParseECPrivateKey(keyDER)
+	if err != nil {
+		return nil, err
+	}
+	return pki.Load(certDER, key)
+}
+
+// caKey extracts the CA's signing key for serialization.
+func caKey(ca *pki.CA) *ecdsa.PrivateKey { return ca.Key() }
+
+// loadEdges parses "from to" pairs (1-based node ids).
+func loadEdges(path string) (*socialgraph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	type edge struct{ from, to int }
+	var list []edge
+	maxNode := 0
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var from, to int
+		if _, err := fmt.Sscanf(text, "%d %d", &from, &to); err != nil {
+			return nil, fmt.Errorf("%s:%d: %q: %w", path, line, text, err)
+		}
+		list = append(list, edge{from: from, to: to})
+		if from > maxNode {
+			maxNode = from
+		}
+		if to > maxNode {
+			maxNode = to
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	g := socialgraph.New(maxNode)
+	for _, e := range list {
+		if err := g.AddEdge(e.from-1, e.to-1); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,57 @@
+// Scheme comparison: the modular routing layer in action. The identical
+// two-day social workload runs once per routing scheme — epidemic,
+// interest-based, spray-and-wait, PRoPHET — and the table shows the
+// classic DTN trade-off: epidemic delivers the most at the highest
+// transfer cost, interest-based delivers almost as much for far less, and
+// the budgeted schemes sit in between.
+//
+// Run with:
+//
+//	go run ./examples/scheme-comparison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sos/internal/metrics"
+	"sos/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("identical workload: 10 users, 2 days, 100 posts, deployment social graph")
+	fmt.Printf("%-16s %12s %12s %12s %12s\n",
+		"scheme", "deliveries", "1-hop share", "frames", "bytes(KiB)")
+
+	for _, scheme := range []string{"epidemic", "interest", "spray-and-wait", "prophet"} {
+		scenario, err := sim.NewGainesville(sim.GainesvilleConfig{
+			Seed: 42, Days: 2, Posts: 100, InAppFollows: 20, Scheme: scheme,
+		})
+		if err != nil {
+			return err
+		}
+		s, err := sim.New(scenario.Config)
+		if err != nil {
+			return err
+		}
+		res, err := s.Run()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-16s %12d %12.2f %12d %12.0f\n",
+			scheme,
+			len(res.Collector.Deliveries(metrics.AllHops)),
+			res.Collector.OneHopShare(),
+			res.MediumStats.FramesDelivered,
+			float64(res.MediumStats.BytesDelivered)/1024,
+		)
+	}
+	fmt.Println("\nschemes are hot-swappable at runtime: node.SetScheme(\"epidemic\")")
+	return nil
+}

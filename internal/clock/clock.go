@@ -1,0 +1,62 @@
+// Package clock abstracts time for the SOS stack. Live deployments use
+// the system clock; the discrete-event simulator drives every layer —
+// certificate expiry, message timestamps, radio contact windows — from a
+// single virtual clock, which is what makes runs deterministic and
+// replicable.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time.
+type Clock interface {
+	Now() time.Time
+}
+
+// System returns a Clock backed by time.Now.
+func System() Clock { return systemClock{} }
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+// Virtual is a manually-advanced clock shared by the simulator and every
+// simulated component. The zero value starts at the zero time; use
+// NewVirtual to pick an epoch.
+type Virtual struct {
+	mu sync.RWMutex
+	t  time.Time
+}
+
+// NewVirtual creates a virtual clock set to start.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{t: start}
+}
+
+// Now returns the current virtual time.
+func (v *Virtual) Now() time.Time {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.t
+}
+
+// Set moves the clock to t. The simulator only ever moves time forward;
+// Set silently ignores attempts to move it backwards so that out-of-order
+// bookkeeping can never rewind the world.
+func (v *Virtual) Set(t time.Time) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if t.After(v.t) {
+		v.t = t
+	}
+}
+
+// Advance moves the clock forward by d and returns the new time.
+func (v *Virtual) Advance(d time.Duration) time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.t = v.t.Add(d)
+	return v.t
+}

@@ -1,0 +1,66 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSystemClock(t *testing.T) {
+	before := time.Now()
+	got := System().Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Errorf("System().Now() = %v outside [%v, %v]", got, before, after)
+	}
+}
+
+func TestVirtualSetAndAdvance(t *testing.T) {
+	start := time.Date(2017, 4, 3, 0, 0, 0, 0, time.UTC)
+	v := NewVirtual(start)
+	if !v.Now().Equal(start) {
+		t.Errorf("Now = %v, want %v", v.Now(), start)
+	}
+	v.Set(start.Add(time.Hour))
+	if !v.Now().Equal(start.Add(time.Hour)) {
+		t.Errorf("after Set: %v", v.Now())
+	}
+	got := v.Advance(30 * time.Minute)
+	if !got.Equal(start.Add(90 * time.Minute)) {
+		t.Errorf("Advance returned %v", got)
+	}
+}
+
+func TestVirtualNeverRewinds(t *testing.T) {
+	start := time.Date(2017, 4, 3, 12, 0, 0, 0, time.UTC)
+	v := NewVirtual(start)
+	v.Set(start.Add(-time.Hour))
+	if !v.Now().Equal(start) {
+		t.Errorf("Set moved the clock backwards to %v", v.Now())
+	}
+	v.Set(start) // equal is also a no-op, not an error
+	if !v.Now().Equal(start) {
+		t.Errorf("Now = %v", v.Now())
+	}
+}
+
+func TestVirtualConcurrentReaders(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				_ = v.Now()
+			}
+		}()
+	}
+	for j := 0; j < 1000; j++ {
+		v.Advance(time.Millisecond)
+	}
+	wg.Wait()
+	if got := v.Now(); !got.Equal(time.Unix(1, 0)) {
+		t.Errorf("final time = %v, want 1s", got)
+	}
+}

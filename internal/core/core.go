@@ -1,0 +1,302 @@
+// Package core assembles the SOS middleware (paper Fig. 1): it wires the
+// routing manager, message manager, and ad hoc manager into a single
+// per-application instance. As the paper emphasizes, SOS runs inside each
+// mobile application rather than as a system daemon — no jailbreak, App
+// Store compliant — so Middleware is constructed with the application's
+// own credentials and medium attachment, and its lifetime is the
+// application's lifetime.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"sos/internal/adhoc"
+	"sos/internal/clock"
+	"sos/internal/cloud"
+	"sos/internal/id"
+	"sos/internal/message"
+	"sos/internal/mpc"
+	"sos/internal/msg"
+	"sos/internal/pki"
+	"sos/internal/routing"
+	"sos/internal/secure"
+	"sos/internal/store"
+)
+
+// Errors reported by the middleware facade.
+var (
+	ErrNoCert = errors.New("core: message author certificate unavailable")
+)
+
+// Config assembles a middleware instance.
+type Config struct {
+	// Creds are the device credentials from the one-time infrastructure
+	// bootstrap (cloud.Bootstrap).
+	Creds *cloud.Credentials
+	// Medium is the device-to-device substrate to attach to.
+	Medium mpc.Medium
+	// PeerName is the device's discovery display name; defaults to the
+	// credential handle plus "-device".
+	PeerName mpc.PeerID
+	// Scheme selects the initial routing protocol; empty selects epidemic.
+	Scheme string
+	// Clock drives timestamps and certificate checks; nil selects wall time.
+	Clock clock.Clock
+	// Rand supplies handshake nonces; nil selects crypto/rand.
+	Rand io.Reader
+	// Routing tunes scheme construction.
+	Routing routing.Options
+
+	// OnReceive fires once per newly stored message.
+	OnReceive func(m *msg.Message, from id.UserID)
+	// OnPeerUp / OnPeerDown observe authenticated encounters.
+	OnPeerUp   func(user id.UserID)
+	OnPeerDown func(user id.UserID)
+
+	// DisableAutoConnect turns off connecting to peers whose beacons offer
+	// wanted messages (the default behaviour).
+	DisableAutoConnect bool
+}
+
+// Stats aggregates the counters of every layer.
+type Stats struct {
+	Adhoc   adhoc.Stats
+	Message message.Stats
+}
+
+// Middleware is one application's SOS instance.
+type Middleware struct {
+	cfg      Config
+	clk      clock.Clock
+	store    *store.Store
+	verifier *pki.Verifier
+	routing  *routing.Manager
+	msgMgr   *message.Manager
+	adhocMgr *adhoc.Manager
+}
+
+// New wires up a middleware instance and begins advertising.
+func New(cfg Config) (*Middleware, error) {
+	if cfg.Creds == nil || cfg.Medium == nil {
+		return nil, errors.New("core: config requires Creds and Medium")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System()
+	}
+	if cfg.PeerName == "" {
+		cfg.PeerName = mpc.PeerID(cfg.Creds.Handle + "-device")
+	}
+	if cfg.Routing.Clock == nil {
+		cfg.Routing.Clock = cfg.Clock
+	}
+
+	st := store.New(cfg.Creds.Ident.User)
+	verifier, err := pki.NewVerifier(cfg.Creds.RootDER, cfg.Clock.Now)
+	if err != nil {
+		return nil, fmt.Errorf("core: building verifier: %w", err)
+	}
+	routingMgr, err := routing.NewManager(st, cfg.Routing)
+	if err != nil {
+		return nil, fmt.Errorf("core: building routing manager: %w", err)
+	}
+	if cfg.Scheme != "" {
+		if err := routingMgr.Use(cfg.Scheme); err != nil {
+			return nil, fmt.Errorf("core: selecting scheme: %w", err)
+		}
+	}
+	msgMgr, err := message.New(message.Config{
+		Store:       st,
+		Routing:     routingMgr,
+		Verifier:    verifier,
+		Clock:       cfg.Clock,
+		OnReceive:   cfg.OnReceive,
+		OnPeerUp:    cfg.OnPeerUp,
+		OnPeerDown:  cfg.OnPeerDown,
+		AutoConnect: !cfg.DisableAutoConnect,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: building message manager: %w", err)
+	}
+	adhocMgr, err := adhoc.New(adhoc.Config{
+		Medium:   cfg.Medium,
+		PeerName: cfg.PeerName,
+		Ident:    cfg.Creds.Ident,
+		CertDER:  cfg.Creds.Cert.DER,
+		Verifier: verifier,
+		Handler:  msgMgr,
+		Clock:    cfg.Clock,
+		Rand:     cfg.Rand,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: building ad hoc manager: %w", err)
+	}
+	msgMgr.Bind(adhocMgr)
+
+	mw := &Middleware{
+		cfg:      cfg,
+		clk:      cfg.Clock,
+		store:    st,
+		verifier: verifier,
+		routing:  routingMgr,
+		msgMgr:   msgMgr,
+		adhocMgr: adhocMgr,
+	}
+	if err := mw.msgMgr.Advertise(); err != nil {
+		adhocMgr.Close()
+		return nil, fmt.Errorf("core: initial advertisement: %w", err)
+	}
+	return mw, nil
+}
+
+// User returns the local user identifier.
+func (mw *Middleware) User() id.UserID { return mw.cfg.Creds.Ident.User }
+
+// Peer returns the device's discovery name.
+func (mw *Middleware) Peer() mpc.PeerID { return mw.adhocMgr.Self() }
+
+// Store exposes the local database (feeds, summaries, subscriptions).
+func (mw *Middleware) Store() *store.Store { return mw.store }
+
+// Verifier exposes the device's certificate verifier, e.g. for CRL syncs.
+func (mw *Middleware) Verifier() *pki.Verifier { return mw.verifier }
+
+// Post publishes a public post to subscribers.
+func (mw *Middleware) Post(payload []byte) (*msg.Message, error) {
+	return mw.publish(msg.KindPost, id.UserID{}, payload)
+}
+
+// Follow subscribes to a user and disseminates the follow action.
+func (mw *Middleware) Follow(user id.UserID) (*msg.Message, error) {
+	mw.store.Subscribe(user)
+	return mw.publish(msg.KindFollow, user, nil)
+}
+
+// Unfollow unsubscribes and disseminates the unfollow action.
+func (mw *Middleware) Unfollow(user id.UserID) (*msg.Message, error) {
+	mw.store.Unsubscribe(user)
+	return mw.publish(msg.KindUnfollow, user, nil)
+}
+
+// Subscribe records interest without publishing an action message (used
+// for pre-seeded social graphs in experiments; interactive apps call
+// Follow).
+func (mw *Middleware) Subscribe(user id.UserID) {
+	mw.store.Subscribe(user)
+}
+
+// Direct seals payload end-to-end for the recipient and disseminates the
+// envelope. Forwarders can route it but never read it; only the recipient
+// with cert recipCert can open it.
+func (mw *Middleware) Direct(recipCert *pki.UserCert, payload []byte) (*msg.Message, error) {
+	env, err := secure.SealEnvelope(mw.cfg.Rand, recipCert.Key, mw.cfg.Creds.Ident, payload)
+	if err != nil {
+		return nil, fmt.Errorf("core: sealing direct message: %w", err)
+	}
+	return mw.publish(msg.KindDirect, recipCert.User, env.Marshal())
+}
+
+// OpenDirect opens a received direct message addressed to this user: the
+// author's certificate is verified, then the envelope is opened with the
+// local private key and the author's certified public key.
+func (mw *Middleware) OpenDirect(m *msg.Message) ([]byte, error) {
+	if m.Kind != msg.KindDirect {
+		return nil, fmt.Errorf("core: %s is not a direct message", m.Ref())
+	}
+	if m.Subject != mw.User() {
+		return nil, fmt.Errorf("core: direct message %s is addressed to %s", m.Ref(), m.Subject)
+	}
+	cert, err := mw.verifier.VerifyFor(m.CertDER, m.Author)
+	if err != nil {
+		return nil, fmt.Errorf("core: verifying author certificate: %w", err)
+	}
+	env, err := secure.ParseEnvelope(m.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("core: parsing envelope: %w", err)
+	}
+	plain, err := secure.OpenEnvelope(mw.cfg.Creds.Ident.Key, cert.Key, env)
+	if err != nil {
+		return nil, fmt.Errorf("core: opening envelope: %w", err)
+	}
+	return plain, nil
+}
+
+// publish signs, stores, and advertises a new action message.
+func (mw *Middleware) publish(kind msg.Kind, subject id.UserID, payload []byte) (*msg.Message, error) {
+	m := &msg.Message{
+		Author:  mw.User(),
+		Seq:     mw.store.NextSeq(),
+		Kind:    kind,
+		Created: mw.clk.Now(),
+		Subject: subject,
+		Payload: payload,
+		CertDER: mw.cfg.Creds.Cert.DER,
+	}
+	if err := m.Sign(mw.cfg.Creds.Ident); err != nil {
+		return nil, fmt.Errorf("core: signing action: %w", err)
+	}
+	if _, err := mw.store.Put(m); err != nil {
+		return nil, fmt.Errorf("core: storing action: %w", err)
+	}
+	if err := mw.msgMgr.Advertise(); err != nil {
+		return nil, fmt.Errorf("core: advertising action: %w", err)
+	}
+	return m.Clone(), nil
+}
+
+// SetScheme switches the active routing protocol at runtime (the paper's
+// demo lets users toggle schemes inside the application) and refreshes
+// the advertisement so peers see the new scheme's gossip.
+func (mw *Middleware) SetScheme(name string) error {
+	if err := mw.routing.Use(name); err != nil {
+		return err
+	}
+	return mw.msgMgr.Advertise()
+}
+
+// Scheme returns the active routing protocol name.
+func (mw *Middleware) Scheme() string { return mw.routing.Current().Name() }
+
+// Schemes lists the registered routing protocols.
+func (mw *Middleware) Schemes() []string { return mw.routing.Available() }
+
+// RegisterScheme adds a custom routing protocol to this instance.
+func (mw *Middleware) RegisterScheme(name string, factory routing.Factory) error {
+	return mw.routing.Register(name, factory)
+}
+
+// SyncWithCloud performs the online maintenance the paper reserves for
+// moments of connectivity: push locally stored actions authored by this
+// user, and pull the latest revocation list.
+func (mw *Middleware) SyncWithCloud(svc *cloud.Service) error {
+	own := mw.store.MessagesFrom(mw.User(), 0)
+	actions := make([][]byte, 0, len(own))
+	for _, m := range own {
+		enc, err := m.Encode()
+		if err != nil {
+			return fmt.Errorf("core: encoding action for sync: %w", err)
+		}
+		actions = append(actions, enc)
+	}
+	if err := svc.SyncActions(mw.User(), actions); err != nil {
+		return fmt.Errorf("core: pushing actions: %w", err)
+	}
+	crl, err := svc.SyncCRL()
+	if err != nil {
+		return fmt.Errorf("core: pulling CRL: %w", err)
+	}
+	mw.verifier.UpdateCRL(crl)
+	return nil
+}
+
+// Stats snapshots all layer counters.
+func (mw *Middleware) Stats() Stats {
+	return Stats{Adhoc: mw.adhocMgr.Stats(), Message: mw.msgMgr.Stats()}
+}
+
+// Advertise refreshes the discovery beacon (summary + scheme gossip).
+func (mw *Middleware) Advertise() error { return mw.msgMgr.Advertise() }
+
+// Close shuts the middleware down and detaches from the medium.
+func (mw *Middleware) Close() error { return mw.adhocMgr.Close() }

@@ -1,0 +1,61 @@
+// Package hkdf implements the HMAC-based Extract-and-Expand Key Derivation
+// Function (HKDF) from RFC 5869 using SHA-256, built only on the standard
+// library. SOS uses HKDF to derive session keys from ECDH shared secrets and
+// to derive per-message keys for sealed end-to-end envelopes.
+package hkdf
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// hashLen is the output size of SHA-256 in bytes.
+const hashLen = sha256.Size
+
+// maxOutput is the largest output HKDF-SHA256 can produce (255 blocks,
+// per RFC 5869 §2.3).
+const maxOutput = 255 * hashLen
+
+// ErrOutputTooLong is returned when the requested key length exceeds the
+// RFC 5869 limit of 255 hash blocks.
+var ErrOutputTooLong = errors.New("hkdf: requested output exceeds 255*HashLen")
+
+// Extract performs the HKDF-Extract step: it concentrates the entropy of the
+// input keying material ikm into a fixed-length pseudorandom key. A nil salt
+// is treated as a string of hashLen zero bytes, as the RFC specifies.
+func Extract(salt, ikm []byte) []byte {
+	if salt == nil {
+		salt = make([]byte, hashLen)
+	}
+	mac := hmac.New(sha256.New, salt)
+	mac.Write(ikm)
+	return mac.Sum(nil)
+}
+
+// Expand performs the HKDF-Expand step: it stretches the pseudorandom key
+// prk into length bytes of output keying material, bound to the given info
+// context string.
+func Expand(prk, info []byte, length int) ([]byte, error) {
+	if length < 0 || length > maxOutput {
+		return nil, fmt.Errorf("%w: %d bytes requested", ErrOutputTooLong, length)
+	}
+	out := make([]byte, 0, length)
+	var block []byte
+	for counter := byte(1); len(out) < length; counter++ {
+		mac := hmac.New(sha256.New, prk)
+		mac.Write(block)
+		mac.Write(info)
+		mac.Write([]byte{counter})
+		block = mac.Sum(nil)
+		out = append(out, block...)
+	}
+	return out[:length], nil
+}
+
+// Key runs the full extract-then-expand derivation and returns length bytes
+// of keying material derived from ikm, salt, and info.
+func Key(ikm, salt, info []byte, length int) ([]byte, error) {
+	return Expand(Extract(salt, ikm), info, length)
+}

@@ -1,0 +1,133 @@
+package hkdf
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex in test vector: %v", err)
+	}
+	return b
+}
+
+// TestRFC5869Case1 checks the first official SHA-256 test vector (A.1).
+func TestRFC5869Case1(t *testing.T) {
+	ikm := mustHex(t, "0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b")
+	salt := mustHex(t, "000102030405060708090a0b0c")
+	info := mustHex(t, "f0f1f2f3f4f5f6f7f8f9")
+	wantPRK := mustHex(t, "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5")
+	wantOKM := mustHex(t, "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865")
+
+	prk := Extract(salt, ikm)
+	if !bytes.Equal(prk, wantPRK) {
+		t.Errorf("Extract = %x, want %x", prk, wantPRK)
+	}
+	okm, err := Expand(prk, info, len(wantOKM))
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if !bytes.Equal(okm, wantOKM) {
+		t.Errorf("Expand = %x, want %x", okm, wantOKM)
+	}
+}
+
+// TestRFC5869Case2 checks the longer-inputs vector (A.2).
+func TestRFC5869Case2(t *testing.T) {
+	ikm := mustHex(t, "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f202122232425262728292a2b2c2d2e2f303132333435363738393a3b3c3d3e3f404142434445464748494a4b4c4d4e4f")
+	salt := mustHex(t, "606162636465666768696a6b6c6d6e6f707172737475767778797a7b7c7d7e7f808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9fa0a1a2a3a4a5a6a7a8a9aaabacadaeaf")
+	info := mustHex(t, "b0b1b2b3b4b5b6b7b8b9babbbcbdbebfc0c1c2c3c4c5c6c7c8c9cacbcccdcecfd0d1d2d3d4d5d6d7d8d9dadbdcdddedfe0e1e2e3e4e5e6e7e8e9eaebecedeeeff0f1f2f3f4f5f6f7f8f9fafbfcfdfeff")
+	wantOKM := mustHex(t, "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71cc30c58179ec3e87c14c01d5c1f3434f1d87")
+
+	okm, err := Key(ikm, salt, info, len(wantOKM))
+	if err != nil {
+		t.Fatalf("Key: %v", err)
+	}
+	if !bytes.Equal(okm, wantOKM) {
+		t.Errorf("Key = %x, want %x", okm, wantOKM)
+	}
+}
+
+// TestRFC5869Case3 checks the zero-salt, zero-info vector (A.3).
+func TestRFC5869Case3(t *testing.T) {
+	ikm := mustHex(t, "0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b")
+	wantOKM := mustHex(t, "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8")
+
+	okm, err := Key(ikm, nil, nil, len(wantOKM))
+	if err != nil {
+		t.Fatalf("Key: %v", err)
+	}
+	if !bytes.Equal(okm, wantOKM) {
+		t.Errorf("Key = %x, want %x", okm, wantOKM)
+	}
+}
+
+func TestExpandLengthLimit(t *testing.T) {
+	prk := Extract(nil, []byte("ikm"))
+	if _, err := Expand(prk, nil, maxOutput); err != nil {
+		t.Errorf("Expand at limit: unexpected error %v", err)
+	}
+	if _, err := Expand(prk, nil, maxOutput+1); err == nil {
+		t.Error("Expand beyond limit: want error, got nil")
+	}
+	if _, err := Expand(prk, nil, -1); err == nil {
+		t.Error("Expand negative length: want error, got nil")
+	}
+}
+
+func TestZeroLengthOutput(t *testing.T) {
+	okm, err := Key([]byte("ikm"), nil, nil, 0)
+	if err != nil {
+		t.Fatalf("Key: %v", err)
+	}
+	if len(okm) != 0 {
+		t.Errorf("len = %d, want 0", len(okm))
+	}
+}
+
+// TestKeyDeterministic verifies that derivation is a pure function of its
+// inputs and that distinct info strings yield distinct keys.
+func TestKeyDeterministic(t *testing.T) {
+	f := func(ikm, salt []byte) bool {
+		a, err := Key(ikm, salt, []byte("ctx-a"), 32)
+		if err != nil {
+			return false
+		}
+		b, err := Key(ikm, salt, []byte("ctx-a"), 32)
+		if err != nil {
+			return false
+		}
+		c, err := Key(ikm, salt, []byte("ctx-b"), 32)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(a, b) && !bytes.Equal(a, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPrefixConsistency: shorter outputs must be prefixes of longer ones for
+// the same inputs (a structural property of HKDF's counter mode).
+func TestPrefixConsistency(t *testing.T) {
+	f := func(ikm []byte, n uint8) bool {
+		long, err := Key(ikm, nil, nil, int(n)+16)
+		if err != nil {
+			return false
+		}
+		short, err := Key(ikm, nil, nil, int(n))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(long[:int(n)], short)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

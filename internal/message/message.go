@@ -1,0 +1,504 @@
+// Package message implements the SOS message manager (paper §III-C): the
+// layer between the routing manager and the ad hoc manager. It notifies
+// the active routing protocol whenever a peer is discovered or lost,
+// reacts to connection-state changes — including knowing which messages
+// were not transferred when a connection breaks — and translates between
+// the routing layer's view (summaries, wants, messages) and the ad hoc
+// layer's frames.
+//
+// Exchange protocol on an established link:
+//
+//  1. Both sides send an authenticated in-session Advertisement (summary +
+//     scheme gossip). In-session summaries supersede the plain-text beacon,
+//     which an attacker could forge.
+//  2. Each side asks the active scheme which advertised messages to pull
+//     and sends a Request.
+//  3. Requests are answered with Batches; every message carries the
+//     originator's certificate, so the receiver verifies the certificate
+//     chain and the author signature before storing (paper Fig. 3b).
+//  4. Stored messages are acknowledged; unacknowledged transfers are
+//     counted as aborted when the link drops.
+package message
+
+import (
+	"errors"
+	"sort"
+	"sync"
+
+	"sos/internal/adhoc"
+	"sos/internal/clock"
+	"sos/internal/id"
+	"sos/internal/mpc"
+	"sos/internal/msg"
+	"sos/internal/pki"
+	"sos/internal/routing"
+	"sos/internal/store"
+	"sos/internal/wire"
+)
+
+// Errors reported by the message manager.
+var (
+	ErrNotBound = errors.New("message: manager not bound to an ad hoc manager")
+)
+
+// Config assembles a message manager.
+type Config struct {
+	Store    *store.Store
+	Routing  *routing.Manager
+	Verifier *pki.Verifier
+	Clock    clock.Clock
+
+	// OnReceive fires for every newly stored message (never duplicates).
+	OnReceive func(m *msg.Message, from id.UserID)
+	// OnPeerUp / OnPeerDown observe authenticated encounters.
+	OnPeerUp   func(user id.UserID)
+	OnPeerDown func(user id.UserID)
+
+	// AutoConnect, when true (the default via New), connects to any
+	// discovered peer whose advertisement offers messages the active
+	// scheme wants.
+	AutoConnect bool
+}
+
+// Stats counts message-manager events.
+type Stats struct {
+	MessagesReceived  uint64
+	MessagesServed    uint64
+	Duplicates        uint64
+	VerifyFailures    uint64
+	BatchesSent       uint64
+	BatchesReceived   uint64
+	RequestsSent      uint64
+	RequestsReceived  uint64
+	AcksReceived      uint64
+	TransfersAborted  uint64
+	ConnectsAttempted uint64
+}
+
+// linkState is an active link plus the peer's latest authenticated
+// in-session summary.
+type linkState struct {
+	link    *adhoc.Link
+	summary map[id.UserID]uint64
+}
+
+// Manager is the message manager for one node.
+type Manager struct {
+	cfg Config
+
+	mu       sync.Mutex
+	adhocMgr *adhoc.Manager
+	links    map[mpc.PeerID]*linkState
+	// unacked tracks messages served per peer that have not been
+	// acknowledged; on disconnect these count as aborted transfers.
+	unacked map[mpc.PeerID]map[msg.Ref]bool
+	// inflight tracks messages requested from a peer and not yet
+	// received, so concurrent links to several peers holding the same
+	// message do not trigger duplicate transfers.
+	inflight map[msg.Ref]mpc.PeerID
+	stats    Stats
+}
+
+var _ adhoc.Handler = (*Manager)(nil)
+
+// New builds a message manager. Bind must be called with the ad hoc
+// manager before any traffic flows.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Store == nil || cfg.Routing == nil || cfg.Verifier == nil {
+		return nil, errors.New("message: config requires Store, Routing, and Verifier")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System()
+	}
+	return &Manager{
+		cfg:      cfg,
+		links:    make(map[mpc.PeerID]*linkState),
+		unacked:  make(map[mpc.PeerID]map[msg.Ref]bool),
+		inflight: make(map[msg.Ref]mpc.PeerID),
+	}, nil
+}
+
+// Bind attaches the ad hoc manager (two-phase construction: the ad hoc
+// manager needs this Manager as its Handler, and this Manager needs the
+// ad hoc manager to connect and advertise).
+func (m *Manager) Bind(a *adhoc.Manager) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.adhocMgr = a
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// ActiveLinks returns the users currently linked.
+func (m *Manager) ActiveLinks() []id.UserID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]id.UserID, 0, len(m.links))
+	for _, ls := range m.links {
+		out = append(out, ls.link.User())
+	}
+	return out
+}
+
+// Advertise publishes the current summary and scheme gossip as the
+// device's discovery beacon. Core calls it at startup and after every
+// change to the store.
+func (m *Manager) Advertise() error {
+	m.mu.Lock()
+	a := m.adhocMgr
+	m.mu.Unlock()
+	if a == nil {
+		return ErrNotBound
+	}
+	scheme := m.cfg.Routing.Current()
+	return a.Advertise(m.cfg.Store.Summary(), scheme.SchemeData())
+}
+
+// PeerDiscovered implements adhoc.Handler. A beacon from an unlinked peer
+// triggers a connection when the scheme wants something it offers; a
+// refreshed beacon from a linked peer triggers an incremental request on
+// the existing link.
+func (m *Manager) PeerDiscovered(peer mpc.PeerID, ad *wire.Advertisement) {
+	scheme := m.cfg.Routing.Current()
+	wants := scheme.Wants(ad.Summary)
+	if len(wants) == 0 {
+		return
+	}
+
+	m.mu.Lock()
+	ls := m.links[peer]
+	a := m.adhocMgr
+	m.mu.Unlock()
+
+	if ls != nil {
+		// Already talking: treat the refreshed beacon as an (unverified)
+		// summary hint and re-run the pull planner. A forged beacon is
+		// harmless — the peer simply has nothing to serve.
+		m.mu.Lock()
+		ls.summary = ad.Summary
+		m.mu.Unlock()
+		m.pull()
+		return
+	}
+	if !m.cfg.AutoConnect || a == nil {
+		return
+	}
+	m.mu.Lock()
+	m.stats.ConnectsAttempted++
+	m.mu.Unlock()
+	// ErrLinkExists races are benign: the handshake in flight will serve.
+	_ = a.Connect(peer)
+}
+
+// PeerGone implements adhoc.Handler.
+func (m *Manager) PeerGone(_ mpc.PeerID) {}
+
+// LinkUp implements adhoc.Handler: greet the authenticated peer with our
+// summary and scheme gossip.
+func (m *Manager) LinkUp(link *adhoc.Link) {
+	m.mu.Lock()
+	m.links[link.Peer()] = &linkState{link: link}
+	m.mu.Unlock()
+
+	scheme := m.cfg.Routing.Current()
+	scheme.OnPeerConnected(link.User())
+	if m.cfg.OnPeerUp != nil {
+		m.cfg.OnPeerUp(link.User())
+	}
+
+	summary := &wire.Advertisement{
+		Peer:       string(link.Peer()),
+		Summary:    m.cfg.Store.Summary(),
+		SchemeData: scheme.SchemeData(),
+	}
+	_ = link.SendFrame(summary) // link failures surface via LinkDown
+}
+
+// FrameIn implements adhoc.Handler: the in-session protocol.
+func (m *Manager) FrameIn(link *adhoc.Link, f wire.Frame) {
+	switch fr := f.(type) {
+	case *wire.Advertisement:
+		m.onSummary(link, fr)
+	case *wire.Request:
+		m.onRequest(link, fr)
+	case *wire.Batch:
+		m.onBatch(link, fr)
+	case *wire.Ack:
+		m.onAck(link, fr)
+	default:
+		// Unknown in-session frame: ignore (forward compatibility).
+	}
+}
+
+// LinkDown implements adhoc.Handler: tell the scheme, count unfinished
+// transfers, and drop per-link state. The store still holds everything,
+// so an aborted transfer is simply retried at the next encounter — this
+// is the "message manager knows what messages were not transferred"
+// behaviour from paper §III-C.
+func (m *Manager) LinkDown(link *adhoc.Link, _ error) {
+	m.mu.Lock()
+	if ls := m.links[link.Peer()]; ls != nil && ls.link == link {
+		delete(m.links, link.Peer())
+	}
+	if pending := m.unacked[link.Peer()]; len(pending) > 0 {
+		m.stats.TransfersAborted += uint64(len(pending))
+	}
+	delete(m.unacked, link.Peer())
+	// Requests that died with this link become eligible again.
+	orphaned := false
+	for ref, peer := range m.inflight {
+		if peer == link.Peer() {
+			delete(m.inflight, ref)
+			orphaned = true
+		}
+	}
+	m.mu.Unlock()
+
+	m.cfg.Routing.Current().OnPeerLost(link.User())
+	if m.cfg.OnPeerDown != nil {
+		m.cfg.OnPeerDown(link.User())
+	}
+	if orphaned {
+		// Re-plan against the remaining links' summaries so an aborted
+		// transfer resumes within the same gathering.
+		m.pull()
+	}
+}
+
+// onSummary handles the peer's authenticated in-session advertisement.
+func (m *Manager) onSummary(link *adhoc.Link, ad *wire.Advertisement) {
+	scheme := m.cfg.Routing.Current()
+	if len(ad.SchemeData) > 0 {
+		scheme.OnPeerData(link.User(), ad.SchemeData)
+	}
+	m.mu.Lock()
+	if ls := m.links[link.Peer()]; ls != nil && ls.link == link {
+		ls.summary = ad.Summary
+	}
+	m.mu.Unlock()
+	m.pull()
+}
+
+// pull plans requests across all active links: for every message the
+// active scheme wants from any peer's summary, pick one link to pull it
+// from — preferring the verified author (the freshest source) when the
+// author is linked — and never request a message already in flight on
+// another link. This keeps gatherings of many mutually-connected peers
+// from transferring the same message k times.
+func (m *Manager) pull() {
+	scheme := m.cfg.Routing.Current()
+
+	m.mu.Lock()
+	// Deterministic link order: sort by peer id.
+	peers := make([]mpc.PeerID, 0, len(m.links))
+	for peer := range m.links {
+		peers = append(peers, peer)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	type planned struct {
+		ls    *linkState
+		wants map[id.UserID][]uint64
+	}
+	byUser := make(map[id.UserID]*linkState, len(m.links))
+	states := make([]*linkState, 0, len(peers))
+	for _, peer := range peers {
+		ls := m.links[peer]
+		states = append(states, ls)
+		byUser[ls.link.User()] = ls
+	}
+	plans := make(map[*linkState]*planned, len(states))
+	assign := func(ls *linkState, author id.UserID, seq uint64) {
+		p := plans[ls]
+		if p == nil {
+			p = &planned{ls: ls, wants: make(map[id.UserID][]uint64)}
+			plans[ls] = p
+		}
+		p.wants[author] = append(p.wants[author], seq)
+		m.inflight[msg.Ref{Author: author, Seq: seq}] = ls.link.Peer()
+	}
+	for _, ls := range states {
+		if len(ls.summary) == 0 {
+			continue
+		}
+		for _, want := range scheme.Wants(ls.summary) {
+			for _, seq := range want.Seqs {
+				ref := msg.Ref{Author: want.Author, Seq: seq}
+				if _, pending := m.inflight[ref]; pending {
+					continue
+				}
+				// Source preference: pull an author's own messages from
+				// the author when they are linked and hold them.
+				target := ls
+				if src, linked := byUser[want.Author]; linked && src.summary[want.Author] >= seq {
+					target = src
+				}
+				assign(target, want.Author, seq)
+			}
+		}
+	}
+	// Snapshot the batches, then send outside the lock.
+	type outgoing struct {
+		ls    *linkState
+		wants []wire.Want
+	}
+	var sends []outgoing
+	for _, ls := range states {
+		p := plans[ls]
+		if p == nil {
+			continue
+		}
+		authors := make([]id.UserID, 0, len(p.wants))
+		for author := range p.wants {
+			authors = append(authors, author)
+		}
+		sort.Slice(authors, func(i, j int) bool { return authors[i].String() < authors[j].String() })
+		wants := make([]wire.Want, 0, len(authors))
+		for _, author := range authors {
+			wants = append(wants, wire.Want{Author: author, Seqs: p.wants[author]})
+		}
+		sends = append(sends, outgoing{ls: ls, wants: wants})
+	}
+	m.mu.Unlock()
+
+	for _, s := range sends {
+		m.sendRequest(s.ls.link, s.wants)
+	}
+}
+
+// onRequest serves the peer's pull request, scheme-filtered and chunked.
+func (m *Manager) onRequest(link *adhoc.Link, req *wire.Request) {
+	m.mu.Lock()
+	m.stats.RequestsReceived++
+	m.mu.Unlock()
+
+	scheme := m.cfg.Routing.Current()
+	serve := scheme.FilterServe(link.User(), req.Wants)
+	var outgoing []*msg.Message
+	for _, w := range serve {
+		for _, mm := range m.cfg.Store.Select(w.Author, w.Seqs) {
+			scheme.PrepareOutgoing(link.User(), mm)
+			outgoing = append(outgoing, mm)
+		}
+	}
+	if len(outgoing) == 0 {
+		return
+	}
+
+	for start := 0; start < len(outgoing); start += wire.MaxBatchMessages {
+		end := min(start+wire.MaxBatchMessages, len(outgoing))
+		batch := &wire.Batch{Msgs: outgoing[start:end]}
+		if err := link.SendFrame(batch); err != nil {
+			return // link died; LinkDown will account for it
+		}
+		m.mu.Lock()
+		m.stats.BatchesSent++
+		m.stats.MessagesServed += uint64(end - start)
+		pending := m.unacked[link.Peer()]
+		if pending == nil {
+			pending = make(map[msg.Ref]bool)
+			m.unacked[link.Peer()] = pending
+		}
+		for _, mm := range outgoing[start:end] {
+			pending[mm.Ref()] = true
+		}
+		m.mu.Unlock()
+	}
+}
+
+// onBatch verifies, stores, and acknowledges delivered messages.
+func (m *Manager) onBatch(link *adhoc.Link, batch *wire.Batch) {
+	m.mu.Lock()
+	m.stats.BatchesReceived++
+	m.mu.Unlock()
+
+	scheme := m.cfg.Routing.Current()
+	var accepted []msg.Ref
+	newMessages := false
+	for _, mm := range batch.Msgs {
+		m.mu.Lock()
+		delete(m.inflight, mm.Ref())
+		m.mu.Unlock()
+		if err := m.verify(mm); err != nil {
+			m.mu.Lock()
+			m.stats.VerifyFailures++
+			m.mu.Unlock()
+			continue
+		}
+		incoming := mm.Clone()
+		incoming.Hops++ // one more device-to-device transfer
+		added, err := m.cfg.Store.Put(incoming)
+		if err != nil {
+			continue
+		}
+		accepted = append(accepted, incoming.Ref())
+		if !added {
+			m.mu.Lock()
+			m.stats.Duplicates++
+			m.mu.Unlock()
+			continue
+		}
+		newMessages = true
+		m.mu.Lock()
+		m.stats.MessagesReceived++
+		m.mu.Unlock()
+		scheme.OnReceived(incoming, link.User())
+		if m.cfg.OnReceive != nil {
+			m.cfg.OnReceive(incoming.Clone(), link.User())
+		}
+	}
+	if len(accepted) > 0 {
+		for start := 0; start < len(accepted); start += wire.MaxBatchMessages {
+			end := min(start+wire.MaxBatchMessages, len(accepted))
+			_ = link.SendFrame(&wire.Ack{Refs: accepted[start:end]})
+		}
+	}
+	if newMessages {
+		// The summary changed; refresh the beacon so nearby browsers see
+		// the new high-water marks (this is how multi-hop forwarding
+		// propagates within a gathering).
+		_ = m.Advertise()
+	}
+}
+
+// onAck clears acknowledged transfers.
+func (m *Manager) onAck(link *adhoc.Link, ack *wire.Ack) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.AcksReceived++
+	pending := m.unacked[link.Peer()]
+	for _, ref := range ack.Refs {
+		delete(pending, ref)
+	}
+}
+
+// sendRequest sends a pull request, chunking oversized want lists.
+func (m *Manager) sendRequest(link *adhoc.Link, wants []wire.Want) {
+	for start := 0; start < len(wants); start += wire.MaxWants {
+		end := min(start+wire.MaxWants, len(wants))
+		if err := link.SendFrame(&wire.Request{Wants: wants[start:end]}); err != nil {
+			return
+		}
+		m.mu.Lock()
+		m.stats.RequestsSent++
+		m.mu.Unlock()
+	}
+}
+
+// verify enforces the paper's security checks on a relayed message: the
+// attached certificate must chain to the pinned CA root and name the
+// author, and the author's signature must cover the payload.
+func (m *Manager) verify(mm *msg.Message) error {
+	if err := mm.Validate(); err != nil {
+		return err
+	}
+	cert, err := m.cfg.Verifier.VerifyFor(mm.CertDER, mm.Author)
+	if err != nil {
+		return err
+	}
+	return mm.VerifyWithKey(cert.Key)
+}

@@ -1,0 +1,130 @@
+package message
+
+import (
+	"crypto/rand"
+	"errors"
+	"testing"
+	"time"
+
+	"sos/internal/cloud"
+	"sos/internal/id"
+	"sos/internal/msg"
+	"sos/internal/pki"
+	"sos/internal/routing"
+	"sos/internal/store"
+)
+
+func fixture(t *testing.T) (Config, *cloud.Credentials) {
+	t.Helper()
+	ca, err := pki.NewCA("root")
+	if err != nil {
+		t.Fatalf("NewCA: %v", err)
+	}
+	svc := cloud.New(ca)
+	creds, err := cloud.Bootstrap(svc, "owner", rand.Reader)
+	if err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	st := store.New(creds.Ident.User)
+	rm, err := routing.NewManager(st, routing.Options{})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	verifier, err := pki.NewVerifier(creds.RootDER, nil)
+	if err != nil {
+		t.Fatalf("NewVerifier: %v", err)
+	}
+	return Config{Store: st, Routing: rm, Verifier: verifier}, creds
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg, _ := fixture(t)
+	broken := cfg
+	broken.Store = nil
+	if _, err := New(broken); err == nil {
+		t.Error("nil store accepted")
+	}
+	broken = cfg
+	broken.Routing = nil
+	if _, err := New(broken); err == nil {
+		t.Error("nil routing accepted")
+	}
+	broken = cfg
+	broken.Verifier = nil
+	if _, err := New(broken); err == nil {
+		t.Error("nil verifier accepted")
+	}
+	if _, err := New(cfg); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestAdvertiseRequiresBind(t *testing.T) {
+	cfg, _ := fixture(t)
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := m.Advertise(); !errors.Is(err, ErrNotBound) {
+		t.Errorf("Advertise before Bind: err = %v, want ErrNotBound", err)
+	}
+}
+
+func TestVerifyEnforcesProvenance(t *testing.T) {
+	cfg, creds := fixture(t)
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	good := &msg.Message{
+		Author:  creds.Ident.User,
+		Seq:     1,
+		Kind:    msg.KindPost,
+		Created: time.Now(),
+		Payload: []byte("authentic"),
+		CertDER: creds.Cert.DER,
+	}
+	if err := good.Sign(creds.Ident); err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	if err := m.verify(good); err != nil {
+		t.Errorf("authentic message rejected: %v", err)
+	}
+
+	// Tampered payload: author signature fails.
+	tampered := good.Clone()
+	tampered.Payload = []byte("forged")
+	if err := m.verify(tampered); err == nil {
+		t.Error("tampered message accepted")
+	}
+
+	// Wrong certificate: names a different user than the author.
+	misattributed := good.Clone()
+	misattributed.Author = id.NewUserID("other") // cert still names owner
+	misattributed.Seq = 1
+	if err := m.verify(misattributed); err == nil {
+		t.Error("mis-attributed message accepted")
+	}
+
+	// Missing certificate entirely.
+	bare := good.Clone()
+	bare.CertDER = nil
+	if err := m.verify(bare); err == nil {
+		t.Error("certificate-less message accepted")
+	}
+}
+
+func TestActiveLinksEmpty(t *testing.T) {
+	cfg, _ := fixture(t)
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got := m.ActiveLinks(); len(got) != 0 {
+		t.Errorf("ActiveLinks = %v, want empty", got)
+	}
+	if got := m.Stats(); got != (Stats{}) {
+		t.Errorf("fresh Stats = %+v, want zero", got)
+	}
+}

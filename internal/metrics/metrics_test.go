@@ -1,0 +1,236 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sos/internal/id"
+	"sos/internal/msg"
+)
+
+var (
+	alice = id.NewUserID("alice")
+	bob   = id.NewUserID("bob")
+	carol = id.NewUserID("carol")
+	t0    = time.Date(2017, 4, 6, 8, 0, 0, 0, time.UTC)
+)
+
+func ref(author id.UserID, seq uint64) msg.Ref {
+	return msg.Ref{Author: author, Seq: seq}
+}
+
+func TestCollectorCounts(t *testing.T) {
+	c := NewCollector()
+	c.MessageCreated(ref(alice, 1), t0)
+	c.MessageCreated(ref(alice, 1), t0) // duplicate ignored
+	c.MessageCreated(ref(alice, 2), t0.Add(time.Hour))
+
+	if got := c.CreatedCount(); got != 2 {
+		t.Errorf("CreatedCount = %d, want 2", got)
+	}
+	c.Disseminated(ref(alice, 1))
+	c.Disseminated(ref(bob, 9)) // untracked: ignored
+	if got := c.Disseminations(); got != 1 {
+		t.Errorf("Disseminations = %d, want 1", got)
+	}
+}
+
+func TestDeliveredDeduplicates(t *testing.T) {
+	c := NewCollector()
+	c.MessageCreated(ref(alice, 1), t0)
+	c.Delivered(ref(alice, 1), bob, t0.Add(time.Hour), 1)
+	c.Delivered(ref(alice, 1), bob, t0.Add(2*time.Hour), 2) // duplicate pair
+	c.Delivered(ref(alice, 1), carol, t0.Add(3*time.Hour), 2)
+
+	if got := len(c.Deliveries(AllHops)); got != 2 {
+		t.Errorf("deliveries = %d, want 2", got)
+	}
+	if got := len(c.Deliveries(OneHop)); got != 1 {
+		t.Errorf("1-hop deliveries = %d, want 1", got)
+	}
+}
+
+func TestDeliveredIgnoresUntracked(t *testing.T) {
+	c := NewCollector()
+	c.Delivered(ref(alice, 1), bob, t0, 1)
+	if got := len(c.Deliveries(AllHops)); got != 0 {
+		t.Errorf("untracked delivery recorded: %d", got)
+	}
+}
+
+func TestOneHopShare(t *testing.T) {
+	c := NewCollector()
+	c.MessageCreated(ref(alice, 1), t0)
+	c.MessageCreated(ref(alice, 2), t0)
+	c.MessageCreated(ref(alice, 3), t0)
+	c.Delivered(ref(alice, 1), bob, t0.Add(time.Hour), 1)
+	c.Delivered(ref(alice, 2), bob, t0.Add(time.Hour), 1)
+	c.Delivered(ref(alice, 3), bob, t0.Add(time.Hour), 2)
+
+	want := 2.0 / 3.0
+	if got := c.OneHopShare(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("OneHopShare = %f, want %f", got, want)
+	}
+}
+
+func TestDelayCDF(t *testing.T) {
+	c := NewCollector()
+	c.MessageCreated(ref(alice, 1), t0)
+	c.MessageCreated(ref(alice, 2), t0)
+	c.Delivered(ref(alice, 1), bob, t0.Add(12*time.Hour), 1)
+	c.Delivered(ref(alice, 2), bob, t0.Add(48*time.Hour), 2)
+
+	cdf := c.DelayCDF(AllHops)
+	if got := cdf.At(24); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("CDF(24h) = %f, want 0.5", got)
+	}
+	if got := cdf.At(94); got != 1 {
+		t.Errorf("CDF(94h) = %f, want 1", got)
+	}
+	oneHop := c.DelayCDF(OneHop)
+	if oneHop.N() != 1 || oneHop.At(24) != 1 {
+		t.Errorf("1-hop CDF: n=%d CDF(24)=%f", oneHop.N(), oneHop.At(24))
+	}
+}
+
+func TestDeliveryRatios(t *testing.T) {
+	c := NewCollector()
+	// Alice authors 4 messages; bob gets 3 of them, carol 1.
+	for seq := uint64(1); seq <= 4; seq++ {
+		c.MessageCreated(ref(alice, seq), t0)
+	}
+	c.Delivered(ref(alice, 1), bob, t0.Add(time.Hour), 1)
+	c.Delivered(ref(alice, 2), bob, t0.Add(time.Hour), 1)
+	c.Delivered(ref(alice, 3), bob, t0.Add(time.Hour), 2)
+	c.Delivered(ref(alice, 1), carol, t0.Add(time.Hour), 1)
+
+	subs := []Subscription{
+		{Follower: bob, Followee: alice},
+		{Follower: carol, Followee: alice},
+		{Follower: bob, Followee: carol}, // carol authored nothing: skipped
+	}
+	ratios := c.DeliveryRatios(subs, AllHops)
+	want := []float64{0.25, 0.75}
+	if len(ratios) != 2 || math.Abs(ratios[0]-want[0]) > 1e-12 || math.Abs(ratios[1]-want[1]) > 1e-12 {
+		t.Errorf("ratios = %v, want %v", ratios, want)
+	}
+
+	oneHop := c.DeliveryRatios(subs, OneHop)
+	wantOne := []float64{0.25, 0.5}
+	if len(oneHop) != 2 || oneHop[0] != wantOne[0] || oneHop[1] != wantOne[1] {
+		t.Errorf("1-hop ratios = %v, want %v", oneHop, wantOne)
+	}
+}
+
+func TestFractions(t *testing.T) {
+	values := []float64{0.1, 0.5, 0.8, 0.9, 1.0}
+	if got := FractionAbove(values, 0.8); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("FractionAbove(0.8) = %f, want 0.4", got)
+	}
+	if got := FractionAtLeast(values, 0.8); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("FractionAtLeast(0.8) = %f, want 0.6", got)
+	}
+	if FractionAbove(nil, 0.5) != 0 || FractionAtLeast(nil, 0.5) != 0 {
+		t.Error("empty input should yield 0")
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	cdf := NewCDF([]float64{3, 1, 2, 2})
+	if got := cdf.At(0); got != 0 {
+		t.Errorf("At(0) = %f, want 0", got)
+	}
+	if got := cdf.At(2); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("At(2) = %f, want 0.75", got)
+	}
+	if got := cdf.At(10); got != 1 {
+		t.Errorf("At(10) = %f, want 1", got)
+	}
+	if got := cdf.Quantile(0.5); got != 2 {
+		t.Errorf("Quantile(0.5) = %f, want 2", got)
+	}
+	if got := cdf.Quantile(1.0); got != 3 {
+		t.Errorf("Quantile(1.0) = %f, want 3", got)
+	}
+	points := cdf.Points()
+	if len(points) != 3 || points[1][0] != 2 || math.Abs(points[1][1]-0.75) > 1e-12 {
+		t.Errorf("Points = %v", points)
+	}
+}
+
+func TestEmptyCDF(t *testing.T) {
+	cdf := NewCDF(nil)
+	if cdf.N() != 0 || cdf.At(1) != 0 || cdf.Quantile(0.5) != 0 {
+		t.Error("empty CDF misbehaves")
+	}
+}
+
+// TestCDFMonotoneProperty: F is non-decreasing and bounded in [0,1].
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(values []float64, probes []float64) bool {
+		for i, v := range values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				values[i] = 0
+			}
+		}
+		cdf := NewCDF(values)
+		sort.Float64s(probes)
+		prev := 0.0
+		for _, x := range probes {
+			if math.IsNaN(x) {
+				continue
+			}
+			fx := cdf.At(x)
+			if fx < prev-1e-12 || fx < 0 || fx > 1 {
+				return false
+			}
+			prev = fx
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeliveryRatiosBoundedProperty: every ratio lies in [0, 1].
+func TestDeliveryRatiosBoundedProperty(t *testing.T) {
+	f := func(seqs []uint8, delivered []uint8) bool {
+		c := NewCollector()
+		for _, s := range seqs {
+			c.MessageCreated(ref(alice, uint64(s%16)+1), t0)
+		}
+		for _, d := range delivered {
+			c.Delivered(ref(alice, uint64(d%16)+1), bob, t0.Add(time.Hour), uint16(d%3)+1)
+		}
+		ratios := c.DeliveryRatios([]Subscription{{Follower: bob, Followee: alice}}, AllHops)
+		for _, r := range ratios {
+			if r < 0 || r > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	cdf := NewCDF([]float64{1, 2})
+	var sb strings.Builder
+	if err := cdf.WriteCSV(&sb, "delay_hours"); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "delay_hours,cdf\n") {
+		t.Errorf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "1.000000,0.500000") || !strings.Contains(out, "2.000000,1.000000") {
+		t.Errorf("missing rows: %q", out)
+	}
+}

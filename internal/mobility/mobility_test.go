@@ -1,0 +1,231 @@
+package mobility
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+var start = time.Date(2017, 4, 3, 0, 0, 0, 0, time.UTC) // a Monday
+
+func TestPointDistance(t *testing.T) {
+	p, q := Point{X: 0, Y: 0}, Point{X: 3, Y: 4}
+	if got := p.DistanceTo(q); got != 5 {
+		t.Errorf("distance = %f, want 5", got)
+	}
+}
+
+func TestAreaContains(t *testing.T) {
+	a := Area{W: 100, H: 50}
+	if !a.Contains(Point{X: 50, Y: 25}) {
+		t.Error("interior point reported outside")
+	}
+	if a.Contains(Point{X: 101, Y: 25}) || a.Contains(Point{X: -1, Y: 0}) {
+		t.Error("exterior point reported inside")
+	}
+}
+
+func TestDiurnalDeterminism(t *testing.T) {
+	cfg := DiurnalConfig{Start: start, Days: 7}
+	m1, err := NewDiurnal(cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatalf("NewDiurnal: %v", err)
+	}
+	m2, err := NewDiurnal(cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatalf("NewDiurnal: %v", err)
+	}
+	for h := 0; h < 7*24; h++ {
+		at := start.Add(time.Duration(h) * time.Hour)
+		if m1.Position(at) != m2.Position(at) {
+			t.Fatalf("same seed diverged at %v", at)
+		}
+	}
+}
+
+func TestDiurnalStaysInArea(t *testing.T) {
+	m, err := NewDiurnal(DiurnalConfig{Start: start, Days: 7}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatalf("NewDiurnal: %v", err)
+	}
+	// Hangouts are jittered around campus (mid-area), homes are uniform,
+	// so positions stay within a small margin of the area.
+	margin := 500.0
+	for minute := 0; minute < 7*24*60; minute += 17 {
+		at := start.Add(time.Duration(minute) * time.Minute)
+		p := m.Position(at)
+		if p.X < -margin || p.Y < -margin || p.X > Gainesville.W+margin || p.Y > Gainesville.H+margin {
+			t.Fatalf("position %v far outside area at %v", p, at)
+		}
+	}
+}
+
+func TestDiurnalSleepsAtHome(t *testing.T) {
+	home := Point{X: 2000, Y: 2000}
+	m, err := NewDiurnal(DiurnalConfig{Start: start, Days: 5, Home: home}, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatalf("NewDiurnal: %v", err)
+	}
+	// At 3 AM every night the node is asleep at home.
+	for day := 0; day < 5; day++ {
+		at := start.Add(time.Duration(day)*24*time.Hour + 3*time.Hour)
+		if got := m.Position(at); got.DistanceTo(home) > 1 {
+			t.Errorf("day %d, 3AM: position %v, want home %v", day, got, home)
+		}
+	}
+}
+
+func TestDiurnalVisitsCampusOnWeekdays(t *testing.T) {
+	campus := Point{X: 5000, Y: 4000}
+	m, err := NewDiurnal(DiurnalConfig{
+		Start: start, Days: 5, Campus: campus, AttendProb: 0.999,
+	}, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatalf("NewDiurnal: %v", err)
+	}
+	// Sample each weekday around midday; the node should be within the
+	// campus neighbourhood (desk + hangouts are within ~500 m).
+	attended := 0
+	for day := 0; day < 5; day++ {
+		near := false
+		for h := 10; h <= 14; h++ {
+			at := start.Add(time.Duration(day)*24*time.Hour + time.Duration(h)*time.Hour)
+			if m.Position(at).DistanceTo(campus) < 800 {
+				near = true
+			}
+		}
+		if near {
+			attended++
+		}
+	}
+	if attended < 4 {
+		t.Errorf("attended campus %d/5 weekdays despite AttendProb≈1", attended)
+	}
+}
+
+func TestDiurnalWeekendMostlyHome(t *testing.T) {
+	home := Point{X: 1000, Y: 1000}
+	// Saturday start.
+	sat := time.Date(2017, 4, 8, 0, 0, 0, 0, time.UTC)
+	m, err := NewDiurnal(DiurnalConfig{
+		Start: sat, Days: 2, Home: home, WeekendOutProb: 0.0001,
+	}, rand.New(rand.NewSource(13)))
+	if err != nil {
+		t.Fatalf("NewDiurnal: %v", err)
+	}
+	for h := 0; h < 48; h += 3 {
+		at := sat.Add(time.Duration(h) * time.Hour)
+		if m.Position(at).DistanceTo(home) > 1 {
+			t.Fatalf("weekend wanderlust at %v despite near-zero outing probability", at)
+		}
+	}
+}
+
+func TestDiurnalValidation(t *testing.T) {
+	if _, err := NewDiurnal(DiurnalConfig{Start: start, Days: 0}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero days accepted")
+	}
+	if _, err := NewDiurnal(DiurnalConfig{Start: start, Days: 1}, nil); err == nil {
+		t.Error("nil RNG accepted")
+	}
+}
+
+func TestRandomWaypointCoversArea(t *testing.T) {
+	area := Area{W: 500, H: 500}
+	m, err := NewRandomWaypoint(RandomWaypointConfig{
+		Area: area, Start: start, Duration: 24 * time.Hour,
+	}, rand.New(rand.NewSource(17)))
+	if err != nil {
+		t.Fatalf("NewRandomWaypoint: %v", err)
+	}
+	var minX, minY, maxX, maxY = math.Inf(1), math.Inf(1), math.Inf(-1), math.Inf(-1)
+	for minute := 0; minute < 24*60; minute++ {
+		p := m.Position(start.Add(time.Duration(minute) * time.Minute))
+		if !area.Contains(p) {
+			t.Fatalf("position %v outside area", p)
+		}
+		minX, minY = math.Min(minX, p.X), math.Min(minY, p.Y)
+		maxX, maxY = math.Max(maxX, p.X), math.Max(maxY, p.Y)
+	}
+	if maxX-minX < area.W/3 || maxY-minY < area.H/3 {
+		t.Errorf("random waypoint barely moved: x span %f, y span %f", maxX-minX, maxY-minY)
+	}
+}
+
+func TestRandomWaypointValidation(t *testing.T) {
+	if _, err := NewRandomWaypoint(RandomWaypointConfig{Start: start}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := NewRandomWaypoint(RandomWaypointConfig{
+		Start: start, Duration: time.Hour, SpeedMin: 2, SpeedMax: 1,
+	}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("inverted speed range accepted")
+	}
+}
+
+func TestTracePlayback(t *testing.T) {
+	points := []Waypoint{
+		{At: start, Pos: Point{X: 0, Y: 0}},
+		{At: start.Add(10 * time.Second), Pos: Point{X: 100, Y: 0}},
+		{At: start.Add(20 * time.Second), Pos: Point{X: 100, Y: 100}},
+	}
+	m, err := NewTrace(points)
+	if err != nil {
+		t.Fatalf("NewTrace: %v", err)
+	}
+	// Midpoint of the first leg.
+	if got := m.Position(start.Add(5 * time.Second)); math.Abs(got.X-50) > 1e-9 || got.Y != 0 {
+		t.Errorf("mid-leg position = %v, want (50,0)", got)
+	}
+	// Before the trace: first point. After: last point.
+	if got := m.Position(start.Add(-time.Hour)); got != (Point{X: 0, Y: 0}) {
+		t.Errorf("pre-trace position = %v", got)
+	}
+	if got := m.Position(start.Add(time.Hour)); got != (Point{X: 100, Y: 100}) {
+		t.Errorf("post-trace position = %v", got)
+	}
+}
+
+func TestTraceValidation(t *testing.T) {
+	if _, err := NewTrace(nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+	backwards := []Waypoint{
+		{At: start.Add(time.Hour), Pos: Point{}},
+		{At: start, Pos: Point{}},
+	}
+	if _, err := NewTrace(backwards); err == nil {
+		t.Error("unsorted trace accepted")
+	}
+}
+
+func TestStationary(t *testing.T) {
+	p := Point{X: 42, Y: 24}
+	m := Stationary(p)
+	if got := m.Position(start); got != p {
+		t.Errorf("stationary moved to %v", got)
+	}
+	if got := m.Position(start.Add(1000 * time.Hour)); got != p {
+		t.Errorf("stationary drifted to %v", got)
+	}
+}
+
+// TestItineraryContinuity: positions never jump more than driving speed
+// allows between adjacent samples.
+func TestItineraryContinuity(t *testing.T) {
+	m, err := NewDiurnal(DiurnalConfig{Start: start, Days: 3}, rand.New(rand.NewSource(23)))
+	if err != nil {
+		t.Fatalf("NewDiurnal: %v", err)
+	}
+	step := 10 * time.Second
+	maxJump := driveSpeed*step.Seconds() + 1e-6
+	prev := m.Position(start)
+	for at := start.Add(step); at.Before(start.Add(72 * time.Hour)); at = at.Add(step) {
+		cur := m.Position(at)
+		if prev.DistanceTo(cur) > maxJump {
+			t.Fatalf("teleport at %v: %f m in %v", at, prev.DistanceTo(cur), step)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,313 @@
+package mpc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recorder collects events with synchronization for live-medium tests.
+type recorder struct {
+	mu           sync.Mutex
+	found        map[PeerID][]byte
+	lost         map[PeerID]int
+	incoming     []Conn
+	frames       [][]byte
+	disconnected []error
+	signal       chan struct{}
+}
+
+func newRecorder() *recorder {
+	return &recorder{
+		found:  make(map[PeerID][]byte),
+		lost:   make(map[PeerID]int),
+		signal: make(chan struct{}, 64),
+	}
+}
+
+func (r *recorder) ping() {
+	select {
+	case r.signal <- struct{}{}:
+	default:
+	}
+}
+
+func (r *recorder) PeerFound(peer PeerID, ad []byte) {
+	r.mu.Lock()
+	r.found[peer] = ad
+	r.mu.Unlock()
+	r.ping()
+}
+
+func (r *recorder) PeerLost(peer PeerID) {
+	r.mu.Lock()
+	r.lost[peer]++
+	r.mu.Unlock()
+	r.ping()
+}
+
+func (r *recorder) Incoming(conn Conn) {
+	r.mu.Lock()
+	r.incoming = append(r.incoming, conn)
+	r.mu.Unlock()
+	r.ping()
+}
+
+func (r *recorder) Received(_ Conn, frame []byte) {
+	r.mu.Lock()
+	r.frames = append(r.frames, frame)
+	r.mu.Unlock()
+	r.ping()
+}
+
+func (r *recorder) Disconnected(_ Conn, reason error) {
+	r.mu.Lock()
+	r.disconnected = append(r.disconnected, reason)
+	r.mu.Unlock()
+	r.ping()
+}
+
+// wait polls until cond holds or the deadline passes.
+func (r *recorder) wait(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		r.mu.Lock()
+		ok := cond()
+		r.mu.Unlock()
+		if ok {
+			return
+		}
+		select {
+		case <-r.signal:
+		case <-deadline:
+			t.Fatalf("timed out waiting for %s", what)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+func TestMemJoinValidation(t *testing.T) {
+	m := NewMemMedium()
+	if _, err := m.Join("", newRecorder()); err == nil {
+		t.Error("empty peer id accepted")
+	}
+	if _, err := m.Join("a", nil); err == nil {
+		t.Error("nil events accepted")
+	}
+	if _, err := m.Join("a", newRecorder()); err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	if _, err := m.Join("a", newRecorder()); !errors.Is(err, ErrDuplicatePeer) {
+		t.Errorf("duplicate join: err = %v, want ErrDuplicatePeer", err)
+	}
+}
+
+func TestMemDiscovery(t *testing.T) {
+	m := NewMemMedium()
+	ra, rb := newRecorder(), newRecorder()
+	epA, err := m.Join("a", ra)
+	if err != nil {
+		t.Fatalf("Join(a): %v", err)
+	}
+	if _, err := m.Join("b", rb); err != nil {
+		t.Fatalf("Join(b): %v", err)
+	}
+
+	epA.SetAdvertisement([]byte("summary-a"))
+	rb.wait(t, "b to find a", func() bool { return string(rb.found["a"]) == "summary-a" })
+
+	// Updating the advertisement re-announces.
+	epA.SetAdvertisement([]byte("summary-a2"))
+	rb.wait(t, "b to see updated ad", func() bool { return string(rb.found["a"]) == "summary-a2" })
+
+	// Withdrawing fires PeerLost.
+	epA.SetAdvertisement(nil)
+	rb.wait(t, "b to lose a", func() bool { return rb.lost["a"] > 0 })
+}
+
+func TestMemLateJoinerSeesAdvertisers(t *testing.T) {
+	m := NewMemMedium()
+	ra := newRecorder()
+	epA, err := m.Join("a", ra)
+	if err != nil {
+		t.Fatalf("Join(a): %v", err)
+	}
+	epA.SetAdvertisement([]byte("hello"))
+
+	rb := newRecorder()
+	if _, err := m.Join("b", rb); err != nil {
+		t.Fatalf("Join(b): %v", err)
+	}
+	rb.wait(t, "late joiner discovery", func() bool { return string(rb.found["a"]) == "hello" })
+}
+
+func TestMemConnectAndTransfer(t *testing.T) {
+	m := NewMemMedium()
+	ra, rb := newRecorder(), newRecorder()
+	epA, err := m.Join("a", ra)
+	if err != nil {
+		t.Fatalf("Join(a): %v", err)
+	}
+	if _, err := m.Join("b", rb); err != nil {
+		t.Fatalf("Join(b): %v", err)
+	}
+
+	conn, err := epA.Connect("b")
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	if conn.Peer() != "b" || !conn.Initiator() {
+		t.Errorf("conn = peer %s initiator %v, want b/true", conn.Peer(), conn.Initiator())
+	}
+	rb.wait(t, "incoming connection", func() bool { return len(rb.incoming) == 1 })
+
+	if err := conn.Send([]byte("frame-1")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	rb.wait(t, "frame delivery", func() bool { return len(rb.frames) == 1 && string(rb.frames[0]) == "frame-1" })
+
+	// Reply on the responder side.
+	rb.mu.Lock()
+	respConn := rb.incoming[0]
+	rb.mu.Unlock()
+	if respConn.Initiator() {
+		t.Error("responder conn claims to be initiator")
+	}
+	if err := respConn.Send([]byte("frame-2")); err != nil {
+		t.Fatalf("responder Send: %v", err)
+	}
+	ra.wait(t, "reply delivery", func() bool { return len(ra.frames) == 1 && string(ra.frames[0]) == "frame-2" })
+
+	// Close tears down both sides.
+	if err := conn.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	ra.wait(t, "initiator disconnect", func() bool { return len(ra.disconnected) == 1 })
+	rb.wait(t, "responder disconnect", func() bool { return len(rb.disconnected) == 1 })
+	if err := conn.Send([]byte("after-close")); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send after close: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestMemConnectErrors(t *testing.T) {
+	m := NewMemMedium()
+	ra := newRecorder()
+	epA, err := m.Join("a", ra)
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	if _, err := epA.Connect("a"); !errors.Is(err, ErrSelfConnect) {
+		t.Errorf("self connect: err = %v, want ErrSelfConnect", err)
+	}
+	if _, err := epA.Connect("ghost"); !errors.Is(err, ErrPeerUnknown) {
+		t.Errorf("unknown peer: err = %v, want ErrPeerUnknown", err)
+	}
+}
+
+func TestMemReachabilityPartition(t *testing.T) {
+	m := NewMemMedium()
+	ra, rb := newRecorder(), newRecorder()
+	epA, err := m.Join("a", ra)
+	if err != nil {
+		t.Fatalf("Join(a): %v", err)
+	}
+	epB, err := m.Join("b", rb)
+	if err != nil {
+		t.Fatalf("Join(b): %v", err)
+	}
+	epA.SetAdvertisement([]byte("ad-a"))
+	epB.SetAdvertisement([]byte("ad-b"))
+	rb.wait(t, "initial discovery", func() bool { return rb.found["a"] != nil })
+
+	conn, err := epA.Connect("b")
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	rb.wait(t, "incoming", func() bool { return len(rb.incoming) == 1 })
+
+	// Partition: connection dies, peers are lost.
+	m.SetReachable("a", "b", false)
+	ra.wait(t, "a disconnect", func() bool { return len(ra.disconnected) == 1 })
+	rb.wait(t, "b lost a", func() bool { return rb.lost["a"] > 0 })
+
+	if _, err := epA.Connect("b"); !errors.Is(err, ErrPeerGone) {
+		t.Errorf("Connect while partitioned: err = %v, want ErrPeerGone", err)
+	}
+	if err := conn.Send([]byte("x")); err == nil {
+		t.Error("Send on severed connection succeeded")
+	}
+
+	// Heal: peers rediscover each other.
+	m.SetReachable("a", "b", true)
+	rb.wait(t, "b re-found a", func() bool { return rb.found["a"] != nil })
+	if _, err := epA.Connect("b"); err != nil {
+		t.Errorf("Connect after heal: %v", err)
+	}
+}
+
+func TestMemEndpointClose(t *testing.T) {
+	m := NewMemMedium()
+	ra, rb := newRecorder(), newRecorder()
+	epA, err := m.Join("a", ra)
+	if err != nil {
+		t.Fatalf("Join(a): %v", err)
+	}
+	epB, err := m.Join("b", rb)
+	if err != nil {
+		t.Fatalf("Join(b): %v", err)
+	}
+	epA.SetAdvertisement([]byte("ad"))
+	rb.wait(t, "discovery", func() bool { return rb.found["a"] != nil })
+
+	if _, err := epB.Connect("a"); err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	ra.wait(t, "incoming", func() bool { return len(ra.incoming) == 1 })
+
+	if err := epA.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	rb.wait(t, "b lost closed peer", func() bool { return rb.lost["a"] > 0 })
+	rb.wait(t, "b disconnect", func() bool { return len(rb.disconnected) == 1 })
+
+	// The name can be reused after close.
+	if _, err := m.Join("a", newRecorder()); err != nil {
+		t.Errorf("rejoin after close: %v", err)
+	}
+	// Closing twice is fine.
+	if err := epA.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestMemFrameOrdering(t *testing.T) {
+	m := NewMemMedium()
+	ra, rb := newRecorder(), newRecorder()
+	epA, err := m.Join("a", ra)
+	if err != nil {
+		t.Fatalf("Join(a): %v", err)
+	}
+	if _, err := m.Join("b", rb); err != nil {
+		t.Fatalf("Join(b): %v", err)
+	}
+	conn, err := epA.Connect("b")
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := conn.Send([]byte{byte(i)}); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	rb.wait(t, "all frames", func() bool { return len(rb.frames) == n })
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	for i, f := range rb.frames {
+		if len(f) != 1 || f[0] != byte(i) {
+			t.Fatalf("frame %d out of order: % x", i, f)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package routing
+
+import (
+	"time"
+
+	"sos/internal/clock"
+	"sos/internal/id"
+	"sos/internal/msg"
+	"sos/internal/wire"
+)
+
+// Interest implements the paper's interest-based (IB) routing protocol
+// (§III-B): it "operates in a similar manner to epidemic routing, except,
+// instead of propagating messages to all users, messages are only
+// propagated to interested users who are subscribed to the publisher of
+// the original message." A node therefore pulls only messages authored by
+// users it follows; it becomes a forwarder for a publisher the moment it
+// requests and receives one of their messages (§V-B), after which its own
+// advertisements offer those messages to other subscribers.
+type Interest struct {
+	view StoreView
+	clk  clock.Clock
+	ttl  time.Duration
+}
+
+var _ Scheme = (*Interest)(nil)
+
+// NewInterest builds the scheme over a store view.
+func NewInterest(view StoreView, opts Options) *Interest {
+	return &Interest{view: view, clk: opts.Clock, ttl: opts.RelayTTL}
+}
+
+// Name implements Scheme.
+func (ib *Interest) Name() string { return SchemeInterest }
+
+// Wants implements Scheme: request missing messages only from subscribed
+// publishers.
+func (ib *Interest) Wants(summary map[id.UserID]uint64) []wire.Want {
+	var wants []wire.Want
+	for author, latest := range summary {
+		if !ib.view.IsSubscribed(author) {
+			continue
+		}
+		if missing := ib.view.Missing(author, latest); len(missing) > 0 {
+			wants = append(wants, wire.Want{Author: author, Seqs: missing})
+		}
+	}
+	return sortWants(wants)
+}
+
+// FilterServe implements Scheme: requesters self-select by interest, so
+// serve whatever was asked, subject to the relay-TTL buffer policy.
+func (ib *Interest) FilterServe(_ id.UserID, wants []wire.Want) []wire.Want {
+	return filterRelayTTL(ib.view, ib.clk, ib.ttl, wants)
+}
+
+// PrepareOutgoing implements Scheme.
+func (ib *Interest) PrepareOutgoing(_ id.UserID, _ *msg.Message) {}
+
+// OnReceived implements Scheme.
+func (ib *Interest) OnReceived(_ *msg.Message, _ id.UserID) {}
+
+// OnPeerConnected implements Scheme.
+func (ib *Interest) OnPeerConnected(_ id.UserID) {}
+
+// OnPeerLost implements Scheme.
+func (ib *Interest) OnPeerLost(_ id.UserID) {}
+
+// SchemeData implements Scheme.
+func (ib *Interest) SchemeData() []byte { return nil }
+
+// OnPeerData implements Scheme.
+func (ib *Interest) OnPeerData(_ id.UserID, _ []byte) {}

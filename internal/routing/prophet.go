@@ -1,0 +1,234 @@
+package routing
+
+import (
+	"math"
+	"time"
+
+	"sos/internal/clock"
+	"sos/internal/id"
+	"sos/internal/msg"
+	"sos/internal/wire"
+)
+
+// PRoPHET parameter defaults, from Lindgren et al. (2003).
+const (
+	defaultProphetEncounter = 0.75
+	defaultProphetBeta      = 0.25
+	defaultProphetGamma     = 0.98
+	defaultProphetThreshold = 0.10
+	// prophetAgingUnit is the time quantum for predictability aging.
+	prophetAgingUnit = 30 * time.Second
+)
+
+// Prophet implements the PRoPHET routing protocol (probabilistic routing
+// using a history of encounters and transitivity), adapted to SOS's
+// receiver-driven, publish/subscribe workload: the destinations of a
+// message are the subscribers of its author, learned through subscription
+// gossip. A node pulls a message it does not follow only when its own
+// delivery predictability toward some subscriber of the author exceeds
+// the threshold — i.e. when it is a genuinely promising custodian.
+type Prophet struct {
+	view      StoreView
+	clk       clock.Clock
+	pEnc      float64
+	beta      float64
+	gamma     float64
+	threshold float64
+
+	ttl      time.Duration
+	preds    map[id.UserID]float64
+	lastAged time.Time
+	subsOf   map[id.UserID]map[id.UserID]bool // author → known subscribers
+}
+
+var _ Scheme = (*Prophet)(nil)
+
+// NewProphet builds the scheme over a store view.
+func NewProphet(view StoreView, opts Options) *Prophet {
+	p := &Prophet{
+		view:      view,
+		clk:       opts.Clock,
+		ttl:       opts.RelayTTL,
+		pEnc:      opts.ProphetEncounter,
+		beta:      opts.ProphetBeta,
+		gamma:     opts.ProphetGamma,
+		threshold: opts.ProphetThreshold,
+		preds:     make(map[id.UserID]float64),
+		subsOf:    make(map[id.UserID]map[id.UserID]bool),
+	}
+	if p.clk == nil {
+		p.clk = clock.System()
+	}
+	if p.pEnc == 0 {
+		p.pEnc = defaultProphetEncounter
+	}
+	if p.beta == 0 {
+		p.beta = defaultProphetBeta
+	}
+	if p.gamma == 0 {
+		p.gamma = defaultProphetGamma
+	}
+	if p.threshold == 0 {
+		p.threshold = defaultProphetThreshold
+	}
+	p.lastAged = p.clk.Now()
+	return p
+}
+
+// Name implements Scheme.
+func (p *Prophet) Name() string { return SchemeProphet }
+
+// Wants implements Scheme: pull messages we subscribe to, plus messages
+// for which we are a promising custodian.
+func (p *Prophet) Wants(summary map[id.UserID]uint64) []wire.Want {
+	p.age()
+	var wants []wire.Want
+	for author, latest := range summary {
+		if !p.view.IsSubscribed(author) && p.deliverability(author) < p.threshold {
+			continue
+		}
+		if missing := p.view.Missing(author, latest); len(missing) > 0 {
+			wants = append(wants, wire.Want{Author: author, Seqs: missing})
+		}
+	}
+	return sortWants(wants)
+}
+
+// FilterServe implements Scheme: the requester self-selected by its own
+// predictability, so serve what was asked, subject to the relay-TTL
+// buffer policy.
+func (p *Prophet) FilterServe(_ id.UserID, wants []wire.Want) []wire.Want {
+	return filterRelayTTL(p.view, p.clk, p.ttl, wants)
+}
+
+// PrepareOutgoing implements Scheme.
+func (p *Prophet) PrepareOutgoing(_ id.UserID, _ *msg.Message) {}
+
+// OnReceived implements Scheme: follow/unfollow actions reveal subscriber
+// sets even before gossip does.
+func (p *Prophet) OnReceived(m *msg.Message, _ id.UserID) {
+	switch m.Kind {
+	case msg.KindFollow:
+		p.subscriber(m.Subject, m.Author, true)
+	case msg.KindUnfollow:
+		p.subscriber(m.Subject, m.Author, false)
+	}
+}
+
+// OnPeerConnected implements Scheme: a direct encounter boosts the
+// predictability of meeting this user again.
+func (p *Prophet) OnPeerConnected(peer id.UserID) {
+	p.age()
+	p.preds[peer] += (1 - p.preds[peer]) * p.pEnc
+}
+
+// OnPeerLost implements Scheme.
+func (p *Prophet) OnPeerLost(_ id.UserID) {}
+
+// SchemeData implements Scheme: gossip our subscriptions and our
+// predictability table so peers can apply the transitive update.
+func (p *Prophet) SchemeData() []byte {
+	p.age()
+	subs := p.view.Subscriptions()
+	if len(subs) > maxGossipSubs {
+		subs = subs[:maxGossipSubs]
+	}
+	preds := make(map[id.UserID]float64, len(p.preds))
+	n := 0
+	for u, pv := range p.preds {
+		if n >= maxGossipPreds {
+			break
+		}
+		if pv > 0.001 { // don't ship noise
+			preds[u] = pv
+			n++
+		}
+	}
+	blob, err := encodeGossip(gossip{Subs: subs, Preds: preds})
+	if err != nil {
+		return nil
+	}
+	return blob
+}
+
+// OnPeerData implements Scheme: learn the peer's subscriptions and apply
+// PRoPHET's transitive predictability update.
+func (p *Prophet) OnPeerData(peer id.UserID, data []byte) {
+	g, err := decodeGossip(data)
+	if err != nil {
+		return
+	}
+	for _, author := range g.Subs {
+		p.subscriber(author, peer, true)
+	}
+	p.age()
+	pPeer := p.preds[peer]
+	for c, pbc := range g.Preds {
+		if c == p.view.Owner() {
+			continue
+		}
+		transitive := pPeer * pbc * p.beta
+		if transitive > p.preds[c] {
+			p.preds[c] = transitive
+		}
+	}
+}
+
+// Predictability exposes the current predictability toward a user, after
+// aging (used by tests and diagnostics).
+func (p *Prophet) Predictability(user id.UserID) float64 {
+	p.age()
+	return p.preds[user]
+}
+
+// deliverability is the best predictability toward any known subscriber
+// of author.
+func (p *Prophet) deliverability(author id.UserID) float64 {
+	best := 0.0
+	for sub := range p.subsOf[author] {
+		if sub == p.view.Owner() {
+			continue
+		}
+		if pv := p.preds[sub]; pv > best {
+			best = pv
+		}
+	}
+	return best
+}
+
+// subscriber records (or clears) that user follows author.
+func (p *Prophet) subscriber(author, user id.UserID, on bool) {
+	set := p.subsOf[author]
+	if set == nil {
+		if !on {
+			return
+		}
+		set = make(map[id.UserID]bool)
+		p.subsOf[author] = set
+	}
+	if on {
+		set[user] = true
+	} else {
+		delete(set, user)
+	}
+}
+
+// age decays every predictability by gamma per elapsed aging unit.
+func (p *Prophet) age() {
+	now := nowOf(p.clk)
+	elapsed := now.Sub(p.lastAged)
+	if elapsed < prophetAgingUnit {
+		return
+	}
+	units := float64(elapsed) / float64(prophetAgingUnit)
+	factor := math.Pow(p.gamma, units)
+	for u, pv := range p.preds {
+		aged := pv * factor
+		if aged < 1e-6 {
+			delete(p.preds, u)
+			continue
+		}
+		p.preds[u] = aged
+	}
+	p.lastAged = now
+}

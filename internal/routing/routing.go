@@ -1,0 +1,249 @@
+// Package routing implements the SOS routing manager (paper §III-B): a
+// modular registry of opportunistic routing schemes that can be switched
+// at runtime without touching any other layer. Two schemes ship exactly as
+// the paper describes — epidemic routing (Vahdat & Becker) and
+// interest-based (IB) routing — plus two classic baselines, binary
+// spray-and-wait and PRoPHET, to demonstrate the modularity the paper
+// claims and to serve as comparison points in the benchmarks.
+//
+// SOS message exchange is receiver-driven: a node sees a peer's summary
+// dictionary (UserID → latest MessageNumber) and decides what to request.
+// A scheme therefore expresses its forwarding policy in two hooks: Wants
+// (what do I pull from a peer?) and FilterServe (what do I let a peer pull
+// from me?). Schemes that need side information — spray budgets, delivery
+// predictabilities, subscription gossip — piggyback it on advertisements
+// through SchemeData/OnPeerData.
+package routing
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sos/internal/clock"
+	"sos/internal/id"
+	"sos/internal/msg"
+	"sos/internal/wire"
+)
+
+// Built-in scheme names.
+const (
+	SchemeEpidemic     = "epidemic"
+	SchemeInterest     = "interest"
+	SchemeSprayAndWait = "spray-and-wait"
+	SchemeProphet      = "prophet"
+)
+
+// Errors reported by the routing manager.
+var (
+	ErrUnknownScheme = errors.New("routing: unknown scheme")
+	ErrDupScheme     = errors.New("routing: scheme already registered")
+)
+
+// StoreView is the read-only surface schemes use to consult the local
+// database; *store.Store satisfies it.
+type StoreView interface {
+	Owner() id.UserID
+	MaxSeq(author id.UserID) uint64
+	Missing(author id.UserID, upto uint64) []uint64
+	IsSubscribed(author id.UserID) bool
+	Subscriptions() []id.UserID
+	// CreatedAt returns a held message's creation time.
+	CreatedAt(author id.UserID, seq uint64) (time.Time, bool)
+}
+
+// Scheme is one opportunistic routing protocol. The message manager calls
+// every hook from a single logical thread per node; implementations only
+// need internal locking if shared across managers (they are not).
+type Scheme interface {
+	// Name returns the registry name.
+	Name() string
+	// Wants inspects a peer's summary and returns the messages to request.
+	Wants(summary map[id.UserID]uint64) []wire.Want
+	// FilterServe trims a peer's request to what the scheme will serve.
+	FilterServe(peer id.UserID, wants []wire.Want) []wire.Want
+	// PrepareOutgoing finalizes routing metadata (e.g. spray budget) on an
+	// outgoing copy just before transfer to peer.
+	PrepareOutgoing(peer id.UserID, m *msg.Message)
+	// OnReceived observes a newly stored message obtained from peer.
+	OnReceived(m *msg.Message, from id.UserID)
+	// OnPeerConnected observes an authenticated encounter starting.
+	OnPeerConnected(peer id.UserID)
+	// OnPeerLost observes the end of an encounter.
+	OnPeerLost(peer id.UserID)
+	// SchemeData returns the gossip blob to piggyback on advertisements
+	// and summary exchanges; nil when the scheme needs none.
+	SchemeData() []byte
+	// OnPeerData ingests a peer's gossip blob.
+	OnPeerData(peer id.UserID, data []byte)
+}
+
+// Options tunes scheme construction.
+type Options struct {
+	// Clock drives PRoPHET predictability aging and relay-TTL checks.
+	// Nil selects wall time.
+	Clock clock.Clock
+	// RelayTTL bounds how long a node forwards *other users'* messages:
+	// a forwarder serves a foreign message only while it is younger than
+	// the TTL. Authors always serve their own messages, so old content
+	// remains deliverable directly from its source. Zero disables
+	// eviction. This is standard DTN buffer management; it also matches
+	// the field study's delivery pattern, where multi-hop forwarding
+	// moved fresh posts and older posts arrived single-hop from their
+	// authors days later.
+	RelayTTL time.Duration
+	// SprayBudget is the initial copy allowance L for spray-and-wait.
+	// Zero selects DefaultSprayBudget.
+	SprayBudget uint16
+	// ProphetEncounter, ProphetBeta, ProphetGamma, ProphetThreshold tune
+	// PRoPHET; zero values select the classic defaults.
+	ProphetEncounter float64
+	ProphetBeta      float64
+	ProphetGamma     float64
+	ProphetThreshold float64
+}
+
+// DefaultSprayBudget is the initial number of copies spray-and-wait may
+// distribute per message.
+const DefaultSprayBudget = 8
+
+// Factory builds a scheme over a store view.
+type Factory func(view StoreView, opts Options) Scheme
+
+// Manager is the routing manager: a scheme registry plus the active
+// scheme. Switching is atomic with respect to scheme hook invocation.
+type Manager struct {
+	view StoreView
+	opts Options
+
+	mu        sync.Mutex
+	factories map[string]Factory
+	order     []string
+	current   Scheme
+}
+
+// NewManager builds a manager with all built-in schemes registered and
+// epidemic routing active.
+func NewManager(view StoreView, opts Options) (*Manager, error) {
+	if view == nil {
+		return nil, errors.New("routing: nil store view")
+	}
+	if opts.Clock == nil {
+		opts.Clock = clock.System()
+	}
+	m := &Manager{view: view, opts: opts, factories: make(map[string]Factory)}
+	builtins := []struct {
+		name    string
+		factory Factory
+	}{
+		{SchemeEpidemic, func(v StoreView, o Options) Scheme { return NewEpidemic(v, o) }},
+		{SchemeInterest, func(v StoreView, o Options) Scheme { return NewInterest(v, o) }},
+		{SchemeSprayAndWait, func(v StoreView, o Options) Scheme { return NewSprayAndWait(v, o) }},
+		{SchemeProphet, func(v StoreView, o Options) Scheme { return NewProphet(v, o) }},
+	}
+	for _, b := range builtins {
+		if err := m.Register(b.name, b.factory); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.Use(SchemeEpidemic); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Register adds a scheme factory under a unique name. Researchers add
+// protocols here without touching any other layer — the modularity the
+// paper's routing manager exists to provide.
+func (m *Manager) Register(name string, factory Factory) error {
+	if name == "" || factory == nil {
+		return errors.New("routing: empty name or nil factory")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.factories[name]; dup {
+		return fmt.Errorf("%w: %s", ErrDupScheme, name)
+	}
+	m.factories[name] = factory
+	m.order = append(m.order, name)
+	return nil
+}
+
+// Use activates the named scheme, constructing a fresh instance. Any
+// state held by the previous scheme (spray budgets, predictabilities) is
+// discarded, mirroring an app-level protocol toggle.
+func (m *Manager) Use(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	factory, ok := m.factories[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownScheme, name)
+	}
+	m.current = factory(m.view, m.opts)
+	return nil
+}
+
+// Available lists registered scheme names in registration order.
+func (m *Manager) Available() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, len(m.order))
+	copy(out, m.order)
+	return out
+}
+
+// Current returns the active scheme.
+func (m *Manager) Current() Scheme {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.current
+}
+
+// sortWants orders wants deterministically by author display form.
+func sortWants(wants []wire.Want) []wire.Want {
+	sort.Slice(wants, func(i, j int) bool {
+		return wants[i].Author.String() < wants[j].Author.String()
+	})
+	return wants
+}
+
+// filterRelayTTL applies the relay-TTL serving policy shared by all
+// built-in schemes: foreign messages older than ttl are not served;
+// locally-authored messages always are. A zero ttl serves everything.
+func filterRelayTTL(view StoreView, clk clock.Clock, ttl time.Duration, wants []wire.Want) []wire.Want {
+	if ttl <= 0 {
+		return wants
+	}
+	now := nowOf(clk)
+	var out []wire.Want
+	for _, w := range wants {
+		if w.Author == view.Owner() {
+			out = append(out, w)
+			continue
+		}
+		var seqs []uint64
+		for _, seq := range w.Seqs {
+			created, ok := view.CreatedAt(w.Author, seq)
+			if !ok {
+				continue // not held; nothing to serve anyway
+			}
+			if now.Sub(created) <= ttl {
+				seqs = append(seqs, seq)
+			}
+		}
+		if len(seqs) > 0 {
+			out = append(out, wire.Want{Author: w.Author, Seqs: seqs})
+		}
+	}
+	return out
+}
+
+// nowOf unwraps an Options clock safely.
+func nowOf(c clock.Clock) time.Time {
+	if c == nil {
+		return time.Now()
+	}
+	return c.Now()
+}

@@ -1,0 +1,422 @@
+package routing
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sos/internal/clock"
+	"sos/internal/id"
+	"sos/internal/msg"
+	"sos/internal/store"
+	"sos/internal/wire"
+)
+
+var (
+	self  = id.NewUserID("self")
+	alice = id.NewUserID("alice")
+	bob   = id.NewUserID("bob")
+	carol = id.NewUserID("carol")
+)
+
+func newView(t *testing.T) *store.Store {
+	t.Helper()
+	return store.New(self)
+}
+
+func put(t *testing.T, s *store.Store, author id.UserID, seq uint64) {
+	t.Helper()
+	m := &msg.Message{Author: author, Seq: seq, Kind: msg.KindPost, Created: time.Unix(1491472800, 0)}
+	if _, err := s.Put(m); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+}
+
+func TestManagerBuiltins(t *testing.T) {
+	mgr, err := NewManager(newView(t), Options{})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	want := []string{SchemeEpidemic, SchemeInterest, SchemeSprayAndWait, SchemeProphet}
+	if got := mgr.Available(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Available = %v, want %v", got, want)
+	}
+	if got := mgr.Current().Name(); got != SchemeEpidemic {
+		t.Errorf("default scheme = %s, want epidemic", got)
+	}
+}
+
+func TestManagerUseAndSwitch(t *testing.T) {
+	mgr, err := NewManager(newView(t), Options{})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	if err := mgr.Use(SchemeInterest); err != nil {
+		t.Fatalf("Use(interest): %v", err)
+	}
+	if got := mgr.Current().Name(); got != SchemeInterest {
+		t.Errorf("current = %s, want interest", got)
+	}
+	if err := mgr.Use("no-such-scheme"); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestManagerSwitchResetsState(t *testing.T) {
+	view := newView(t)
+	mgr, err := NewManager(view, Options{})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	if err := mgr.Use(SchemeSprayAndWait); err != nil {
+		t.Fatalf("Use: %v", err)
+	}
+	first := mgr.Current()
+	if err := mgr.Use(SchemeSprayAndWait); err != nil {
+		t.Fatalf("Use again: %v", err)
+	}
+	if mgr.Current() == first {
+		t.Error("Use did not construct a fresh scheme instance")
+	}
+}
+
+func TestManagerRegister(t *testing.T) {
+	mgr, err := NewManager(newView(t), Options{})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	custom := func(v StoreView, o Options) Scheme { return NewEpidemic(v, o) }
+	if err := mgr.Register("custom", custom); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := mgr.Register("custom", custom); err == nil {
+		t.Error("duplicate Register accepted")
+	}
+	if err := mgr.Register("", custom); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := mgr.Use("custom"); err != nil {
+		t.Errorf("Use(custom): %v", err)
+	}
+}
+
+func TestEpidemicWantsEverythingMissing(t *testing.T) {
+	view := newView(t)
+	put(t, view, alice, 1) // already have alice#1
+	e := NewEpidemic(view, Options{})
+
+	wants := e.Wants(map[id.UserID]uint64{alice: 3, bob: 2})
+	// Deterministic order by author string; find each.
+	got := wantsByAuthor(wants)
+	if !reflect.DeepEqual(got[alice], []uint64{2, 3}) {
+		t.Errorf("alice wants = %v, want [2 3]", got[alice])
+	}
+	if !reflect.DeepEqual(got[bob], []uint64{1, 2}) {
+		t.Errorf("bob wants = %v, want [1 2]", got[bob])
+	}
+}
+
+func TestEpidemicWantsNothingWhenCurrent(t *testing.T) {
+	view := newView(t)
+	put(t, view, alice, 1)
+	put(t, view, alice, 2)
+	e := NewEpidemic(view, Options{})
+	if wants := e.Wants(map[id.UserID]uint64{alice: 2}); len(wants) != 0 {
+		t.Errorf("wants = %v, want none", wants)
+	}
+}
+
+func TestInterestWantsOnlySubscribed(t *testing.T) {
+	view := newView(t)
+	view.Subscribe(alice)
+	ib := NewInterest(view, Options{})
+
+	wants := ib.Wants(map[id.UserID]uint64{alice: 2, bob: 5})
+	got := wantsByAuthor(wants)
+	if !reflect.DeepEqual(got[alice], []uint64{1, 2}) {
+		t.Errorf("alice wants = %v, want [1 2]", got[alice])
+	}
+	if _, asked := got[bob]; asked {
+		t.Error("interest scheme requested messages from an unfollowed author")
+	}
+}
+
+// TestInterestNeverWantsUnsubscribedProperty: for any summary, IB never
+// requests an author the node does not follow.
+func TestInterestNeverWantsUnsubscribedProperty(t *testing.T) {
+	view := newView(t)
+	view.Subscribe(alice)
+	ib := NewInterest(view, Options{})
+	f := func(aliceMax, bobMax, carolMax uint8) bool {
+		summary := map[id.UserID]uint64{
+			alice: uint64(aliceMax % 16),
+			bob:   uint64(bobMax % 16),
+			carol: uint64(carolMax % 16),
+		}
+		for _, w := range ib.Wants(summary) {
+			if w.Author != alice {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSprayAndWaitBudgetSplit(t *testing.T) {
+	view := newView(t)
+	put(t, view, self, 1) // own message
+	sw := NewSprayAndWait(view, Options{SprayBudget: 8})
+
+	ref := msg.Ref{Author: self, Seq: 1}
+	out := &msg.Message{Author: self, Seq: 1, Kind: msg.KindPost, Created: time.Now()}
+
+	// First relay: give 4, keep 4.
+	sw.PrepareOutgoing(bob, out)
+	if out.Budget != 4 {
+		t.Errorf("first outgoing budget = %d, want 4", out.Budget)
+	}
+	if sw.allowance(ref) != 4 {
+		t.Errorf("local allowance = %d, want 4", sw.allowance(ref))
+	}
+	// Second relay: give 2, keep 2. Third: give 1, keep 1.
+	sw.PrepareOutgoing(carol, out)
+	if out.Budget != 2 {
+		t.Errorf("second outgoing budget = %d, want 2", out.Budget)
+	}
+	sw.PrepareOutgoing(alice, out)
+	if out.Budget != 1 {
+		t.Errorf("third outgoing budget = %d, want 1", out.Budget)
+	}
+	if sw.allowance(ref) != 1 {
+		t.Errorf("final allowance = %d, want 1 (wait phase)", sw.allowance(ref))
+	}
+}
+
+func TestSprayAndWaitWaitPhaseServesOnlyDestinations(t *testing.T) {
+	view := newView(t)
+	put(t, view, alice, 1)
+	sw := NewSprayAndWait(view, Options{SprayBudget: 8})
+
+	// Relayed message arrives with an exhausted budget.
+	relayed := &msg.Message{Author: alice, Seq: 1, Kind: msg.KindPost, Created: time.Now(), Budget: 1}
+	sw.OnReceived(relayed, bob)
+
+	req := []wire.Want{{Author: alice, Seqs: []uint64{1}}}
+
+	// carol is not a known subscriber of alice: refuse.
+	if served := sw.FilterServe(carol, req); len(served) != 0 {
+		t.Errorf("wait-phase served non-destination: %v", served)
+	}
+
+	// carol gossips that she follows alice: now she is a destination.
+	blob, err := encodeGossip(gossip{Subs: []id.UserID{alice}})
+	if err != nil {
+		t.Fatalf("encodeGossip: %v", err)
+	}
+	sw.OnPeerData(carol, blob)
+	if served := sw.FilterServe(carol, req); len(served) != 1 {
+		t.Error("wait-phase refused a destination")
+	}
+}
+
+func TestSprayAndWaitDefaultBudget(t *testing.T) {
+	view := newView(t)
+	sw := NewSprayAndWait(view, Options{})
+	if sw.initial != DefaultSprayBudget {
+		t.Errorf("initial = %d, want %d", sw.initial, DefaultSprayBudget)
+	}
+	// Unknown relayed ref defaults to wait phase.
+	if got := sw.allowance(msg.Ref{Author: bob, Seq: 9}); got != 1 {
+		t.Errorf("foreign allowance = %d, want 1", got)
+	}
+}
+
+// TestSprayAllowanceNeverExceedsInitialProperty: no sequence of splits can
+// mint allowance above the initial budget.
+func TestSprayAllowanceNeverExceedsInitialProperty(t *testing.T) {
+	f := func(splits uint8) bool {
+		view := store.New(self)
+		m := &msg.Message{Author: self, Seq: 1, Kind: msg.KindPost, Created: time.Now()}
+		if _, err := view.Put(m); err != nil {
+			return false
+		}
+		sw := NewSprayAndWait(view, Options{SprayBudget: 8})
+		total := func() uint16 { return sw.allowance(msg.Ref{Author: self, Seq: 1}) }
+		given := uint16(0)
+		for i := 0; i < int(splits%24); i++ {
+			out := m.Clone()
+			sw.PrepareOutgoing(bob, out)
+			given += out.Budget
+		}
+		// Kept allowance never hits zero, each given copy carries ≥1, and
+		// total minted allowance (kept + given in spray phase) stays
+		// bounded by initial + wait-phase singles.
+		return total() >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProphetEncounterAndAging(t *testing.T) {
+	clk := clock.NewVirtual(time.Date(2017, 4, 6, 8, 0, 0, 0, time.UTC))
+	view := newView(t)
+	p := NewProphet(view, Options{Clock: clk})
+
+	if got := p.Predictability(bob); got != 0 {
+		t.Errorf("initial predictability = %f, want 0", got)
+	}
+	p.OnPeerConnected(bob)
+	first := p.Predictability(bob)
+	if first != defaultProphetEncounter {
+		t.Errorf("after one encounter = %f, want %f", first, defaultProphetEncounter)
+	}
+	p.OnPeerConnected(bob)
+	second := p.Predictability(bob)
+	if second <= first || second > 1 {
+		t.Errorf("after two encounters = %f, want (%f, 1]", second, first)
+	}
+
+	// A day of silence decays the predictability substantially.
+	clk.Advance(24 * time.Hour)
+	aged := p.Predictability(bob)
+	if aged >= second/2 {
+		t.Errorf("aged predictability = %f, want well below %f", aged, second)
+	}
+}
+
+func TestProphetTransitivity(t *testing.T) {
+	clk := clock.NewVirtual(time.Date(2017, 4, 6, 8, 0, 0, 0, time.UTC))
+	view := newView(t)
+	p := NewProphet(view, Options{Clock: clk})
+
+	p.OnPeerConnected(bob)
+	// Bob gossips a strong predictability toward carol.
+	blob, err := encodeGossip(gossip{Preds: map[id.UserID]float64{carol: 0.9}})
+	if err != nil {
+		t.Fatalf("encodeGossip: %v", err)
+	}
+	p.OnPeerData(bob, blob)
+
+	want := p.Predictability(bob) * 0.9 * defaultProphetBeta
+	if got := p.Predictability(carol); got < want*0.99 || got > want*1.01 {
+		t.Errorf("transitive predictability = %f, want ≈ %f", got, want)
+	}
+}
+
+func TestProphetWants(t *testing.T) {
+	clk := clock.NewVirtual(time.Date(2017, 4, 6, 8, 0, 0, 0, time.UTC))
+	view := newView(t)
+	view.Subscribe(alice)
+	p := NewProphet(view, Options{Clock: clk})
+
+	// Subscribed author: always wanted.
+	wants := p.Wants(map[id.UserID]uint64{alice: 1, bob: 1})
+	got := wantsByAuthor(wants)
+	if _, ok := got[alice]; !ok {
+		t.Error("prophet skipped a subscribed author")
+	}
+	if _, ok := got[bob]; ok {
+		t.Error("prophet pulled an author with no known subscribers")
+	}
+
+	// carol follows bob (learned via gossip), and we meet carol often →
+	// we become a promising custodian for bob's messages.
+	blob, err := encodeGossip(gossip{Subs: []id.UserID{bob}})
+	if err != nil {
+		t.Fatalf("encodeGossip: %v", err)
+	}
+	p.OnPeerData(carol, blob)
+	p.OnPeerConnected(carol)
+
+	wants = p.Wants(map[id.UserID]uint64{bob: 2})
+	got = wantsByAuthor(wants)
+	if !reflect.DeepEqual(got[bob], []uint64{1, 2}) {
+		t.Errorf("custodian wants = %v, want [1 2]", got[bob])
+	}
+}
+
+func TestProphetLearnsFromFollowMessages(t *testing.T) {
+	clk := clock.NewVirtual(time.Date(2017, 4, 6, 8, 0, 0, 0, time.UTC))
+	view := newView(t)
+	p := NewProphet(view, Options{Clock: clk})
+
+	follow := &msg.Message{Author: carol, Seq: 1, Kind: msg.KindFollow, Subject: bob, Created: clk.Now()}
+	p.OnReceived(follow, carol)
+	p.OnPeerConnected(carol)
+
+	wants := p.Wants(map[id.UserID]uint64{bob: 1})
+	if len(wants) != 1 {
+		t.Fatalf("wants = %v, want bob's message", wants)
+	}
+
+	unfollow := &msg.Message{Author: carol, Seq: 2, Kind: msg.KindUnfollow, Subject: bob, Created: clk.Now()}
+	p.OnReceived(unfollow, carol)
+	if wants := p.Wants(map[id.UserID]uint64{bob: 1}); len(wants) != 0 {
+		t.Errorf("wants after unfollow = %v, want none", wants)
+	}
+}
+
+func TestGossipRoundTrip(t *testing.T) {
+	give := gossip{
+		Subs:  []id.UserID{alice, bob},
+		Preds: map[id.UserID]float64{carol: 0.5, bob: 0.25},
+	}
+	blob, err := encodeGossip(give)
+	if err != nil {
+		t.Fatalf("encodeGossip: %v", err)
+	}
+	got, err := decodeGossip(blob)
+	if err != nil {
+		t.Fatalf("decodeGossip: %v", err)
+	}
+	if len(got.Subs) != 2 || len(got.Preds) != 2 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if got.Preds[carol] != 0.5 || got.Preds[bob] != 0.25 {
+		t.Errorf("preds = %v", got.Preds)
+	}
+}
+
+func TestGossipDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x00},
+		{gossipMagic},
+		{gossipMagic, 0xff, 0xff},
+		append([]byte{gossipMagic, 0, 1}, make([]byte, 5)...),
+	}
+	for _, give := range cases {
+		if _, err := decodeGossip(give); err == nil {
+			t.Errorf("decodeGossip(% x) accepted garbage", give)
+		}
+	}
+}
+
+// TestGossipNeverPanicsProperty fuzzes the decoder.
+func TestGossipNeverPanicsProperty(t *testing.T) {
+	f := func(buf []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = decodeGossip(buf)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func wantsByAuthor(wants []wire.Want) map[id.UserID][]uint64 {
+	out := make(map[id.UserID][]uint64, len(wants))
+	for _, w := range wants {
+		out[w.Author] = w.Seqs
+	}
+	return out
+}

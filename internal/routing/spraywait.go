@@ -1,0 +1,159 @@
+package routing
+
+import (
+	"time"
+
+	"sos/internal/clock"
+	"sos/internal/id"
+	"sos/internal/msg"
+	"sos/internal/wire"
+)
+
+// SprayAndWait implements binary spray-and-wait (Spyropoulos et al.,
+// 2005), adapted to SOS's receiver-driven exchange. Each message starts
+// with a copy allowance L at its author. While a node holds more than one
+// allowance unit for a message it is in the *spray* phase and may hand
+// half of its allowance to any peer; at one unit it is in the *wait*
+// phase and serves the message only to destinations — peers that follow
+// the message's author, recognized through subscription gossip.
+//
+// The per-copy allowance travels in the message's Budget field (mutable
+// routing metadata outside the author signature, like the hop count).
+type SprayAndWait struct {
+	view     StoreView
+	clk      clock.Clock
+	ttl      time.Duration
+	initial  uint16
+	budget   map[msg.Ref]uint16
+	peerSubs map[id.UserID]map[id.UserID]bool // peer → authors peer follows
+}
+
+var _ Scheme = (*SprayAndWait)(nil)
+
+// NewSprayAndWait builds the scheme over a store view.
+func NewSprayAndWait(view StoreView, opts Options) *SprayAndWait {
+	initial := opts.SprayBudget
+	if initial == 0 {
+		initial = DefaultSprayBudget
+	}
+	return &SprayAndWait{
+		view:     view,
+		clk:      opts.Clock,
+		ttl:      opts.RelayTTL,
+		initial:  initial,
+		budget:   make(map[msg.Ref]uint16),
+		peerSubs: make(map[id.UserID]map[id.UserID]bool),
+	}
+}
+
+// Name implements Scheme.
+func (sw *SprayAndWait) Name() string { return SchemeSprayAndWait }
+
+// Wants implements Scheme: like epidemic, accept anything on offer — the
+// copy limit binds on the serving side.
+func (sw *SprayAndWait) Wants(summary map[id.UserID]uint64) []wire.Want {
+	var wants []wire.Want
+	for author, latest := range summary {
+		if missing := sw.view.Missing(author, latest); len(missing) > 0 {
+			wants = append(wants, wire.Want{Author: author, Seqs: missing})
+		}
+	}
+	return sortWants(wants)
+}
+
+// FilterServe implements Scheme: serve a requested message if we are in
+// its spray phase, or if the requester is a destination (follows the
+// author).
+func (sw *SprayAndWait) FilterServe(peer id.UserID, wants []wire.Want) []wire.Want {
+	wants = filterRelayTTL(sw.view, sw.clk, sw.ttl, wants)
+	var out []wire.Want
+	for _, w := range wants {
+		destination := sw.peerSubs[peer][w.Author]
+		var seqs []uint64
+		for _, seq := range w.Seqs {
+			ref := msg.Ref{Author: w.Author, Seq: seq}
+			if destination || sw.allowance(ref) > 1 {
+				seqs = append(seqs, seq)
+			}
+		}
+		if len(seqs) > 0 {
+			out = append(out, wire.Want{Author: w.Author, Seqs: seqs})
+		}
+	}
+	return out
+}
+
+// PrepareOutgoing implements Scheme: split the allowance binary-style.
+// The outgoing copy carries half; we keep the other half. Destinations
+// receive a wait-phase copy without costing allowance.
+func (sw *SprayAndWait) PrepareOutgoing(peer id.UserID, m *msg.Message) {
+	ref := m.Ref()
+	if sw.peerSubs[peer][m.Author] {
+		m.Budget = 1
+		return
+	}
+	local := sw.allowance(ref)
+	if local <= 1 {
+		m.Budget = 1
+		return
+	}
+	give := local / 2
+	sw.budget[ref] = local - give
+	m.Budget = give
+}
+
+// OnReceived implements Scheme: adopt the allowance the copy carried.
+func (sw *SprayAndWait) OnReceived(m *msg.Message, _ id.UserID) {
+	b := m.Budget
+	if b == 0 {
+		b = 1
+	}
+	sw.budget[m.Ref()] = b
+}
+
+// OnPeerConnected implements Scheme.
+func (sw *SprayAndWait) OnPeerConnected(_ id.UserID) {}
+
+// OnPeerLost implements Scheme.
+func (sw *SprayAndWait) OnPeerLost(_ id.UserID) {}
+
+// SchemeData implements Scheme: gossip our subscription list so peers can
+// recognize us as a destination.
+func (sw *SprayAndWait) SchemeData() []byte {
+	subs := sw.view.Subscriptions()
+	if len(subs) > maxGossipSubs {
+		subs = subs[:maxGossipSubs]
+	}
+	blob, err := encodeGossip(gossip{Subs: subs})
+	if err != nil {
+		return nil
+	}
+	return blob
+}
+
+// OnPeerData implements Scheme.
+func (sw *SprayAndWait) OnPeerData(peer id.UserID, data []byte) {
+	g, err := decodeGossip(data)
+	if err != nil {
+		return
+	}
+	set := make(map[id.UserID]bool, len(g.Subs))
+	for _, author := range g.Subs {
+		set[author] = true
+	}
+	sw.peerSubs[peer] = set
+}
+
+// allowance returns the local copy allowance for ref: authored messages
+// start at the configured L; relayed messages default to wait phase until
+// OnReceived records their carried budget.
+func (sw *SprayAndWait) allowance(ref msg.Ref) uint16 {
+	if b, ok := sw.budget[ref]; ok {
+		return b
+	}
+	if ref.Author == sw.view.Owner() {
+		sw.budget[ref] = sw.initial
+		return sw.initial
+	}
+	return 1
+}

@@ -1,0 +1,318 @@
+package secure
+
+import (
+	"bytes"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"sos/internal/id"
+)
+
+func newKey(t *testing.T) *ecdsa.PrivateKey {
+	t.Helper()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatalf("GenerateKey: %v", err)
+	}
+	return key
+}
+
+func newPair(t *testing.T) (*Session, *Session) {
+	t.Helper()
+	a, b := newKey(t), newKey(t)
+	ctx := []byte("handshake-transcript")
+	sa, err := NewSession(a, &b.PublicKey, ctx)
+	if err != nil {
+		t.Fatalf("NewSession(a): %v", err)
+	}
+	sb, err := NewSession(b, &a.PublicKey, ctx)
+	if err != nil {
+		t.Fatalf("NewSession(b): %v", err)
+	}
+	return sa, sb
+}
+
+func TestSessionRoundTrip(t *testing.T) {
+	sa, sb := newPair(t)
+	aad := []byte("frame-aad")
+
+	frame, err := sa.Seal([]byte("hello bob"), aad)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	got, err := sb.Open(frame, aad)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if string(got) != "hello bob" {
+		t.Errorf("Open = %q, want %q", got, "hello bob")
+	}
+
+	// And the reverse direction must use the other key.
+	frame2, err := sb.Seal([]byte("hello alice"), aad)
+	if err != nil {
+		t.Fatalf("Seal reverse: %v", err)
+	}
+	got2, err := sa.Open(frame2, aad)
+	if err != nil {
+		t.Fatalf("Open reverse: %v", err)
+	}
+	if string(got2) != "hello alice" {
+		t.Errorf("Open reverse = %q, want %q", got2, "hello alice")
+	}
+}
+
+func TestSessionManyFramesProperty(t *testing.T) {
+	sa, sb := newPair(t)
+	f := func(payload []byte) bool {
+		frame, err := sa.Seal(payload, nil)
+		if err != nil {
+			return false
+		}
+		got, err := sb.Open(frame, nil)
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSessionRejectsReplay(t *testing.T) {
+	sa, sb := newPair(t)
+	frame, err := sa.Seal([]byte("once"), nil)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if _, err := sb.Open(frame, nil); err != nil {
+		t.Fatalf("first Open: %v", err)
+	}
+	if _, err := sb.Open(frame, nil); !errors.Is(err, ErrReplay) {
+		t.Errorf("replayed Open: err = %v, want ErrReplay", err)
+	}
+}
+
+func TestSessionRejectsReorder(t *testing.T) {
+	sa, sb := newPair(t)
+	f1, err := sa.Seal([]byte("one"), nil)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	f2, err := sa.Seal([]byte("two"), nil)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if _, err := sb.Open(f2, nil); !errors.Is(err, ErrReplay) {
+		t.Errorf("out-of-order Open: err = %v, want ErrReplay", err)
+	}
+	// In-order delivery still works after the rejected frame.
+	if _, err := sb.Open(f1, nil); err != nil {
+		t.Errorf("in-order Open after rejection: %v", err)
+	}
+}
+
+func TestSessionRejectsTamper(t *testing.T) {
+	sa, sb := newPair(t)
+	frame, err := sa.Seal([]byte("integrity"), nil)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	frame[len(frame)-1] ^= 0x01
+	if _, err := sb.Open(frame, nil); err == nil {
+		t.Error("tampered frame accepted")
+	}
+}
+
+func TestSessionRejectsWrongAAD(t *testing.T) {
+	sa, sb := newPair(t)
+	frame, err := sa.Seal([]byte("bound"), []byte("aad-1"))
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if _, err := sb.Open(frame, []byte("aad-2")); err == nil {
+		t.Error("frame accepted under different additional data")
+	}
+}
+
+func TestSessionRejectsEavesdropper(t *testing.T) {
+	a, b, eve := newKey(t), newKey(t), newKey(t)
+	ctx := []byte("ctx")
+	sa, err := NewSession(a, &b.PublicKey, ctx)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	seve, err := NewSession(eve, &a.PublicKey, ctx)
+	if err != nil {
+		t.Fatalf("NewSession(eve): %v", err)
+	}
+	frame, err := sa.Seal([]byte("secret"), nil)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if _, err := seve.Open(frame, nil); err == nil {
+		t.Error("eavesdropper decrypted a frame")
+	}
+}
+
+func TestSessionContextSeparation(t *testing.T) {
+	a, b := newKey(t), newKey(t)
+	sa, err := NewSession(a, &b.PublicKey, []byte("ctx-1"))
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	sb, err := NewSession(b, &a.PublicKey, []byte("ctx-2"))
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	frame, err := sa.Seal([]byte("hello"), nil)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if _, err := sb.Open(frame, nil); err == nil {
+		t.Error("sessions with different transcripts interoperated")
+	}
+}
+
+func TestSessionShortFrame(t *testing.T) {
+	_, sb := newPair(t)
+	if _, err := sb.Open([]byte{1, 2, 3}, nil); !errors.Is(err, ErrFrameShort) {
+		t.Errorf("short frame: err = %v, want ErrFrameShort", err)
+	}
+}
+
+func TestSessionClose(t *testing.T) {
+	sa, _ := newPair(t)
+	sa.Close()
+	if _, err := sa.Seal([]byte("x"), nil); !errors.Is(err, ErrSessionDone) {
+		t.Errorf("Seal after Close: err = %v, want ErrSessionDone", err)
+	}
+	if _, err := sa.Open([]byte("xxxxxxxxxxxx"), nil); !errors.Is(err, ErrSessionDone) {
+		t.Errorf("Open after Close: err = %v, want ErrSessionDone", err)
+	}
+}
+
+func newIdentity(t *testing.T, handle string) *id.Identity {
+	t.Helper()
+	ident, err := id.NewIdentity(id.NewUserID(handle), rand.Reader)
+	if err != nil {
+		t.Fatalf("NewIdentity: %v", err)
+	}
+	return ident
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	sender := newIdentity(t, "alice")
+	recipient := newIdentity(t, "bob")
+
+	env, err := SealEnvelope(nil, recipient.Public(), sender, []byte("for bob only"))
+	if err != nil {
+		t.Fatalf("SealEnvelope: %v", err)
+	}
+	got, err := OpenEnvelope(recipient.Key, sender.Public(), env)
+	if err != nil {
+		t.Fatalf("OpenEnvelope: %v", err)
+	}
+	if string(got) != "for bob only" {
+		t.Errorf("OpenEnvelope = %q, want %q", got, "for bob only")
+	}
+}
+
+func TestEnvelopeRoundTripProperty(t *testing.T) {
+	sender := newIdentity(t, "alice")
+	recipient := newIdentity(t, "bob")
+	f := func(payload []byte) bool {
+		env, err := SealEnvelope(nil, recipient.Public(), sender, payload)
+		if err != nil {
+			return false
+		}
+		got, err := OpenEnvelope(recipient.Key, sender.Public(), env)
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnvelopeWrongRecipient(t *testing.T) {
+	sender := newIdentity(t, "alice")
+	recipient := newIdentity(t, "bob")
+	eve := newIdentity(t, "eve")
+
+	env, err := SealEnvelope(nil, recipient.Public(), sender, []byte("secret"))
+	if err != nil {
+		t.Fatalf("SealEnvelope: %v", err)
+	}
+	if _, err := OpenEnvelope(eve.Key, sender.Public(), env); err == nil {
+		t.Error("wrong recipient opened the envelope")
+	}
+}
+
+func TestEnvelopeForgedSender(t *testing.T) {
+	sender := newIdentity(t, "alice")
+	recipient := newIdentity(t, "bob")
+	mallory := newIdentity(t, "mallory")
+
+	env, err := SealEnvelope(nil, recipient.Public(), sender, []byte("secret"))
+	if err != nil {
+		t.Fatalf("SealEnvelope: %v", err)
+	}
+	// The recipient believes the message came from mallory; the signature
+	// check must fail.
+	if _, err := OpenEnvelope(recipient.Key, mallory.Public(), env); !errors.Is(err, ErrEnvelopeSig) {
+		t.Errorf("forged sender: err = %v, want ErrEnvelopeSig", err)
+	}
+}
+
+func TestEnvelopeTamperedCiphertext(t *testing.T) {
+	sender := newIdentity(t, "alice")
+	recipient := newIdentity(t, "bob")
+
+	env, err := SealEnvelope(nil, recipient.Public(), sender, []byte("secret"))
+	if err != nil {
+		t.Fatalf("SealEnvelope: %v", err)
+	}
+	env.Ciphertext[0] ^= 0x01
+	// Tampering breaks the signature first; rebuild a valid-looking
+	// signature from mallory to reach the AEAD check too.
+	if _, err := OpenEnvelope(recipient.Key, sender.Public(), env); err == nil {
+		t.Error("tampered envelope accepted")
+	}
+}
+
+func TestOpenNilEnvelope(t *testing.T) {
+	recipient := newIdentity(t, "bob")
+	sender := newIdentity(t, "alice")
+	if _, err := OpenEnvelope(recipient.Key, sender.Public(), nil); err == nil {
+		t.Error("nil envelope accepted")
+	}
+}
+
+func TestVerifyOwnership(t *testing.T) {
+	ident := newIdentity(t, "alice")
+	transcript := []byte("transcript-bytes")
+	sig, err := ident.Sign(transcript)
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	if !VerifyOwnership(ident.Public(), transcript, sig) {
+		t.Error("valid ownership proof rejected")
+	}
+	if VerifyOwnership(ident.Public(), []byte("other"), sig) {
+		t.Error("ownership proof accepted for wrong transcript")
+	}
+}
+
+func TestConstantTimeEqual(t *testing.T) {
+	if !ConstantTimeEqual([]byte("abc"), []byte("abc")) {
+		t.Error("equal strings compared unequal")
+	}
+	if ConstantTimeEqual([]byte("abc"), []byte("abd")) {
+		t.Error("unequal strings compared equal")
+	}
+	if ConstantTimeEqual([]byte("abc"), []byte("ab")) {
+		t.Error("different lengths compared equal")
+	}
+}

@@ -1,0 +1,379 @@
+// Package sim is the discrete-event simulator that replays the paper's
+// in vivo evaluation in silico. It binds node mobility models to the
+// simulated Multipeer-Connectivity medium, runs the complete, unmodified
+// SOS stack (PKI bootstrap, certificate handshakes, encrypted sessions,
+// routing schemes, message manager) on every simulated device, detects
+// radio contacts from node positions, executes a scheduled workload of
+// user actions, and feeds the metrics collector and trace recorder that
+// regenerate every Figure-4 series.
+//
+// Runs are deterministic: one seed fixes key generation, nonces, mobility
+// itineraries, and the workload, so results replay bit-identically.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"sos/internal/clock"
+	"sos/internal/cloud"
+	"sos/internal/core"
+	"sos/internal/id"
+	"sos/internal/metrics"
+	"sos/internal/mobility"
+	"sos/internal/mpc"
+	"sos/internal/msg"
+	"sos/internal/pki"
+	"sos/internal/routing"
+	"sos/internal/trace"
+)
+
+// Action enumerates workload user actions.
+type Action int
+
+// Workload actions.
+const (
+	ActionPost Action = iota + 1
+	ActionFollow
+	ActionUnfollow
+)
+
+// Event is one scheduled user action.
+type Event struct {
+	At      time.Time
+	Handle  string
+	Action  Action
+	Target  string // follow/unfollow target handle
+	Payload []byte // post body
+}
+
+// NodeSpec describes one simulated device/user.
+type NodeSpec struct {
+	Handle string
+	// Scheme selects the node's routing protocol; empty uses Config.Scheme.
+	Scheme string
+	// Mobility drives the node's position; required.
+	Mobility mobility.Model
+	// Follows pre-seeds quiet subscriptions (relationships that existed
+	// before the study, not counted as in-app actions).
+	Follows []string
+	// Activity, when non-nil, reports whether the app is in the
+	// foreground at a given instant. Apple's Multipeer Connectivity only
+	// browses, advertises, and transfers while the app is active, so two
+	// devices form a contact only when in range AND both active. Nil
+	// means always active.
+	Activity func(at time.Time) bool
+}
+
+// Config assembles a simulation.
+type Config struct {
+	Start    time.Time
+	Duration time.Duration
+	// Tick is the contact-detection sampling period (default 30 s).
+	Tick time.Duration
+	// Range is the radio contact radius in meters (default 35).
+	Range float64
+	// Tech is the link technology for detected contacts (default p2p WiFi).
+	Tech mpc.Technology
+	// Scheme is the default routing protocol (default interest-based).
+	Scheme string
+	// RelayTTL bounds how long nodes forward other users' messages
+	// (routing.Options.RelayTTL); zero disables eviction.
+	RelayTTL time.Duration
+	// Seed fixes all randomness.
+	Seed int64
+	// Nodes are the simulated users.
+	Nodes []NodeSpec
+	// Workload is the scheduled action list (sorted internally).
+	Workload []Event
+}
+
+// Node is one running simulated device.
+type Node struct {
+	Handle   string
+	User     id.UserID
+	MW       *core.Middleware
+	Model    mobility.Model
+	activity func(at time.Time) bool
+	peer     mpc.PeerID
+}
+
+// Active reports whether the node's app is foregrounded at the instant.
+func (n *Node) Active(at time.Time) bool {
+	return n.activity == nil || n.activity(at)
+}
+
+// Position returns the node's current position.
+func (n *Node) Position(at time.Time) mobility.Point {
+	return n.Model.Position(at)
+}
+
+// Result bundles a finished run's outputs.
+type Result struct {
+	Collector   *metrics.Collector
+	Recorder    *trace.Recorder
+	MediumStats mpc.SimStats
+	NodeStats   map[string]core.Stats
+	Posts       int
+	Follows     int
+	Elapsed     time.Duration
+}
+
+// Sim is a configured simulation.
+type Sim struct {
+	cfg      Config
+	clk      *clock.Virtual
+	medium   *mpc.SimMedium
+	svc      *cloud.Service
+	nodes    []*Node
+	byHandle map[string]*Node
+
+	collector *metrics.Collector
+	recorder  *trace.Recorder
+	linked    map[[2]int]bool
+	workload  []Event
+}
+
+// New builds a simulation: CA, cloud, bootstrap of every node, and the
+// full middleware stack per node.
+func New(cfg Config) (*Sim, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("sim: no nodes")
+	}
+	if cfg.Duration <= 0 {
+		return nil, errors.New("sim: non-positive duration")
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = 30 * time.Second
+	}
+	if cfg.Range <= 0 {
+		cfg.Range = 35
+	}
+	if cfg.Tech == 0 {
+		cfg.Tech = mpc.PeerToPeerWiFi
+	}
+	if cfg.Scheme == "" {
+		cfg.Scheme = "interest"
+	}
+
+	master := rand.New(rand.NewSource(cfg.Seed))
+	clk := clock.NewVirtual(cfg.Start)
+	medium := mpc.NewSimMedium(clk)
+	recorder := trace.NewRecorder()
+	collector := metrics.NewCollector()
+	medium.OnContact = recorder.RecordContact
+
+	ca, err := pki.NewCA("AlleyOop Root CA",
+		pki.WithClock(clk.Now),
+		pki.WithEntropy(rand.New(rand.NewSource(master.Int63()))),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("sim: creating CA: %w", err)
+	}
+	svc := cloud.New(ca, cloud.WithClock(clk.Now))
+
+	s := &Sim{
+		cfg:       cfg,
+		clk:       clk,
+		medium:    medium,
+		svc:       svc,
+		byHandle:  make(map[string]*Node, len(cfg.Nodes)),
+		collector: collector,
+		recorder:  recorder,
+		linked:    make(map[[2]int]bool),
+	}
+
+	for _, spec := range cfg.Nodes {
+		if spec.Mobility == nil {
+			return nil, fmt.Errorf("sim: node %q has no mobility model", spec.Handle)
+		}
+		if _, dup := s.byHandle[spec.Handle]; dup {
+			return nil, fmt.Errorf("sim: duplicate handle %q", spec.Handle)
+		}
+		nodeRng := rand.New(rand.NewSource(master.Int63()))
+		creds, err := cloud.Bootstrap(svc, spec.Handle, nodeRng)
+		if err != nil {
+			return nil, fmt.Errorf("sim: bootstrapping %q: %w", spec.Handle, err)
+		}
+		scheme := spec.Scheme
+		if scheme == "" {
+			scheme = cfg.Scheme
+		}
+		n := &Node{
+			Handle:   spec.Handle,
+			User:     creds.Ident.User,
+			Model:    spec.Mobility,
+			activity: spec.Activity,
+			peer:     mpc.PeerID(spec.Handle),
+		}
+		mw, err := core.New(core.Config{
+			Creds:    creds,
+			Medium:   medium,
+			PeerName: n.peer,
+			Scheme:   scheme,
+			Clock:    clk,
+			Rand:     nodeRng,
+			Routing:  routing.Options{Clock: clk, RelayTTL: cfg.RelayTTL},
+			OnReceive: func(m *msg.Message, _ id.UserID) {
+				s.onReceive(n, m)
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sim: starting middleware for %q: %w", spec.Handle, err)
+		}
+		n.MW = mw
+		s.nodes = append(s.nodes, n)
+		s.byHandle[spec.Handle] = n
+	}
+
+	// Pre-seeded relationships (quiet: no action message).
+	for _, spec := range cfg.Nodes {
+		n := s.byHandle[spec.Handle]
+		for _, target := range spec.Follows {
+			followee, ok := s.byHandle[target]
+			if !ok {
+				return nil, fmt.Errorf("sim: %q follows unknown handle %q", spec.Handle, target)
+			}
+			n.MW.Subscribe(followee.User)
+		}
+	}
+
+	s.workload = make([]Event, len(cfg.Workload))
+	copy(s.workload, cfg.Workload)
+	sort.SliceStable(s.workload, func(i, j int) bool { return s.workload[i].At.Before(s.workload[j].At) })
+	return s, nil
+}
+
+// Nodes returns the running nodes.
+func (s *Sim) Nodes() []*Node { return s.nodes }
+
+// NodeByHandle looks a node up.
+func (s *Sim) NodeByHandle(handle string) (*Node, bool) {
+	n, ok := s.byHandle[handle]
+	return n, ok
+}
+
+// onReceive instruments every message receipt: geo-tagged dissemination,
+// transfer counting, and delivery detection (receipt by a subscriber of
+// the author).
+func (s *Sim) onReceive(n *Node, m *msg.Message) {
+	now := s.clk.Now()
+	ref := m.Ref()
+	s.recorder.RecordPassed(ref, n.User, now, n.Model.Position(now))
+	s.collector.Disseminated(ref)
+	if n.MW.Store().IsSubscribed(m.Author) {
+		s.collector.Delivered(ref, n.User, now, m.Hops)
+	}
+}
+
+// Run executes the simulation to completion.
+func (s *Sim) Run() (*Result, error) {
+	end := s.cfg.Start.Add(s.cfg.Duration)
+	posts, follows := 0, 0
+	wi := 0
+
+	for tick := s.cfg.Start; !tick.After(end); tick = tick.Add(s.cfg.Tick) {
+		// Execute workload actions due before this tick, in order, with
+		// the medium drained up to each action's instant.
+		for wi < len(s.workload) && !s.workload[wi].At.After(tick) {
+			ev := s.workload[wi]
+			wi++
+			s.medium.RunUntil(ev.At)
+			s.clk.Set(ev.At)
+			if err := s.execute(ev); err != nil {
+				return nil, err
+			}
+			switch ev.Action {
+			case ActionPost:
+				posts++
+			case ActionFollow:
+				follows++
+			}
+		}
+		s.medium.RunUntil(tick)
+		s.clk.Set(tick)
+		s.updateContacts(tick)
+	}
+	s.medium.RunUntil(end)
+	s.clk.Set(end)
+
+	nodeStats := make(map[string]core.Stats, len(s.nodes))
+	for _, n := range s.nodes {
+		nodeStats[n.Handle] = n.MW.Stats()
+	}
+	return &Result{
+		Collector:   s.collector,
+		Recorder:    s.recorder,
+		MediumStats: s.medium.Stats(),
+		NodeStats:   nodeStats,
+		Posts:       posts,
+		Follows:     follows,
+		Elapsed:     s.cfg.Duration,
+	}, nil
+}
+
+// execute performs one workload action.
+func (s *Sim) execute(ev Event) error {
+	n, ok := s.byHandle[ev.Handle]
+	if !ok {
+		return fmt.Errorf("sim: workload names unknown handle %q", ev.Handle)
+	}
+	switch ev.Action {
+	case ActionPost:
+		m, err := n.MW.Post(ev.Payload)
+		if err != nil {
+			return fmt.Errorf("sim: %s posting: %w", ev.Handle, err)
+		}
+		s.collector.MessageCreated(m.Ref(), m.Created)
+		s.recorder.RecordCreated(m.Ref(), n.User, m.Created, n.Model.Position(m.Created))
+	case ActionFollow:
+		target, ok := s.byHandle[ev.Target]
+		if !ok {
+			return fmt.Errorf("sim: follow target %q unknown", ev.Target)
+		}
+		if _, err := n.MW.Follow(target.User); err != nil {
+			return fmt.Errorf("sim: %s following %s: %w", ev.Handle, ev.Target, err)
+		}
+	case ActionUnfollow:
+		target, ok := s.byHandle[ev.Target]
+		if !ok {
+			return fmt.Errorf("sim: unfollow target %q unknown", ev.Target)
+		}
+		if _, err := n.MW.Unfollow(target.User); err != nil {
+			return fmt.Errorf("sim: %s unfollowing %s: %w", ev.Handle, ev.Target, err)
+		}
+	default:
+		return fmt.Errorf("sim: unknown action %d", ev.Action)
+	}
+	return nil
+}
+
+// updateContacts samples all node positions and app activity, then
+// reconciles radio links: a contact requires proximity and both apps in
+// the foreground (the MPC constraint).
+func (s *Sim) updateContacts(at time.Time) {
+	positions := make([]mobility.Point, len(s.nodes))
+	active := make([]bool, len(s.nodes))
+	for i, n := range s.nodes {
+		positions[i] = n.Model.Position(at)
+		active[i] = n.Active(at)
+	}
+	for i := 0; i < len(s.nodes); i++ {
+		for j := i + 1; j < len(s.nodes); j++ {
+			key := [2]int{i, j}
+			inRange := active[i] && active[j] &&
+				positions[i].DistanceTo(positions[j]) <= s.cfg.Range
+			switch {
+			case inRange && !s.linked[key]:
+				s.medium.SetLink(s.nodes[i].peer, s.nodes[j].peer, s.cfg.Tech)
+				s.linked[key] = true
+			case !inRange && s.linked[key]:
+				s.medium.CutLink(s.nodes[i].peer, s.nodes[j].peer)
+				delete(s.linked, key)
+			}
+		}
+	}
+}

@@ -1,0 +1,381 @@
+// Package store implements the on-device message database AlleyOop Social
+// writes every action to before dissemination (paper §V: "saves the action
+// to the local database on the mobile device"). The store indexes messages
+// by (author, sequence number), tracks the node's subscriptions, and
+// produces the discovery summary — the UserID → latest-MessageNumber
+// dictionary that the ad hoc manager advertises in plain text (§V-A).
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"sos/internal/id"
+	"sos/internal/msg"
+)
+
+// Errors reported by the store.
+var (
+	ErrCorrupt = errors.New("store: corrupt snapshot")
+)
+
+// Store is a thread-safe message database plus subscription registry for a
+// single node.
+type Store struct {
+	mu       sync.RWMutex
+	owner    id.UserID
+	msgs     map[msg.Ref]*msg.Message
+	byAuthor map[id.UserID]map[uint64]*msg.Message
+	maxSeq   map[id.UserID]uint64
+	subs     map[id.UserID]bool
+	ownSeq   uint64
+}
+
+// New creates an empty store owned by the given user.
+func New(owner id.UserID) *Store {
+	return &Store{
+		owner:    owner,
+		msgs:     make(map[msg.Ref]*msg.Message),
+		byAuthor: make(map[id.UserID]map[uint64]*msg.Message),
+		maxSeq:   make(map[id.UserID]uint64),
+		subs:     make(map[id.UserID]bool),
+	}
+}
+
+// Owner returns the user this store belongs to.
+func (s *Store) Owner() id.UserID { return s.owner }
+
+// NextSeq reserves and returns the next sequence number for messages
+// authored by the store's owner.
+func (s *Store) NextSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ownSeq++
+	return s.ownSeq
+}
+
+// Put inserts a message, returning true if it was new. Duplicate
+// (author, seq) pairs are ignored, which makes redundant epidemic
+// deliveries idempotent. The stored copy is a clone, so later mutation of
+// m by the caller cannot corrupt the database.
+func (s *Store) Put(m *msg.Message) (bool, error) {
+	if err := m.Validate(); err != nil {
+		return false, fmt.Errorf("store: rejecting message: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ref := m.Ref()
+	if _, dup := s.msgs[ref]; dup {
+		return false, nil
+	}
+	cp := m.Clone()
+	s.msgs[ref] = cp
+	perAuthor := s.byAuthor[ref.Author]
+	if perAuthor == nil {
+		perAuthor = make(map[uint64]*msg.Message)
+		s.byAuthor[ref.Author] = perAuthor
+	}
+	perAuthor[ref.Seq] = cp
+	if ref.Seq > s.maxSeq[ref.Author] {
+		s.maxSeq[ref.Author] = ref.Seq
+	}
+	if ref.Author == s.owner && ref.Seq > s.ownSeq {
+		s.ownSeq = ref.Seq
+	}
+	return true, nil
+}
+
+// Get returns a copy of the message with the given ref.
+func (s *Store) Get(ref msg.Ref) (*msg.Message, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.msgs[ref]
+	if !ok {
+		return nil, false
+	}
+	return m.Clone(), true
+}
+
+// Has reports whether the store holds the given message.
+func (s *Store) Has(ref msg.Ref) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.msgs[ref]
+	return ok
+}
+
+// Len returns the number of stored messages.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.msgs)
+}
+
+// MaxSeq returns the highest sequence number held for author, or 0.
+func (s *Store) MaxSeq(author id.UserID) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.maxSeq[author]
+}
+
+// CreatedAt returns the creation timestamp of a held message, if present.
+// Routing schemes use it for age-based buffer policies.
+func (s *Store) CreatedAt(author id.UserID, seq uint64) (time.Time, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.msgs[msg.Ref{Author: author, Seq: seq}]
+	if !ok {
+		return time.Time{}, false
+	}
+	return m.Created, true
+}
+
+// Summary builds the plain-text advertisement dictionary: for every author
+// with at least one stored message, the latest MessageNumber held. This is
+// exactly the key/value dictionary the paper's §V-A beacons carry.
+func (s *Store) Summary() map[id.UserID]uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[id.UserID]uint64, len(s.maxSeq))
+	for author, seq := range s.maxSeq {
+		out[author] = seq
+	}
+	return out
+}
+
+// Missing returns the sequence numbers in [1, upto] that the store does
+// not hold for author, in ascending order. A browsing node uses this to
+// build its message request after seeing an advertisement.
+func (s *Store) Missing(author id.UserID, upto uint64) []uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	perAuthor := s.byAuthor[author]
+	var missing []uint64
+	for seq := uint64(1); seq <= upto; seq++ {
+		if _, ok := perAuthor[seq]; !ok {
+			missing = append(missing, seq)
+		}
+	}
+	return missing
+}
+
+// MessagesFrom returns copies of all stored messages by author with
+// sequence number strictly greater than after, ordered by sequence.
+func (s *Store) MessagesFrom(author id.UserID, after uint64) []*msg.Message {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	perAuthor := s.byAuthor[author]
+	if len(perAuthor) == 0 {
+		return nil
+	}
+	seqs := make([]uint64, 0, len(perAuthor))
+	for seq := range perAuthor {
+		if seq > after {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	out := make([]*msg.Message, 0, len(seqs))
+	for _, seq := range seqs {
+		out = append(out, perAuthor[seq].Clone())
+	}
+	return out
+}
+
+// Select returns copies of specific messages by (author, seq); refs not
+// held are skipped.
+func (s *Store) Select(author id.UserID, seqs []uint64) []*msg.Message {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	perAuthor := s.byAuthor[author]
+	out := make([]*msg.Message, 0, len(seqs))
+	for _, seq := range seqs {
+		if m, ok := perAuthor[seq]; ok {
+			out = append(out, m.Clone())
+		}
+	}
+	return out
+}
+
+// All returns copies of every stored message in deterministic order
+// (author display form, then sequence).
+func (s *Store) All() []*msg.Message {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*msg.Message, 0, len(s.msgs))
+	for _, m := range s.msgs {
+		out = append(out, m.Clone())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Author != out[j].Author {
+			return out[i].Author.String() < out[j].Author.String()
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// Authors returns every author with at least one stored message.
+func (s *Store) Authors() []id.UserID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]id.UserID, 0, len(s.byAuthor))
+	for author := range s.byAuthor {
+		out = append(out, author)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// Subscribe records interest in a user's messages. Interest-based routing
+// only requests and carries messages whose author the node subscribes to.
+func (s *Store) Subscribe(user id.UserID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.subs[user] = true
+}
+
+// Unsubscribe removes interest in a user's messages.
+func (s *Store) Unsubscribe(user id.UserID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.subs, user)
+}
+
+// IsSubscribed reports whether the node subscribes to user.
+func (s *Store) IsSubscribed(user id.UserID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.subs[user]
+}
+
+// Subscriptions returns the subscribed users in deterministic order.
+func (s *Store) Subscriptions() []id.UserID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]id.UserID, 0, len(s.subs))
+	for u := range s.subs {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// Save writes a snapshot of all messages and subscriptions to w. The
+// format is a count-prefixed sequence of encoded messages followed by the
+// subscription list.
+func (s *Store) Save(w io.Writer) error {
+	all := s.All()
+	subs := s.Subscriptions()
+
+	if err := writeUvarint(w, uint64(len(all))); err != nil {
+		return err
+	}
+	for _, m := range all {
+		buf, err := m.Encode()
+		if err != nil {
+			return fmt.Errorf("store: encoding %s: %w", m.Ref(), err)
+		}
+		if err := writeUvarint(w, uint64(len(buf))); err != nil {
+			return err
+		}
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("store: writing snapshot: %w", err)
+		}
+	}
+	if err := writeUvarint(w, uint64(len(subs))); err != nil {
+		return err
+	}
+	for _, u := range subs {
+		if _, err := w.Write(u[:]); err != nil {
+			return fmt.Errorf("store: writing snapshot: %w", err)
+		}
+	}
+	return nil
+}
+
+// Load restores a snapshot produced by Save into an empty store.
+func (s *Store) Load(r io.Reader) error {
+	n, err := readUvarint(r)
+	if err != nil {
+		return fmt.Errorf("%w: message count: %v", ErrCorrupt, err)
+	}
+	for i := uint64(0); i < n; i++ {
+		size, err := readUvarint(r)
+		if err != nil {
+			return fmt.Errorf("%w: message size: %v", ErrCorrupt, err)
+		}
+		if size > msg.MaxPayload*2 {
+			return fmt.Errorf("%w: message size %d", ErrCorrupt, size)
+		}
+		buf := make([]byte, size)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return fmt.Errorf("%w: message body: %v", ErrCorrupt, err)
+		}
+		m, err := msg.Decode(buf)
+		if err != nil {
+			return fmt.Errorf("%w: decoding message: %v", ErrCorrupt, err)
+		}
+		if _, err := s.Put(m); err != nil {
+			return fmt.Errorf("%w: inserting message: %v", ErrCorrupt, err)
+		}
+	}
+	subCount, err := readUvarint(r)
+	if err != nil {
+		return fmt.Errorf("%w: subscription count: %v", ErrCorrupt, err)
+	}
+	for i := uint64(0); i < subCount; i++ {
+		var u id.UserID
+		if _, err := io.ReadFull(r, u[:]); err != nil {
+			return fmt.Errorf("%w: subscription entry: %v", ErrCorrupt, err)
+		}
+		s.Subscribe(u)
+	}
+	return nil
+}
+
+// writeUvarint writes a varint-encoded unsigned integer.
+func writeUvarint(w io.Writer, v uint64) error {
+	var buf [10]byte
+	n := putUvarint(buf[:], v)
+	if _, err := w.Write(buf[:n]); err != nil {
+		return fmt.Errorf("store: writing varint: %w", err)
+	}
+	return nil
+}
+
+// readUvarint reads a varint-encoded unsigned integer byte by byte.
+func readUvarint(r io.Reader) (uint64, error) {
+	var (
+		x     uint64
+		shift uint
+		b     [1]byte
+	)
+	for i := 0; i < 10; i++ {
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, err
+		}
+		if b[0] < 0x80 {
+			return x | uint64(b[0])<<shift, nil
+		}
+		x |= uint64(b[0]&0x7f) << shift
+		shift += 7
+	}
+	return 0, errors.New("varint too long")
+}
+
+// putUvarint encodes v into buf and returns the byte count.
+func putUvarint(buf []byte, v uint64) int {
+	i := 0
+	for v >= 0x80 {
+		buf[i] = byte(v) | 0x80
+		v >>= 7
+		i++
+	}
+	buf[i] = byte(v)
+	return i + 1
+}

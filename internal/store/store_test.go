@@ -1,0 +1,376 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sos/internal/id"
+	"sos/internal/msg"
+)
+
+var (
+	alice = id.NewUserID("alice")
+	bob   = id.NewUserID("bob")
+	carol = id.NewUserID("carol")
+)
+
+func post(author id.UserID, seq uint64, text string) *msg.Message {
+	return &msg.Message{
+		Author:  author,
+		Seq:     seq,
+		Kind:    msg.KindPost,
+		Created: time.Date(2017, 4, 6, 0, 0, 0, 0, time.UTC).Add(time.Duration(seq) * time.Minute),
+		Payload: []byte(text),
+	}
+}
+
+func mustPut(t *testing.T, s *Store, m *msg.Message) {
+	t.Helper()
+	added, err := s.Put(m)
+	if err != nil {
+		t.Fatalf("Put(%v): %v", m.Ref(), err)
+	}
+	if !added {
+		t.Fatalf("Put(%v): duplicate", m.Ref())
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	s := New(alice)
+	m := post(bob, 1, "hi")
+	mustPut(t, s, m)
+
+	got, ok := s.Get(m.Ref())
+	if !ok {
+		t.Fatal("Get: not found")
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("Get = %+v, want %+v", got, m)
+	}
+	if !s.Has(m.Ref()) {
+		t.Error("Has = false, want true")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestPutDuplicateIdempotent(t *testing.T) {
+	s := New(alice)
+	m := post(bob, 1, "hi")
+	mustPut(t, s, m)
+	added, err := s.Put(m)
+	if err != nil {
+		t.Fatalf("Put dup: %v", err)
+	}
+	if added {
+		t.Error("duplicate Put reported as new")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestPutRejectsInvalid(t *testing.T) {
+	s := New(alice)
+	if _, err := s.Put(&msg.Message{}); err == nil {
+		t.Error("invalid message accepted")
+	}
+}
+
+func TestPutIsolatesCaller(t *testing.T) {
+	s := New(alice)
+	m := post(bob, 1, "original")
+	mustPut(t, s, m)
+	m.Payload[0] = 'X' // caller mutates after insert
+	got, _ := s.Get(m.Ref())
+	if string(got.Payload) != "original" {
+		t.Error("store shares storage with caller")
+	}
+}
+
+func TestSummaryTracksMaxSeq(t *testing.T) {
+	s := New(alice)
+	mustPut(t, s, post(bob, 2, "b2"))
+	mustPut(t, s, post(bob, 1, "b1"))
+	mustPut(t, s, post(carol, 5, "c5"))
+
+	want := map[id.UserID]uint64{bob: 2, carol: 5}
+	if got := s.Summary(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Summary = %v, want %v", got, want)
+	}
+	if s.MaxSeq(bob) != 2 {
+		t.Errorf("MaxSeq(bob) = %d, want 2", s.MaxSeq(bob))
+	}
+	if s.MaxSeq(alice) != 0 {
+		t.Errorf("MaxSeq(alice) = %d, want 0", s.MaxSeq(alice))
+	}
+}
+
+func TestMissing(t *testing.T) {
+	s := New(alice)
+	mustPut(t, s, post(bob, 1, "b1"))
+	mustPut(t, s, post(bob, 3, "b3"))
+
+	got := s.Missing(bob, 5)
+	want := []uint64{2, 4, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Missing = %v, want %v", got, want)
+	}
+	if missing := s.Missing(carol, 2); !reflect.DeepEqual(missing, []uint64{1, 2}) {
+		t.Errorf("Missing(unknown author) = %v, want [1 2]", missing)
+	}
+	if missing := s.Missing(bob, 0); missing != nil {
+		t.Errorf("Missing(upto=0) = %v, want nil", missing)
+	}
+}
+
+func TestMessagesFromOrdered(t *testing.T) {
+	s := New(alice)
+	mustPut(t, s, post(bob, 3, "b3"))
+	mustPut(t, s, post(bob, 1, "b1"))
+	mustPut(t, s, post(bob, 2, "b2"))
+
+	got := s.MessagesFrom(bob, 1)
+	if len(got) != 2 || got[0].Seq != 2 || got[1].Seq != 3 {
+		t.Errorf("MessagesFrom(bob, 1) returned seqs %v", seqsOf(got))
+	}
+	if all := s.MessagesFrom(bob, 0); len(all) != 3 {
+		t.Errorf("MessagesFrom(bob, 0) = %d messages, want 3", len(all))
+	}
+	if none := s.MessagesFrom(carol, 0); none != nil {
+		t.Errorf("MessagesFrom(carol) = %v, want nil", none)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	s := New(alice)
+	mustPut(t, s, post(bob, 1, "b1"))
+	mustPut(t, s, post(bob, 3, "b3"))
+	got := s.Select(bob, []uint64{1, 2, 3})
+	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 3 {
+		t.Errorf("Select returned seqs %v, want [1 3]", seqsOf(got))
+	}
+}
+
+func TestAllDeterministicOrder(t *testing.T) {
+	s := New(alice)
+	mustPut(t, s, post(carol, 1, "c1"))
+	mustPut(t, s, post(bob, 2, "b2"))
+	mustPut(t, s, post(bob, 1, "b1"))
+
+	first := refsOf(s.All())
+	for i := 0; i < 5; i++ {
+		if got := refsOf(s.All()); !reflect.DeepEqual(got, first) {
+			t.Fatalf("All order unstable: %v vs %v", got, first)
+		}
+	}
+}
+
+func TestAuthors(t *testing.T) {
+	s := New(alice)
+	mustPut(t, s, post(carol, 1, "c1"))
+	mustPut(t, s, post(bob, 1, "b1"))
+	authors := s.Authors()
+	if len(authors) != 2 {
+		t.Fatalf("Authors = %v, want 2 entries", authors)
+	}
+}
+
+func TestSubscriptions(t *testing.T) {
+	s := New(alice)
+	if s.IsSubscribed(bob) {
+		t.Error("new store subscribed to bob")
+	}
+	s.Subscribe(bob)
+	s.Subscribe(carol)
+	s.Subscribe(bob) // idempotent
+	if !s.IsSubscribed(bob) || !s.IsSubscribed(carol) {
+		t.Error("subscriptions not recorded")
+	}
+	if got := len(s.Subscriptions()); got != 2 {
+		t.Errorf("Subscriptions len = %d, want 2", got)
+	}
+	s.Unsubscribe(bob)
+	if s.IsSubscribed(bob) {
+		t.Error("unsubscribe did not take effect")
+	}
+}
+
+func TestNextSeqMonotonic(t *testing.T) {
+	s := New(alice)
+	if got := s.NextSeq(); got != 1 {
+		t.Errorf("first NextSeq = %d, want 1", got)
+	}
+	if got := s.NextSeq(); got != 2 {
+		t.Errorf("second NextSeq = %d, want 2", got)
+	}
+}
+
+// TestNextSeqResumesAfterOwnMessages: when the owner's own messages are
+// loaded from a snapshot, NextSeq must continue after them, never reusing
+// a sequence number.
+func TestNextSeqResumesAfterOwnMessages(t *testing.T) {
+	s := New(alice)
+	mustPut(t, s, post(alice, 7, "old post"))
+	if got := s.NextSeq(); got != 8 {
+		t.Errorf("NextSeq after loading own seq 7 = %d, want 8", got)
+	}
+}
+
+func TestConcurrentPutters(t *testing.T) {
+	s := New(alice)
+	var wg sync.WaitGroup
+	const writers, perWriter = 8, 50
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			author := id.NewUserID(fmt.Sprintf("author-%d", w))
+			for i := 1; i <= perWriter; i++ {
+				if _, err := s.Put(post(author, uint64(i), "x")); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Len(); got != writers*perWriter {
+		t.Errorf("Len = %d, want %d", got, writers*perWriter)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := New(alice)
+	mustPut(t, s, post(bob, 1, "b1"))
+	mustPut(t, s, post(bob, 2, "b2"))
+	mustPut(t, s, post(carol, 9, "c9"))
+	s.Subscribe(bob)
+	s.Subscribe(carol)
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+
+	restored := New(alice)
+	if err := restored.Load(&buf); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !reflect.DeepEqual(refsOf(restored.All()), refsOf(s.All())) {
+		t.Error("restored messages differ")
+	}
+	if !reflect.DeepEqual(restored.Subscriptions(), s.Subscriptions()) {
+		t.Error("restored subscriptions differ")
+	}
+	if !reflect.DeepEqual(restored.Summary(), s.Summary()) {
+		t.Error("restored summary differs")
+	}
+}
+
+func TestLoadCorrupt(t *testing.T) {
+	tests := []struct {
+		name string
+		give []byte
+	}{
+		{name: "empty", give: nil},
+		{name: "truncated count", give: []byte{0x80}},
+		{name: "garbage body", give: []byte{1, 5, 1, 2, 3, 4, 5}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := New(alice)
+			if err := s.Load(bytes.NewReader(tt.give)); err == nil {
+				t.Error("Load accepted corrupt snapshot")
+			}
+		})
+	}
+}
+
+// TestSummaryMonotoneProperty: inserting any batch of messages never
+// lowers any author's summary entry.
+func TestSummaryMonotoneProperty(t *testing.T) {
+	f := func(seqsRaw []uint16) bool {
+		s := New(alice)
+		prev := make(map[id.UserID]uint64)
+		for _, raw := range seqsRaw {
+			seq := uint64(raw%64) + 1
+			author := bob
+			if raw%2 == 0 {
+				author = carol
+			}
+			if _, err := s.Put(post(author, seq, "m")); err != nil {
+				return false
+			}
+			cur := s.Summary()
+			for a, v := range prev {
+				if cur[a] < v {
+					return false
+				}
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMissingComplementProperty: for any set of held sequences, Missing
+// plus held must exactly cover 1..upto.
+func TestMissingComplementProperty(t *testing.T) {
+	f := func(heldRaw []uint16, uptoRaw uint8) bool {
+		upto := uint64(uptoRaw%40) + 1
+		s := New(alice)
+		held := make(map[uint64]bool)
+		for _, raw := range heldRaw {
+			seq := uint64(raw%40) + 1
+			if !held[seq] {
+				if _, err := s.Put(post(bob, seq, "m")); err != nil {
+					return false
+				}
+				held[seq] = true
+			}
+		}
+		missing := s.Missing(bob, upto)
+		missingSet := make(map[uint64]bool, len(missing))
+		for _, seq := range missing {
+			if seq < 1 || seq > upto || held[seq] {
+				return false
+			}
+			missingSet[seq] = true
+		}
+		for seq := uint64(1); seq <= upto; seq++ {
+			if !held[seq] && !missingSet[seq] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func seqsOf(ms []*msg.Message) []uint64 {
+	out := make([]uint64, len(ms))
+	for i, m := range ms {
+		out[i] = m.Seq
+	}
+	return out
+}
+
+func refsOf(ms []*msg.Message) []msg.Ref {
+	out := make([]msg.Ref, len(ms))
+	for i, m := range ms {
+		out[i] = m.Ref()
+	}
+	return out
+}

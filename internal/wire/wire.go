@@ -1,0 +1,542 @@
+// Package wire defines the frames SOS peers exchange and their binary
+// encoding: the plain-text discovery advertisement (paper §V-A), the
+// certificate-exchange handshake that establishes an encrypted connection
+// (Figs. 2b, 3a, 3b), and the message request/transfer/ack protocol the
+// message manager drives. The message manager "translates messages
+// between the routing manager and ad hoc manager in a common format for
+// both layers to interpret" (paper §III-C); this package is that common
+// format.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"sos/internal/id"
+	"sos/internal/msg"
+)
+
+// Type identifies a frame on the wire.
+type Type uint8
+
+// Frame types. Advertisements travel outside sessions in plain text; all
+// other frames travel inside an established encrypted session.
+const (
+	TypeAdvertisement Type = iota + 1
+	TypeHello
+	TypeHelloAck
+	TypeHelloFin
+	TypeRequest
+	TypeBatch
+	TypeAck
+	TypeBye
+)
+
+// String names the frame type for logs.
+func (t Type) String() string {
+	switch t {
+	case TypeAdvertisement:
+		return "advertisement"
+	case TypeHello:
+		return "hello"
+	case TypeHelloAck:
+		return "hello-ack"
+	case TypeHelloFin:
+		return "hello-fin"
+	case TypeRequest:
+		return "request"
+	case TypeBatch:
+		return "batch"
+	case TypeAck:
+		return "ack"
+	case TypeBye:
+		return "bye"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Codec limits keep a single frame bounded.
+const (
+	MaxSummaryEntries = 4096
+	MaxWants          = 4096
+	MaxSeqsPerWant    = 65535
+	MaxBatchMessages  = 1024
+	MaxCert           = 1 << 16
+	MaxSchemeData     = 1 << 13
+	NonceLen          = 16
+	maxSig            = 1 << 12
+	maxName           = 255
+)
+
+// Errors reported by the codec.
+var (
+	ErrTruncated = errors.New("wire: truncated frame")
+	ErrOversize  = errors.New("wire: field exceeds limit")
+	ErrBadType   = errors.New("wire: unknown frame type")
+	ErrTrailing  = errors.New("wire: trailing bytes")
+)
+
+// Frame is any decodable SOS frame.
+type Frame interface {
+	Type() Type
+}
+
+// Advertisement is the plain-text discovery beacon: the advertising peer's
+// display name and its summary dictionary mapping each known author's
+// UserID to the latest MessageNumber held (paper §V-A). SchemeData is an
+// opaque blob the active routing scheme may piggyback (PRoPHET gossips its
+// delivery-predictability table this way); epidemic and interest-based
+// routing leave it empty.
+type Advertisement struct {
+	Peer       string
+	Summary    map[id.UserID]uint64
+	SchemeData []byte
+}
+
+// Type implements Frame.
+func (*Advertisement) Type() Type { return TypeAdvertisement }
+
+// Hello opens the connection handshake: the initiator's certificate plus a
+// fresh nonce.
+type Hello struct {
+	CertDER []byte
+	Nonce   [NonceLen]byte
+}
+
+// Type implements Frame.
+func (*Hello) Type() Type { return TypeHello }
+
+// HelloAck answers a Hello: the responder's certificate, its own nonce,
+// and a signature over the handshake transcript proving the responder
+// controls the certified key.
+type HelloAck struct {
+	CertDER []byte
+	Nonce   [NonceLen]byte
+	Sig     []byte
+}
+
+// Type implements Frame.
+func (*HelloAck) Type() Type { return TypeHelloAck }
+
+// HelloFin completes the handshake with the initiator's transcript
+// signature. It is the first frame sent inside the encrypted session.
+type HelloFin struct {
+	Sig []byte
+}
+
+// Type implements Frame.
+func (*HelloFin) Type() Type { return TypeHelloFin }
+
+// Want asks for specific messages by one author.
+type Want struct {
+	Author id.UserID
+	Seqs   []uint64
+}
+
+// Request lists every message the requester wants from the peer, built by
+// comparing the peer's advertisement against the local store and the
+// active routing scheme's interest predicate.
+type Request struct {
+	Wants []Want
+}
+
+// Type implements Frame.
+func (*Request) Type() Type { return TypeRequest }
+
+// Batch carries requested messages, each with the originator's certificate
+// attached (paper Fig. 3b: forwarders relay the originator's certificate).
+type Batch struct {
+	Msgs []*msg.Message
+}
+
+// Type implements Frame.
+func (*Batch) Type() Type { return TypeBatch }
+
+// Ack confirms receipt of specific messages so the sender's message
+// manager can mark them transferred.
+type Ack struct {
+	Refs []msg.Ref
+}
+
+// Type implements Frame.
+func (*Ack) Type() Type { return TypeAck }
+
+// Bye announces a graceful disconnect.
+type Bye struct{}
+
+// Type implements Frame.
+func (*Bye) Type() Type { return TypeBye }
+
+// Encode serializes any frame as a type byte followed by its body.
+func Encode(f Frame) ([]byte, error) {
+	switch fr := f.(type) {
+	case *Advertisement:
+		return encodeAdvertisement(fr)
+	case *Hello:
+		return encodeHello(fr)
+	case *HelloAck:
+		return encodeHelloAck(fr)
+	case *HelloFin:
+		if len(fr.Sig) > maxSig {
+			return nil, fmt.Errorf("%w: signature %d bytes", ErrOversize, len(fr.Sig))
+		}
+		out := []byte{byte(TypeHelloFin)}
+		out = appendBytes16(out, fr.Sig)
+		return out, nil
+	case *Request:
+		return encodeRequest(fr)
+	case *Batch:
+		return encodeBatch(fr)
+	case *Ack:
+		return encodeAck(fr)
+	case *Bye:
+		return []byte{byte(TypeBye)}, nil
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrBadType, f)
+	}
+}
+
+// Decode parses a frame produced by Encode.
+func Decode(buf []byte) (Frame, error) {
+	if len(buf) == 0 {
+		return nil, fmt.Errorf("%w: empty", ErrTruncated)
+	}
+	typ, body := Type(buf[0]), buf[1:]
+	switch typ {
+	case TypeAdvertisement:
+		return decodeAdvertisement(body)
+	case TypeHello:
+		return decodeHello(body)
+	case TypeHelloAck:
+		return decodeHelloAck(body)
+	case TypeHelloFin:
+		r := &reader{buf: body}
+		f := &HelloFin{Sig: r.bytes16(maxSig)}
+		return finish(f, r)
+	case TypeRequest:
+		return decodeRequest(body)
+	case TypeBatch:
+		return decodeBatch(body)
+	case TypeAck:
+		return decodeAck(body)
+	case TypeBye:
+		if len(body) != 0 {
+			return nil, ErrTrailing
+		}
+		return &Bye{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadType, typ)
+	}
+}
+
+func encodeAdvertisement(a *Advertisement) ([]byte, error) {
+	if len(a.Peer) > maxName {
+		return nil, fmt.Errorf("%w: peer name %d bytes", ErrOversize, len(a.Peer))
+	}
+	if len(a.Summary) > MaxSummaryEntries {
+		return nil, fmt.Errorf("%w: %d summary entries", ErrOversize, len(a.Summary))
+	}
+	if len(a.SchemeData) > MaxSchemeData {
+		return nil, fmt.Errorf("%w: %d scheme-data bytes", ErrOversize, len(a.SchemeData))
+	}
+	// Sort authors so the encoding is deterministic.
+	authors := make([]id.UserID, 0, len(a.Summary))
+	for u := range a.Summary {
+		authors = append(authors, u)
+	}
+	sort.Slice(authors, func(i, j int) bool { return authors[i].String() < authors[j].String() })
+
+	out := []byte{byte(TypeAdvertisement), byte(len(a.Peer))}
+	out = append(out, a.Peer...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(authors)))
+	for _, u := range authors {
+		out = append(out, u[:]...)
+		out = binary.BigEndian.AppendUint64(out, a.Summary[u])
+	}
+	out = appendBytes16(out, a.SchemeData)
+	return out, nil
+}
+
+func decodeAdvertisement(body []byte) (Frame, error) {
+	r := &reader{buf: body}
+	nameLen := int(r.byte())
+	name := r.raw(nameLen)
+	n := int(r.uint32())
+	if r.err == nil && n > MaxSummaryEntries {
+		return nil, fmt.Errorf("%w: %d summary entries", ErrOversize, n)
+	}
+	a := &Advertisement{Peer: string(name), Summary: make(map[id.UserID]uint64, n)}
+	for i := 0; i < n && r.err == nil; i++ {
+		var u id.UserID
+		r.userID(&u)
+		a.Summary[u] = r.uint64()
+	}
+	a.SchemeData = r.bytes16(MaxSchemeData)
+	return finish(a, r)
+}
+
+func encodeHello(h *Hello) ([]byte, error) {
+	if len(h.CertDER) > MaxCert {
+		return nil, fmt.Errorf("%w: certificate %d bytes", ErrOversize, len(h.CertDER))
+	}
+	out := []byte{byte(TypeHello)}
+	out = appendBytes32(out, h.CertDER)
+	out = append(out, h.Nonce[:]...)
+	return out, nil
+}
+
+func decodeHello(body []byte) (Frame, error) {
+	r := &reader{buf: body}
+	h := &Hello{CertDER: r.bytes32(MaxCert)}
+	r.array(h.Nonce[:])
+	return finish(h, r)
+}
+
+func encodeHelloAck(h *HelloAck) ([]byte, error) {
+	if len(h.CertDER) > MaxCert {
+		return nil, fmt.Errorf("%w: certificate %d bytes", ErrOversize, len(h.CertDER))
+	}
+	if len(h.Sig) > maxSig {
+		return nil, fmt.Errorf("%w: signature %d bytes", ErrOversize, len(h.Sig))
+	}
+	out := []byte{byte(TypeHelloAck)}
+	out = appendBytes32(out, h.CertDER)
+	out = append(out, h.Nonce[:]...)
+	out = appendBytes16(out, h.Sig)
+	return out, nil
+}
+
+func decodeHelloAck(body []byte) (Frame, error) {
+	r := &reader{buf: body}
+	h := &HelloAck{CertDER: r.bytes32(MaxCert)}
+	r.array(h.Nonce[:])
+	h.Sig = r.bytes16(maxSig)
+	return finish(h, r)
+}
+
+func encodeRequest(q *Request) ([]byte, error) {
+	if len(q.Wants) > MaxWants {
+		return nil, fmt.Errorf("%w: %d wants", ErrOversize, len(q.Wants))
+	}
+	out := []byte{byte(TypeRequest)}
+	out = binary.BigEndian.AppendUint32(out, uint32(len(q.Wants)))
+	for _, w := range q.Wants {
+		if len(w.Seqs) > MaxSeqsPerWant {
+			return nil, fmt.Errorf("%w: %d seqs for %s", ErrOversize, len(w.Seqs), w.Author)
+		}
+		out = append(out, w.Author[:]...)
+		out = binary.BigEndian.AppendUint32(out, uint32(len(w.Seqs)))
+		for _, seq := range w.Seqs {
+			out = binary.BigEndian.AppendUint64(out, seq)
+		}
+	}
+	return out, nil
+}
+
+func decodeRequest(body []byte) (Frame, error) {
+	r := &reader{buf: body}
+	n := int(r.uint32())
+	if r.err == nil && n > MaxWants {
+		return nil, fmt.Errorf("%w: %d wants", ErrOversize, n)
+	}
+	q := &Request{Wants: make([]Want, 0, min(n, 64))}
+	for i := 0; i < n && r.err == nil; i++ {
+		var w Want
+		r.userID(&w.Author)
+		seqCount := int(r.uint32())
+		if r.err == nil && seqCount > MaxSeqsPerWant {
+			return nil, fmt.Errorf("%w: %d seqs", ErrOversize, seqCount)
+		}
+		for j := 0; j < seqCount && r.err == nil; j++ {
+			w.Seqs = append(w.Seqs, r.uint64())
+		}
+		q.Wants = append(q.Wants, w)
+	}
+	return finish(q, r)
+}
+
+func encodeBatch(b *Batch) ([]byte, error) {
+	if len(b.Msgs) > MaxBatchMessages {
+		return nil, fmt.Errorf("%w: %d messages in batch", ErrOversize, len(b.Msgs))
+	}
+	out := []byte{byte(TypeBatch)}
+	out = binary.BigEndian.AppendUint32(out, uint32(len(b.Msgs)))
+	for _, m := range b.Msgs {
+		enc, err := m.Encode()
+		if err != nil {
+			return nil, fmt.Errorf("wire: encoding batch message: %w", err)
+		}
+		out = binary.BigEndian.AppendUint32(out, uint32(len(enc)))
+		out = append(out, enc...)
+	}
+	return out, nil
+}
+
+func decodeBatch(body []byte) (Frame, error) {
+	r := &reader{buf: body}
+	n := int(r.uint32())
+	if r.err == nil && n > MaxBatchMessages {
+		return nil, fmt.Errorf("%w: %d messages in batch", ErrOversize, n)
+	}
+	b := &Batch{Msgs: make([]*msg.Message, 0, min(n, 64))}
+	for i := 0; i < n && r.err == nil; i++ {
+		size := int(r.uint32())
+		raw := r.raw(size)
+		if r.err != nil {
+			break
+		}
+		m, err := msg.Decode(raw)
+		if err != nil {
+			return nil, fmt.Errorf("wire: decoding batch message %d: %w", i, err)
+		}
+		b.Msgs = append(b.Msgs, m)
+	}
+	return finish(b, r)
+}
+
+func encodeAck(a *Ack) ([]byte, error) {
+	if len(a.Refs) > MaxBatchMessages {
+		return nil, fmt.Errorf("%w: %d acked refs", ErrOversize, len(a.Refs))
+	}
+	out := []byte{byte(TypeAck)}
+	out = binary.BigEndian.AppendUint32(out, uint32(len(a.Refs)))
+	for _, ref := range a.Refs {
+		out = append(out, ref.Author[:]...)
+		out = binary.BigEndian.AppendUint64(out, ref.Seq)
+	}
+	return out, nil
+}
+
+func decodeAck(body []byte) (Frame, error) {
+	r := &reader{buf: body}
+	n := int(r.uint32())
+	if r.err == nil && n > MaxBatchMessages {
+		return nil, fmt.Errorf("%w: %d acked refs", ErrOversize, n)
+	}
+	a := &Ack{Refs: make([]msg.Ref, 0, min(n, 64))}
+	for i := 0; i < n && r.err == nil; i++ {
+		var ref msg.Ref
+		r.userID(&ref.Author)
+		ref.Seq = r.uint64()
+		a.Refs = append(a.Refs, ref)
+	}
+	return finish(a, r)
+}
+
+// finish returns f if the reader consumed its buffer exactly.
+func finish[F Frame](f F, r *reader) (Frame, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.buf) != 0 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTrailing, len(r.buf))
+	}
+	return f, nil
+}
+
+// appendBytes16 appends a 2-byte length prefix plus the bytes.
+func appendBytes16(dst, b []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(b)))
+	return append(dst, b...)
+}
+
+// appendBytes32 appends a 4-byte length prefix plus the bytes.
+func appendBytes32(dst, b []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
+// reader is a cursor with sticky errors over a frame body.
+type reader struct {
+	buf []byte
+	err error
+}
+
+func (r *reader) raw(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.buf) < n {
+		r.err = fmt.Errorf("%w: need %d bytes, have %d", ErrTruncated, n, len(r.buf))
+		return nil
+	}
+	out := r.buf[:n]
+	r.buf = r.buf[n:]
+	return out
+}
+
+func (r *reader) array(dst []byte) {
+	if b := r.raw(len(dst)); b != nil {
+		copy(dst, b)
+	}
+}
+
+func (r *reader) userID(dst *id.UserID) {
+	r.array(dst[:])
+}
+
+func (r *reader) byte() byte {
+	if b := r.raw(1); b != nil {
+		return b[0]
+	}
+	return 0
+}
+
+func (r *reader) uint32() uint32 {
+	if b := r.raw(4); b != nil {
+		return binary.BigEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (r *reader) uint64() uint64 {
+	if b := r.raw(8); b != nil {
+		return binary.BigEndian.Uint64(b)
+	}
+	return 0
+}
+
+func (r *reader) bytes16(limit int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	n := 0
+	if b := r.raw(2); b != nil {
+		n = int(binary.BigEndian.Uint16(b))
+	}
+	return r.sized(n, limit)
+}
+
+func (r *reader) bytes32(limit int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	n := 0
+	if b := r.raw(4); b != nil {
+		n = int(binary.BigEndian.Uint32(b))
+	}
+	return r.sized(n, limit)
+}
+
+func (r *reader) sized(n, limit int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n > limit {
+		r.err = fmt.Errorf("%w: length %d (limit %d)", ErrOversize, n, limit)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	b := r.raw(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}

@@ -1,0 +1,275 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sos/internal/id"
+	"sos/internal/msg"
+)
+
+var (
+	alice = id.NewUserID("alice")
+	bob   = id.NewUserID("bob")
+)
+
+func roundTrip(t *testing.T, f Frame) Frame {
+	t.Helper()
+	buf, err := Encode(f)
+	if err != nil {
+		t.Fatalf("Encode(%T): %v", f, err)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode(%T): %v", f, err)
+	}
+	return got
+}
+
+func TestTypeString(t *testing.T) {
+	names := map[Type]string{
+		TypeAdvertisement: "advertisement",
+		TypeHello:         "hello",
+		TypeHelloAck:      "hello-ack",
+		TypeHelloFin:      "hello-fin",
+		TypeRequest:       "request",
+		TypeBatch:         "batch",
+		TypeAck:           "ack",
+		TypeBye:           "bye",
+		Type(200):         "type(200)",
+	}
+	for typ, want := range names {
+		if got := typ.String(); got != want {
+			t.Errorf("Type(%d).String() = %q, want %q", typ, got, want)
+		}
+	}
+}
+
+func TestAdvertisementRoundTrip(t *testing.T) {
+	give := &Advertisement{
+		Peer:    "bobs-iphone",
+		Summary: map[id.UserID]uint64{alice: 12, bob: 3},
+	}
+	got := roundTrip(t, give)
+	if !reflect.DeepEqual(got, give) {
+		t.Errorf("round trip = %+v, want %+v", got, give)
+	}
+}
+
+func TestAdvertisementEmptySummary(t *testing.T) {
+	give := &Advertisement{Peer: "fresh-device", Summary: map[id.UserID]uint64{}}
+	got := roundTrip(t, give).(*Advertisement)
+	if got.Peer != give.Peer || len(got.Summary) != 0 {
+		t.Errorf("round trip = %+v, want %+v", got, give)
+	}
+}
+
+func TestAdvertisementDeterministicEncoding(t *testing.T) {
+	give := &Advertisement{
+		Peer: "p",
+		Summary: map[id.UserID]uint64{
+			id.NewUserID("u1"): 1, id.NewUserID("u2"): 2, id.NewUserID("u3"): 3,
+			id.NewUserID("u4"): 4, id.NewUserID("u5"): 5,
+		},
+	}
+	first, err := Encode(give)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		again, err := Encode(give)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		if !reflect.DeepEqual(first, again) {
+			t.Fatal("advertisement encoding is not deterministic")
+		}
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	give := &Hello{CertDER: []byte("cert-bytes")}
+	copy(give.Nonce[:], "0123456789abcdef")
+	got := roundTrip(t, give)
+	if !reflect.DeepEqual(got, give) {
+		t.Errorf("round trip = %+v, want %+v", got, give)
+	}
+}
+
+func TestHelloAckRoundTrip(t *testing.T) {
+	give := &HelloAck{CertDER: []byte("cert"), Sig: []byte("signature")}
+	copy(give.Nonce[:], "fedcba9876543210")
+	got := roundTrip(t, give)
+	if !reflect.DeepEqual(got, give) {
+		t.Errorf("round trip = %+v, want %+v", got, give)
+	}
+}
+
+func TestHelloFinRoundTrip(t *testing.T) {
+	give := &HelloFin{Sig: []byte("fin-signature")}
+	got := roundTrip(t, give)
+	if !reflect.DeepEqual(got, give) {
+		t.Errorf("round trip = %+v, want %+v", got, give)
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	give := &Request{Wants: []Want{
+		{Author: alice, Seqs: []uint64{1, 2, 9}},
+		{Author: bob, Seqs: []uint64{4}},
+	}}
+	got := roundTrip(t, give)
+	if !reflect.DeepEqual(got, give) {
+		t.Errorf("round trip = %+v, want %+v", got, give)
+	}
+}
+
+func TestEmptyRequestRoundTrip(t *testing.T) {
+	give := &Request{}
+	got := roundTrip(t, give).(*Request)
+	if len(got.Wants) != 0 {
+		t.Errorf("round trip = %+v, want empty", got)
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	m1 := &msg.Message{
+		Author: alice, Seq: 1, Kind: msg.KindPost,
+		Created: time.Unix(0, 1491472800000000000).UTC(),
+		Payload: []byte("hello"), Sig: []byte("sig"), CertDER: []byte("cert"), Hops: 1,
+	}
+	m2 := &msg.Message{
+		Author: bob, Seq: 2, Kind: msg.KindFollow,
+		Created: time.Unix(0, 1491472900000000000).UTC(),
+		Subject: alice, Sig: []byte("s2"),
+	}
+	give := &Batch{Msgs: []*msg.Message{m1, m2}}
+	got := roundTrip(t, give)
+	if !reflect.DeepEqual(got, give) {
+		t.Errorf("round trip = %+v, want %+v", got, give)
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	give := &Ack{Refs: []msg.Ref{{Author: alice, Seq: 3}, {Author: bob, Seq: 1}}}
+	got := roundTrip(t, give)
+	if !reflect.DeepEqual(got, give) {
+		t.Errorf("round trip = %+v, want %+v", got, give)
+	}
+}
+
+func TestByeRoundTrip(t *testing.T) {
+	got := roundTrip(t, &Bye{})
+	if _, ok := got.(*Bye); !ok {
+		t.Errorf("round trip = %T, want *Bye", got)
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	tests := []struct {
+		name string
+		give []byte
+	}{
+		{name: "empty", give: nil},
+		{name: "unknown type", give: []byte{0xee}},
+		{name: "zero type", give: []byte{0x00}},
+		{name: "truncated hello", give: []byte{byte(TypeHello), 0, 0}},
+		{name: "bye with trailing", give: []byte{byte(TypeBye), 1}},
+		{name: "ad truncated summary", give: []byte{byte(TypeAdvertisement), 1, 'p', 0, 0, 0, 5}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Decode(tt.give); err == nil {
+				t.Errorf("Decode(% x) succeeded, want error", tt.give)
+			}
+		})
+	}
+}
+
+func TestDecodeOversizeClaims(t *testing.T) {
+	// A request frame claiming 2^32-1 wants must be rejected before any
+	// large allocation happens.
+	buf := []byte{byte(TypeRequest), 0xff, 0xff, 0xff, 0xff}
+	if _, err := Decode(buf); err == nil {
+		t.Error("oversize want count accepted")
+	}
+	// A batch frame claiming an enormous message count likewise.
+	buf = []byte{byte(TypeBatch), 0xff, 0xff, 0xff, 0xff}
+	if _, err := Decode(buf); err == nil {
+		t.Error("oversize batch count accepted")
+	}
+}
+
+func TestEncodeRejectsOversize(t *testing.T) {
+	longName := make([]byte, 300)
+	if _, err := Encode(&Advertisement{Peer: string(longName)}); err == nil {
+		t.Error("oversize peer name accepted")
+	}
+	if _, err := Encode(&Hello{CertDER: make([]byte, MaxCert+1)}); err == nil {
+		t.Error("oversize certificate accepted")
+	}
+	big := &Batch{Msgs: make([]*msg.Message, MaxBatchMessages+1)}
+	if _, err := Encode(big); err == nil {
+		t.Error("oversize batch accepted")
+	}
+}
+
+// TestDecodeNeverPanicsProperty fuzzes the decoder with random bytes; it
+// must return an error or a frame, never panic.
+func TestDecodeNeverPanicsProperty(t *testing.T) {
+	f := func(buf []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Decode(buf)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRequestRoundTripProperty round-trips randomly shaped requests.
+func TestRequestRoundTripProperty(t *testing.T) {
+	f := func(seqsA, seqsB []uint64) bool {
+		if len(seqsA) > MaxSeqsPerWant {
+			seqsA = seqsA[:MaxSeqsPerWant]
+		}
+		if len(seqsB) > MaxSeqsPerWant {
+			seqsB = seqsB[:MaxSeqsPerWant]
+		}
+		give := &Request{Wants: []Want{{Author: alice, Seqs: seqsA}, {Author: bob, Seqs: seqsB}}}
+		buf, err := Encode(give)
+		if err != nil {
+			return false
+		}
+		decoded, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		got, ok := decoded.(*Request)
+		if !ok || len(got.Wants) != 2 {
+			return false
+		}
+		return equalSeqs(got.Wants[0].Seqs, seqsA) && equalSeqs(got.Wants[1].Seqs, seqsB)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func equalSeqs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,213 @@
+// Package sos is the public API of the Secure Opportunistic Schemes (SOS)
+// middleware — a from-scratch, stdlib-only reproduction of the system
+// described in "In Vivo Evaluation of the Secure Opportunistic Schemes
+// Middleware using a Delay Tolerant Social Network" (Baker, Starke,
+// Hill-Jarrett, McNair; ICDCS 2017).
+//
+// SOS turns any application into a secure delay-tolerant network node:
+// applications publish signed actions (posts, follows, direct messages),
+// and the middleware disseminates them opportunistically over
+// device-to-device encounters using pluggable routing schemes (epidemic,
+// interest-based, spray-and-wait, PRoPHET), with PKI-backed identity,
+// encrypted sessions, and end-to-end sealed payloads.
+//
+// A minimal deployment:
+//
+//	ca, _ := sos.NewCA("Example Root CA", nil)
+//	cld := sos.NewCloud(ca, nil)
+//	medium := sos.NewMemMedium()
+//
+//	creds, _ := sos.Bootstrap(cld, "alice")
+//	alice, _ := sos.NewNode(sos.NodeConfig{Creds: creds, Medium: medium})
+//	defer alice.Close()
+//
+//	alice.Post([]byte("hello, opportunistic world"))
+//
+// Peers on the same medium that follow alice (interest-based routing) or
+// simply encounter her (epidemic routing) receive the post during
+// contacts, with every hop certificate-verified — no infrastructure
+// needed after Bootstrap.
+package sos
+
+import (
+	"io"
+	"time"
+
+	"sos/internal/clock"
+	"sos/internal/cloud"
+	"sos/internal/core"
+	"sos/internal/id"
+	"sos/internal/mpc"
+	"sos/internal/msg"
+	"sos/internal/pki"
+	"sos/internal/routing"
+	"sos/internal/store"
+)
+
+// Identity and message types.
+type (
+	// UserID is the 10-byte unique user identifier advertised during peer
+	// discovery.
+	UserID = id.UserID
+	// Identity is a user's long-term signing key pair.
+	Identity = id.Identity
+	// Message is one immutable, author-signed user action.
+	Message = msg.Message
+	// Ref uniquely identifies a message as (author, sequence number).
+	Ref = msg.Ref
+	// Kind enumerates user-action types.
+	Kind = msg.Kind
+	// Store is a node's local message database.
+	Store = store.Store
+)
+
+// Message kinds.
+const (
+	KindPost     = msg.KindPost
+	KindFollow   = msg.KindFollow
+	KindUnfollow = msg.KindUnfollow
+	KindDirect   = msg.KindDirect
+)
+
+// Infrastructure types (used only during the one-time bootstrap and for
+// online maintenance).
+type (
+	// CA is the certificate authority.
+	CA = pki.CA
+	// UserCert is a verified user certificate.
+	UserCert = pki.UserCert
+	// Verifier validates peer certificates on a device.
+	Verifier = pki.Verifier
+	// Cloud is the simulated online backend.
+	Cloud = cloud.Service
+	// Credentials is what a device holds after bootstrap.
+	Credentials = cloud.Credentials
+	// Account is a registered cloud account.
+	Account = cloud.Account
+)
+
+// Medium types: the device-to-device substrate.
+type (
+	// Medium is a world devices can join.
+	Medium = mpc.Medium
+	// MemMedium is the live in-process medium.
+	MemMedium = mpc.MemMedium
+	// SimMedium is the deterministic virtual-time medium.
+	SimMedium = mpc.SimMedium
+	// PeerID names a device on a medium.
+	PeerID = mpc.PeerID
+	// Technology is a radio technology (Bluetooth, p2p WiFi, infra WiFi).
+	Technology = mpc.Technology
+)
+
+// Radio technologies.
+const (
+	Bluetooth          = mpc.Bluetooth
+	PeerToPeerWiFi     = mpc.PeerToPeerWiFi
+	InfrastructureWiFi = mpc.InfrastructureWiFi
+)
+
+// Clock types.
+type (
+	// Clock supplies time to the middleware.
+	Clock = clock.Clock
+	// VirtualClock is a manually-advanced clock for simulations.
+	VirtualClock = clock.Virtual
+)
+
+// Routing types.
+type (
+	// RoutingScheme is one opportunistic routing protocol.
+	RoutingScheme = routing.Scheme
+	// RoutingOptions tunes scheme construction.
+	RoutingOptions = routing.Options
+	// SchemeFactory builds a custom scheme over a node's store view.
+	SchemeFactory = routing.Factory
+	// StoreView is the read-only store surface schemes consume.
+	StoreView = routing.StoreView
+)
+
+// Built-in routing scheme names.
+const (
+	SchemeEpidemic     = routing.SchemeEpidemic
+	SchemeInterest     = routing.SchemeInterest
+	SchemeSprayAndWait = routing.SchemeSprayAndWait
+	SchemeProphet      = routing.SchemeProphet
+)
+
+// Node types: a running middleware instance.
+type (
+	// Node is one application's SOS middleware instance.
+	Node = core.Middleware
+	// NodeConfig assembles a Node.
+	NodeConfig = core.Config
+	// NodeStats aggregates per-layer counters.
+	NodeStats = core.Stats
+)
+
+// NewNode wires up and starts a middleware instance.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	return core.New(cfg)
+}
+
+// NewCA creates a certificate authority with a fresh self-signed root.
+// clk may be nil for wall time.
+func NewCA(name string, clk Clock) (*CA, error) {
+	if clk == nil {
+		return pki.NewCA(name)
+	}
+	return pki.NewCA(name, pki.WithClock(clk.Now))
+}
+
+// NewCloud creates the simulated online backend fronting ca. clk may be
+// nil for wall time.
+func NewCloud(ca *CA, clk Clock) *Cloud {
+	if clk == nil {
+		return cloud.New(ca)
+	}
+	return cloud.New(ca, cloud.WithClock(clk.Now))
+}
+
+// Bootstrap performs the one-time infrastructure requirement for a new
+// user: sign up, generate keys on-device, receive a certificate and the
+// pinned CA root (paper Fig. 2a).
+func Bootstrap(svc *Cloud, handle string) (*Credentials, error) {
+	return cloud.Bootstrap(svc, handle, nil)
+}
+
+// BootstrapWithRand is Bootstrap with an explicit entropy source, for
+// deterministic simulations.
+func BootstrapWithRand(svc *Cloud, handle string, rng io.Reader) (*Credentials, error) {
+	return cloud.Bootstrap(svc, handle, rng)
+}
+
+// NewMemMedium creates a live in-process medium for examples and tests.
+func NewMemMedium() *MemMedium {
+	return mpc.NewMemMedium()
+}
+
+// NewSimMedium creates a deterministic virtual-time medium driven by clk.
+func NewSimMedium(clk *VirtualClock) *SimMedium {
+	return mpc.NewSimMedium(clk)
+}
+
+// NewVirtualClock creates a virtual clock starting at start.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return clock.NewVirtual(start)
+}
+
+// SystemClock returns the wall-time clock.
+func SystemClock() Clock {
+	return clock.System()
+}
+
+// NewUserID derives the stable user identifier for a handle, exactly as
+// the cloud assigns them.
+func NewUserID(handle string) UserID {
+	return id.NewUserID(handle)
+}
+
+// ParseUserID decodes a UserID display string.
+func ParseUserID(s string) (UserID, error) {
+	return id.ParseUserID(s)
+}
