@@ -1,0 +1,276 @@
+// Command sosd runs one SOS node as an OS process over real sockets —
+// the in vivo deployment shape of the middleware. Where the paper's
+// evaluation put SOS inside an iOS app on real phones, sosd puts the same
+// stack behind a NetMedium: UDP beacons discover peers (LAN broadcast,
+// multicast, or static addresses) and TCP sessions carry the encrypted
+// frames, one port per radio technology.
+//
+// The one-time infrastructure requirement happens ahead of deployment:
+//
+//	sosd provision -dir ./creds -handles alice,bob
+//
+// writes one credentials file per handle, all certified by a common root,
+// so nodes need no cloud at runtime:
+//
+//	sosd run -creds ./creds/alice.creds -base-port 7500
+//	sosd run -creds ./creds/bob.creds   -base-port 7600   (second terminal)
+//
+// Each node then takes commands on stdin: "post <text>", "follow
+// <handle>", "peers", "stats", "quit".
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"sos"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "provision":
+		err = provision(os.Args[2:])
+	case "run":
+		err = run(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "sosd: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sosd:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  sosd provision -dir DIR -handles a,b,c [-ca NAME]
+      create a CA and write one credentials file per handle
+
+  sosd run -creds FILE [options]
+      run a node; see "sosd run -h" for options`)
+}
+
+// provision performs the paper's Fig. 2a bootstrap for a set of handles
+// ahead of deployment and writes the resulting credentials files.
+func provision(args []string) error {
+	fs := flag.NewFlagSet("provision", flag.ExitOnError)
+	dir := fs.String("dir", ".", "output directory for credentials files")
+	handles := fs.String("handles", "", "comma-separated handles to provision")
+	caName := fs.String("ca", "SOS Deployment Root CA", "certificate authority name")
+	fs.Parse(args)
+	if *handles == "" {
+		return fmt.Errorf("provision requires -handles")
+	}
+	ca, err := sos.NewCA(*caName, nil)
+	if err != nil {
+		return fmt.Errorf("creating CA: %w", err)
+	}
+	cld := sos.NewCloud(ca, nil)
+	if err := os.MkdirAll(*dir, 0o700); err != nil {
+		return err
+	}
+	for _, handle := range strings.Split(*handles, ",") {
+		handle = strings.TrimSpace(handle)
+		if handle == "" {
+			continue
+		}
+		creds, err := sos.Bootstrap(cld, handle)
+		if err != nil {
+			return fmt.Errorf("bootstrapping %s: %w", handle, err)
+		}
+		path := filepath.Join(*dir, handle+".creds")
+		if err := sos.SaveCredentials(creds, path); err != nil {
+			return err
+		}
+		fmt.Printf("provisioned %-12s user %s  → %s\n", handle, creds.Ident.User, path)
+	}
+	return nil
+}
+
+// run boots a node from a credentials file and serves until stdin closes
+// or a signal arrives.
+func run(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	credsPath := fs.String("creds", "", "credentials file from 'sosd provision' (required)")
+	name := fs.String("name", "", "device discovery name (default: handle + \"-device\")")
+	scheme := fs.String("scheme", "epidemic", "routing scheme: epidemic, interest, spray-and-wait, prophet")
+	beaconListen := fs.String("beacon-listen", ":7474", "UDP address for discovery beacons (multicast group to join one)")
+	beaconTargets := fs.String("beacon-targets", "", "comma-separated beacon destinations (broadcast, multicast, or peer addresses)")
+	listenIP := fs.String("listen-ip", "", "IP to bind TCP session listeners (default: all interfaces)")
+	basePort := fs.Int("base-port", 0, "first TCP session port; technologies use base, base+1, ... (0 = ephemeral)")
+	interval := fs.Duration("beacon-interval", time.Second, "gap between discovery beacons")
+	loss := fs.Duration("loss-timeout", 0, "silence before a peer is lost (default: 3.5 × interval)")
+	post := fs.String("post", "", "publish one post at startup")
+	follow := fs.String("follow", "", "comma-separated handles or user ids to follow at startup")
+	fs.Parse(args)
+	if *credsPath == "" {
+		return fmt.Errorf("run requires -creds (generate one with 'sosd provision')")
+	}
+
+	creds, err := sos.LoadCredentials(*credsPath)
+	if err != nil {
+		return err
+	}
+	cfg := sos.NetConfig{
+		BeaconListen:   *beaconListen,
+		ListenIP:       *listenIP,
+		BasePort:       *basePort,
+		BeaconInterval: *interval,
+		LossTimeout:    *loss,
+	}
+	if *beaconTargets != "" {
+		cfg.BeaconTargets = strings.Split(*beaconTargets, ",")
+	}
+	medium, err := sos.NewNetMedium(cfg)
+	if err != nil {
+		return err
+	}
+
+	node, err := sos.NewNode(sos.NodeConfig{
+		Creds:    creds,
+		Medium:   medium,
+		PeerName: sos.PeerID(*name),
+		Scheme:   *scheme,
+		OnReceive: func(m *sos.Message, from sos.UserID) {
+			fmt.Printf("« received %s %s from %s via %s: %q\n",
+				m.Kind, m.Ref(), m.Author, from, trim(m.Payload))
+		},
+		OnPeerUp: func(user sos.UserID) {
+			fmt.Printf("« peer up: %s (certificate verified)\n", user)
+		},
+		OnPeerDown: func(user sos.UserID) {
+			fmt.Printf("« peer down: %s\n", user)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	fmt.Printf("sosd: %s (user %s) on %s via %s routing\n",
+		node.Peer(), node.User(), strings.Join(medium.BeaconAddrs(), ","), node.Scheme())
+
+	for _, target := range strings.Split(*follow, ",") {
+		target = strings.TrimSpace(target)
+		if target == "" {
+			continue
+		}
+		if err := followTarget(node, target); err != nil {
+			return err
+		}
+	}
+	if *post != "" {
+		m, err := node.Post([]byte(*post))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("» posted %s\n", m.Ref())
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	lines := make(chan string)
+	go func() {
+		scanner := bufio.NewScanner(os.Stdin)
+		for scanner.Scan() {
+			lines <- scanner.Text()
+		}
+		close(lines)
+	}()
+
+	for {
+		select {
+		case <-sigs:
+			fmt.Println("sosd: shutting down")
+			return nil
+		case line, ok := <-lines:
+			if !ok {
+				return nil
+			}
+			if quit := command(node, line); quit {
+				return nil
+			}
+		}
+	}
+}
+
+// command dispatches one REPL line; it reports whether to quit.
+func command(node *sos.Node, line string) bool {
+	verb, rest, _ := strings.Cut(strings.TrimSpace(line), " ")
+	rest = strings.TrimSpace(rest)
+	switch verb {
+	case "":
+	case "post":
+		if rest == "" {
+			fmt.Println("usage: post <text>")
+			break
+		}
+		m, err := node.Post([]byte(rest))
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Printf("» posted %s\n", m.Ref())
+	case "follow":
+		if err := followTarget(node, rest); err != nil {
+			fmt.Println("error:", err)
+		}
+	case "peers":
+		st := node.Store()
+		fmt.Printf("store: %d messages from %d authors; subscriptions:\n", st.Len(), len(st.Authors()))
+		for _, u := range st.Subscriptions() {
+			fmt.Printf("  follows %s (have up to seq %d)\n", u, st.MaxSeq(u))
+		}
+	case "stats":
+		s := node.Stats()
+		fmt.Printf("adhoc:   %+v\nmessage: %+v\n", s.Adhoc, s.Message)
+	case "quit", "exit":
+		return true
+	default:
+		fmt.Println("commands: post <text> | follow <handle-or-id> | peers | stats | quit")
+	}
+	return false
+}
+
+// followTarget subscribes to a user given as a handle or a user-id
+// display string and disseminates the follow action.
+func followTarget(node *sos.Node, target string) error {
+	if target == "" {
+		return fmt.Errorf("usage: follow <handle-or-id>")
+	}
+	user, err := sos.ParseUserID(target)
+	if err != nil {
+		// Not an id display string: treat it as a handle, which maps to
+		// the same identifier the cloud would assign.
+		user = sos.NewUserID(target)
+	}
+	if _, err := node.Follow(user); err != nil {
+		return err
+	}
+	fmt.Printf("» following %s (%s)\n", target, user)
+	return nil
+}
+
+// trim bounds payload echo in logs.
+func trim(b []byte) string {
+	if len(b) > 60 {
+		return string(b[:57]) + "..."
+	}
+	return string(b)
+}

@@ -1,0 +1,3 @@
+module sos
+
+go 1.24

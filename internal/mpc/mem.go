@@ -14,26 +14,16 @@ import (
 type MemMedium struct {
 	mu        sync.Mutex
 	endpoints map[PeerID]*memEndpoint
-	blocked   map[pairKey]bool // explicitly severed pairs
+	blocked   map[PairKey]bool // explicitly severed pairs
 }
 
 var _ Medium = (*MemMedium)(nil)
-
-// pairKey canonicalizes an unordered peer pair.
-type pairKey struct{ lo, hi PeerID }
-
-func makePair(a, b PeerID) pairKey {
-	if a > b {
-		a, b = b, a
-	}
-	return pairKey{lo: a, hi: b}
-}
 
 // NewMemMedium creates an empty live medium.
 func NewMemMedium() *MemMedium {
 	return &MemMedium{
 		endpoints: make(map[PeerID]*memEndpoint),
-		blocked:   make(map[pairKey]bool),
+		blocked:   make(map[PairKey]bool),
 	}
 }
 
@@ -51,18 +41,23 @@ func (m *MemMedium) Join(peer PeerID, events Events) (Endpoint, error) {
 		return nil, fmt.Errorf("%w: %s", ErrDuplicatePeer, peer)
 	}
 	ep := &memEndpoint{medium: m, self: peer, events: events, conns: make(map[*memConn]bool)}
-	ep.dispatcher.start()
+	ep.dispatcher = NewSerialQueue()
 	m.endpoints[peer] = ep
 
-	// The newcomer immediately discovers peers that are already
+	// The newcomer immediately discovers reachable peers that are already
 	// advertising.
 	for _, other := range m.endpoints {
-		if other == ep || other.ad == nil {
+		if other == ep || m.blocked[MakePair(peer, other.self)] {
 			continue
 		}
+		other.mu.Lock()
 		ad := cloneBytes(other.ad)
+		other.mu.Unlock()
+		if ad == nil {
+			continue
+		}
 		from := other.self
-		ep.dispatcher.post(func() { ep.events.PeerFound(from, ad) })
+		ep.dispatcher.Post(func() { ep.events.PeerFound(from, ad) })
 	}
 	return ep, nil
 }
@@ -71,7 +66,7 @@ func (m *MemMedium) Join(peer PeerID, events Events) (Endpoint, error) {
 // drops active connections and fires PeerLost for advertised peers.
 func (m *MemMedium) SetReachable(a, b PeerID, up bool) {
 	m.mu.Lock()
-	key := makePair(a, b)
+	key := MakePair(a, b)
 	was := !m.blocked[key]
 	if up {
 		delete(m.blocked, key)
@@ -101,7 +96,7 @@ func (m *MemMedium) SetReachable(a, b PeerID, up bool) {
 func (m *MemMedium) reachable(a, b PeerID) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return !m.blocked[makePair(a, b)]
+	return !m.blocked[MakePair(a, b)]
 }
 
 // notifyFound tells `to` about `from` if `from` is advertising.
@@ -113,7 +108,7 @@ func notifyFound(to, from *memEndpoint) {
 		return
 	}
 	peer := from.self
-	to.dispatcher.post(func() { to.events.PeerFound(peer, ad) })
+	to.dispatcher.Post(func() { to.events.PeerFound(peer, ad) })
 }
 
 // notifyLost tells `to` that `from` is gone if it was advertising.
@@ -125,7 +120,7 @@ func notifyLost(to, from *memEndpoint) {
 		return
 	}
 	peer := from.self
-	to.dispatcher.post(func() { to.events.PeerLost(peer) })
+	to.dispatcher.Post(func() { to.events.PeerLost(peer) })
 }
 
 // connsBetween snapshots the active connections bridging two endpoints.
@@ -146,7 +141,7 @@ type memEndpoint struct {
 	medium     *MemMedium
 	self       PeerID
 	events     Events
-	dispatcher dispatcher
+	dispatcher *SerialQueue
 
 	mu     sync.Mutex
 	ad     []byte
@@ -175,7 +170,7 @@ func (ep *memEndpoint) SetAdvertisement(ad []byte) {
 	ep.medium.mu.Lock()
 	others := make([]*memEndpoint, 0, len(ep.medium.endpoints))
 	for _, other := range ep.medium.endpoints {
-		if other != ep && !ep.medium.blocked[makePair(ep.self, other.self)] {
+		if other != ep && !ep.medium.blocked[MakePair(ep.self, other.self)] {
 			others = append(others, other)
 		}
 	}
@@ -187,9 +182,9 @@ func (ep *memEndpoint) SetAdvertisement(ad []byte) {
 		switch {
 		case ad != nil:
 			payload := cloneBytes(ad)
-			other.dispatcher.post(func() { other.events.PeerFound(self, payload) })
+			other.dispatcher.Post(func() { other.events.PeerFound(self, payload) })
 		case wasAdvertising:
-			other.dispatcher.post(func() { other.events.PeerLost(self) })
+			other.dispatcher.Post(func() { other.events.PeerLost(self) })
 		}
 	}
 }
@@ -208,7 +203,7 @@ func (ep *memEndpoint) Connect(peer PeerID) (Conn, error) {
 
 	ep.medium.mu.Lock()
 	remote, ok := ep.medium.endpoints[peer]
-	blocked := ep.medium.blocked[makePair(ep.self, peer)]
+	blocked := ep.medium.blocked[MakePair(ep.self, peer)]
 	ep.medium.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrPeerUnknown, peer)
@@ -224,7 +219,7 @@ func (ep *memEndpoint) Connect(peer PeerID) (Conn, error) {
 	ep.addConn(local)
 	remote.addConn(remoteSide)
 
-	remote.dispatcher.post(func() { remote.events.Incoming(remoteSide) })
+	remote.dispatcher.Post(func() { remote.events.Incoming(remoteSide) })
 	return local, nil
 }
 
@@ -260,10 +255,10 @@ func (ep *memEndpoint) Close() error {
 		self := ep.self
 		for _, other := range others {
 			other := other
-			other.dispatcher.post(func() { other.events.PeerLost(self) })
+			other.dispatcher.Post(func() { other.events.PeerLost(self) })
 		}
 	}
-	ep.dispatcher.stop()
+	ep.dispatcher.Stop()
 	return nil
 }
 
@@ -307,7 +302,7 @@ func (c *memConn) Send(frame []byte) error {
 	}
 	payload := cloneBytes(frame)
 	remote, twin := c.remoteEP, c.twin
-	remote.dispatcher.post(func() {
+	remote.dispatcher.Post(func() {
 		if !twin.closed.Load() {
 			remote.events.Received(twin, payload)
 		}
@@ -331,62 +326,8 @@ func (c *memConn) teardown(reason error) {
 	c.remoteEP.dropConn(c.twin)
 
 	local, remote, twin := c.localEP, c.remoteEP, c.twin
-	local.dispatcher.post(func() { local.events.Disconnected(c, reason) })
-	remote.dispatcher.post(func() { remote.events.Disconnected(twin, reason) })
-}
-
-// dispatcher runs queued callbacks sequentially on one goroutine. The
-// queue is unbounded so that posting from inside a callback can never
-// deadlock.
-type dispatcher struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []func()
-	stopped bool
-	done    chan struct{}
-}
-
-func (d *dispatcher) start() {
-	d.cond = sync.NewCond(&d.mu)
-	d.done = make(chan struct{})
-	go d.run()
-}
-
-func (d *dispatcher) post(fn func()) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.stopped {
-		return
-	}
-	d.queue = append(d.queue, fn)
-	d.cond.Signal()
-}
-
-// stop drains remaining callbacks and waits for the goroutine to exit.
-func (d *dispatcher) stop() {
-	d.mu.Lock()
-	d.stopped = true
-	d.cond.Signal()
-	d.mu.Unlock()
-	<-d.done
-}
-
-func (d *dispatcher) run() {
-	defer close(d.done)
-	for {
-		d.mu.Lock()
-		for len(d.queue) == 0 && !d.stopped {
-			d.cond.Wait()
-		}
-		if len(d.queue) == 0 && d.stopped {
-			d.mu.Unlock()
-			return
-		}
-		fn := d.queue[0]
-		d.queue = d.queue[1:]
-		d.mu.Unlock()
-		fn()
-	}
+	local.dispatcher.Post(func() { local.events.Disconnected(c, reason) })
+	remote.dispatcher.Post(func() { remote.events.Disconnected(twin, reason) })
 }
 
 // cloneBytes copies b, preserving nil.

@@ -3,7 +3,7 @@
 // (paper §III-D), which offers peer discovery, connection establishment,
 // and reliable framed sessions over Bluetooth, peer-to-peer WiFi, and
 // infrastructure WiFi. MPC is closed and hardware-bound, so this package
-// defines the same surface as an interface with two implementations:
+// defines the same surface as an interface with three implementations:
 //
 //   - MemMedium: a live, goroutine-driven medium where reachability is
 //     toggled explicitly. Examples and integration tests use it to run the
@@ -11,9 +11,39 @@
 //   - SimMedium: a deterministic, virtual-time medium with per-technology
 //     bitrates and in-flight frame modelling, driven by the discrete-event
 //     simulator. The in vivo evaluation is reproduced on top of it.
+//   - netmedium.Medium (package sos/internal/netmedium): a real-socket
+//     medium — UDP beaconing for discovery, one TCP listener per radio
+//     technology for sessions — so the unmodified stack runs in vivo
+//     across OS processes and machines.
 //
-// Both implementations deliver the exact events and byte frames the ad hoc
-// manager consumes, so every layer above runs identically on either.
+// All implementations deliver the exact events and byte frames the ad hoc
+// manager consumes, so every layer above runs identically on any of them.
+//
+// # The Medium contract
+//
+// Every implementation must satisfy the semantics below; the shared
+// conformance suite in sos/internal/mpc/mediumtest checks them against
+// all three media.
+//
+//   - Callbacks on one endpoint's Events are serialized and arrive in
+//     causal order (Incoming before that connection's Received; Received
+//     in Send order per connection; Disconnected after the connection's
+//     final frame).
+//   - PeerFound fires only for peers with a published advertisement: when
+//     a reachable peer first advertises, when its advertisement payload
+//     changes, and when reachability to an advertising peer is restored.
+//   - PeerLost fires when an advertising peer withdraws its advertisement
+//     (SetAdvertisement(nil)), detaches with Close, or becomes
+//     unreachable.
+//   - Connect succeeds toward any known reachable peer — advertising or
+//     not — and fails with ErrPeerUnknown for never-seen peers,
+//     ErrPeerGone for unreachable ones, ErrSelfConnect for the local
+//     device, and ErrClosed after endpoint Close.
+//   - Conn.Send never blocks; delivery is asynchronous, stops silently if
+//     the link breaks, and the break then surfaces as Disconnected on
+//     both sides exactly once per side.
+//   - Join rejects duplicate live peer names with ErrDuplicatePeer; after
+//     an endpoint closes, its name may join again.
 package mpc
 
 import (

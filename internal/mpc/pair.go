@@ -1,0 +1,14 @@
+package mpc
+
+// PairKey canonicalizes an unordered peer pair, e.g. as a map key for
+// per-link state. Media (in this package and sos/internal/netmedium) use
+// it to track severed or linked pairs.
+type PairKey struct{ Lo, Hi PeerID }
+
+// MakePair builds the canonical key for two peers in either order.
+func MakePair(a, b PeerID) PairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return PairKey{Lo: a, Hi: b}
+}

@@ -1,0 +1,64 @@
+package mpc
+
+import "sync"
+
+// SerialQueue runs queued callbacks sequentially on one dedicated
+// goroutine. Media use it to honour the Events contract: callbacks for a
+// given endpoint never run concurrently and arrive in post order,
+// mirroring how Multipeer Connectivity delivers delegate callbacks on a
+// session queue. The queue is unbounded so that posting from inside a
+// callback can never deadlock.
+type SerialQueue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []func()
+	stopped bool
+	done    chan struct{}
+}
+
+// NewSerialQueue creates a queue and starts its dispatch goroutine.
+func NewSerialQueue() *SerialQueue {
+	q := &SerialQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	q.done = make(chan struct{})
+	go q.run()
+	return q
+}
+
+// Post enqueues fn. It never blocks; after Stop it is a no-op.
+func (q *SerialQueue) Post(fn func()) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.stopped {
+		return
+	}
+	q.queue = append(q.queue, fn)
+	q.cond.Signal()
+}
+
+// Stop drains remaining callbacks and waits for the goroutine to exit.
+func (q *SerialQueue) Stop() {
+	q.mu.Lock()
+	q.stopped = true
+	q.cond.Signal()
+	q.mu.Unlock()
+	<-q.done
+}
+
+func (q *SerialQueue) run() {
+	defer close(q.done)
+	for {
+		q.mu.Lock()
+		for len(q.queue) == 0 && !q.stopped {
+			q.cond.Wait()
+		}
+		if len(q.queue) == 0 && q.stopped {
+			q.mu.Unlock()
+			return
+		}
+		fn := q.queue[0]
+		q.queue = q.queue[1:]
+		q.mu.Unlock()
+		fn()
+	}
+}

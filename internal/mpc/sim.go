@@ -39,7 +39,7 @@ type SimStats struct {
 type SimMedium struct {
 	clk       *clock.Virtual
 	endpoints map[PeerID]*simEndpoint
-	links     map[pairKey]*simLink
+	links     map[PairKey]*simLink
 	queue     eventHeap
 	seq       uint64
 	stats     SimStats
@@ -69,7 +69,7 @@ func NewSimMedium(clk *clock.Virtual) *SimMedium {
 	return &SimMedium{
 		clk:            clk,
 		endpoints:      make(map[PeerID]*simEndpoint),
-		links:          make(map[pairKey]*simLink),
+		links:          make(map[PairKey]*simLink),
 		DiscoveryDelay: DefaultDiscoveryDelay,
 		ConnectDelay:   DefaultConnectDelay,
 		FrameOverhead:  DefaultFrameOverhead,
@@ -98,7 +98,7 @@ func (m *SimMedium) Join(peer PeerID, events Events) (Endpoint, error) {
 // SetLink brings two devices into radio contact over the given
 // technology. Discovery events fire after the configured delay.
 func (m *SimMedium) SetLink(a, b PeerID, tech Technology) {
-	key := makePair(a, b)
+	key := MakePair(a, b)
 	if _, up := m.links[key]; up {
 		return
 	}
@@ -106,7 +106,7 @@ func (m *SimMedium) SetLink(a, b PeerID, tech Technology) {
 	m.stats.ContactsUp++
 	now := m.clk.Now()
 	if m.OnContact != nil {
-		m.OnContact(Contact{A: key.lo, B: key.hi, Tech: tech, At: now, Up: true})
+		m.OnContact(Contact{A: key.Lo, B: key.Hi, Tech: tech, At: now, Up: true})
 	}
 
 	epA, epB := m.endpoints[a], m.endpoints[b]
@@ -128,7 +128,7 @@ func (m *SimMedium) SetLink(a, b PeerID, tech Technology) {
 // CutLink ends the radio contact between two devices: in-flight frames are
 // lost, connections tear down, and PeerLost fires for advertised peers.
 func (m *SimMedium) CutLink(a, b PeerID) {
-	key := makePair(a, b)
+	key := MakePair(a, b)
 	link, up := m.links[key]
 	if !up {
 		return
@@ -138,7 +138,7 @@ func (m *SimMedium) CutLink(a, b PeerID) {
 	m.stats.ContactsDown++
 	now := m.clk.Now()
 	if m.OnContact != nil {
-		m.OnContact(Contact{A: key.lo, B: key.hi, Tech: link.tech, At: now, Up: false})
+		m.OnContact(Contact{A: key.Lo, B: key.Hi, Tech: link.tech, At: now, Up: false})
 	}
 
 	epA, epB := m.endpoints[a], m.endpoints[b]
@@ -156,7 +156,7 @@ func (m *SimMedium) CutLink(a, b PeerID) {
 
 // Linked reports whether two devices currently share a link.
 func (m *SimMedium) Linked(a, b PeerID) bool {
-	_, up := m.links[makePair(a, b)]
+	_, up := m.links[MakePair(a, b)]
 	return up
 }
 
@@ -206,18 +206,18 @@ func (m *SimMedium) post(at time.Time, fn func()) {
 
 // linkKeysOf returns the link keys touching peer in deterministic order,
 // so event generation never depends on map iteration order.
-func (m *SimMedium) linkKeysOf(peer PeerID) []pairKey {
-	var keys []pairKey
+func (m *SimMedium) linkKeysOf(peer PeerID) []PairKey {
+	var keys []PairKey
 	for key := range m.links {
-		if key.lo == peer || key.hi == peer {
+		if key.Lo == peer || key.Hi == peer {
 			keys = append(keys, key)
 		}
 	}
 	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].lo != keys[j].lo {
-			return keys[i].lo < keys[j].lo
+		if keys[i].Lo != keys[j].Lo {
+			return keys[i].Lo < keys[j].Lo
 		}
-		return keys[i].hi < keys[j].hi
+		return keys[i].Hi < keys[j].Hi
 	})
 	return keys
 }
@@ -277,10 +277,10 @@ func (ep *simEndpoint) SetAdvertisement(ad []byte) {
 	for _, key := range m.linkKeysOf(ep.self) {
 		link := m.links[key]
 		var other PeerID
-		if ep.self == key.lo {
-			other = key.hi
+		if ep.self == key.Lo {
+			other = key.Hi
 		} else {
-			other = key.lo
+			other = key.Lo
 		}
 		otherEP := m.endpoints[other]
 		if otherEP == nil {
@@ -318,7 +318,7 @@ func (ep *simEndpoint) Connect(peer PeerID) (Conn, error) {
 	if !known || remote.closed {
 		return nil, fmt.Errorf("%w: %s", ErrPeerUnknown, peer)
 	}
-	key := makePair(ep.self, peer)
+	key := MakePair(ep.self, peer)
 	link, up := m.links[key]
 	if !up {
 		return nil, fmt.Errorf("%w: %s", ErrPeerGone, peer)
@@ -358,10 +358,10 @@ func (ep *simEndpoint) Close() error {
 	if wasAdvertising {
 		for _, key := range m.linkKeysOf(ep.self) {
 			var other PeerID
-			if ep.self == key.lo {
-				other = key.hi
+			if ep.self == key.Lo {
+				other = key.Hi
 			} else {
-				other = key.lo
+				other = key.Lo
 			}
 			if otherEP := m.endpoints[other]; otherEP != nil && !otherEP.closed {
 				peer := ep.self
@@ -396,7 +396,7 @@ type simConn struct {
 	localEP   *simEndpoint
 	remoteEP  *simEndpoint
 	twin      *simConn
-	pair      pairKey
+	pair      PairKey
 	epoch     uint64
 	initiator bool
 	closed    bool

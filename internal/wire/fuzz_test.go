@@ -1,0 +1,74 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"sos/internal/id"
+	"sos/internal/msg"
+)
+
+// FuzzDecodeFrame checks two codec invariants on arbitrary input: Decode
+// never panics, and any frame Decode accepts survives an Encode/Decode
+// round trip bit-identically (Encode ∘ Decode is the identity on the
+// codec's canonical form).
+func FuzzDecodeFrame(f *testing.F) {
+	alice := id.NewUserID("alice")
+	bob := id.NewUserID("bob")
+	var nonce [NonceLen]byte
+	copy(nonce[:], "0123456789abcdef")
+
+	seedMsg := &msg.Message{
+		Author:  alice,
+		Seq:     7,
+		Kind:    msg.KindPost,
+		Created: time.Unix(1500000000, 0).UTC(),
+		Payload: []byte("hello, opportunistic world"),
+		CertDER: []byte{0x30, 0x03, 0x02, 0x01, 0x01},
+		Sig:     []byte{0x30, 0x06, 0x02, 0x01, 0x02, 0x02, 0x01, 0x03},
+	}
+
+	seeds := []Frame{
+		&Advertisement{Peer: "alice-device", Summary: map[id.UserID]uint64{alice: 3, bob: 9}, SchemeData: []byte("prophet")},
+		&Hello{CertDER: []byte{0x30, 0x03, 0x02, 0x01, 0x01}, Nonce: nonce},
+		&HelloAck{CertDER: []byte{0x30, 0x03, 0x02, 0x01, 0x02}, Nonce: nonce, Sig: []byte{1, 2, 3}},
+		&HelloFin{Sig: []byte{4, 5, 6}},
+		&Request{Wants: []Want{{Author: alice, Seqs: []uint64{1, 2, 3}}, {Author: bob}}},
+		&Batch{Msgs: []*msg.Message{seedMsg}},
+		&Ack{Refs: []msg.Ref{{Author: alice, Seq: 7}}},
+		&Bye{},
+	}
+	for _, fr := range seeds {
+		enc, err := Encode(fr)
+		if err != nil {
+			f.Fatalf("encoding %s seed: %v", fr.Type(), err)
+		}
+		f.Add(enc)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{byte(TypeAdvertisement)})
+	f.Add([]byte{0xFF, 0x00, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := Decode(data)
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		enc, err := Encode(fr)
+		if err != nil {
+			t.Fatalf("decoded %s does not re-encode: %v", fr.Type(), err)
+		}
+		fr2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-encoded %s does not decode: %v", fr.Type(), err)
+		}
+		enc2, err := Encode(fr2)
+		if err != nil {
+			t.Fatalf("round-tripped %s does not re-encode: %v", fr.Type(), err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("%s round trip not identity:\n first %x\nsecond %x", fr.Type(), enc, enc2)
+		}
+	})
+}

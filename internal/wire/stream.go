@@ -1,0 +1,61 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxStreamFrame bounds a single length-prefixed frame on a byte stream.
+// It comfortably holds the largest encodable SOS frame (a full Batch) and
+// protects readers from hostile length prefixes.
+const MaxStreamFrame = 16 << 20
+
+// ErrFrameTooLarge is returned when a stream frame exceeds MaxStreamFrame.
+var ErrFrameTooLarge = errors.New("wire: stream frame exceeds limit")
+
+// WriteFrame writes one opaque frame to w as a 4-byte big-endian length
+// prefix followed by the frame bytes. It is the stream framing real-socket
+// transports use to carry the same byte frames MemMedium and SimMedium
+// deliver whole; the payload is typically an Encode()d (and, post
+// handshake, sealed) SOS frame, but WriteFrame treats it as opaque.
+func WriteFrame(w io.Writer, frame []byte) error {
+	if len(frame) > MaxStreamFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(frame))
+	}
+	buf := make([]byte, 4+len(frame))
+	binary.BigEndian.PutUint32(buf, uint32(len(frame)))
+	copy(buf[4:], frame)
+	// A single Write keeps the prefix and payload in one syscall so
+	// concurrent writers interleave at frame granularity at worst.
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("wire: writing frame: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one frame written by WriteFrame. It returns io.EOF only
+// on a clean boundary (no bytes read); a stream that ends mid-frame
+// returns io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var prefix [4]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: reading frame length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(prefix[:])
+	if n > MaxStreamFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("wire: reading %d-byte frame: %w", n, err)
+	}
+	return frame, nil
+}

@@ -1,0 +1,62 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestStreamRoundTrip(t *testing.T) {
+	frames := [][]byte{
+		nil,
+		{},
+		[]byte("x"),
+		bytes.Repeat([]byte{0xAB}, 70000), // larger than a uint16 length
+	}
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatalf("WriteFrame(%d bytes): %v", len(f), err)
+		}
+	}
+	for i, want := range frames {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame #%d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("ReadFrame #%d: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if _, err := ReadFrame(&buf); !errors.Is(err, io.EOF) {
+		t.Fatalf("ReadFrame at clean end: got %v, want io.EOF", err)
+	}
+}
+
+func TestStreamTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadFrame(bytes.NewReader(cut)); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("mid-frame truncation: got %v, want io.ErrUnexpectedEOF", err)
+	}
+	// Truncated inside the length prefix itself.
+	if _, err := ReadFrame(bytes.NewReader(buf.Bytes()[:2])); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("mid-prefix truncation: got %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestStreamOversize(t *testing.T) {
+	// A hostile length prefix must be rejected before allocation.
+	hostile := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := ReadFrame(bytes.NewReader(hostile)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("hostile prefix: got %v, want ErrFrameTooLarge", err)
+	}
+	var sink bytes.Buffer
+	if err := WriteFrame(&sink, make([]byte, MaxStreamFrame+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversize write: got %v, want ErrFrameTooLarge", err)
+	}
+}

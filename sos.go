@@ -39,6 +39,7 @@ import (
 	"sos/internal/id"
 	"sos/internal/mpc"
 	"sos/internal/msg"
+	"sos/internal/netmedium"
 	"sos/internal/pki"
 	"sos/internal/routing"
 	"sos/internal/store"
@@ -94,6 +95,12 @@ type (
 	MemMedium = mpc.MemMedium
 	// SimMedium is the deterministic virtual-time medium.
 	SimMedium = mpc.SimMedium
+	// NetMedium is the real-socket medium: UDP beacon discovery plus
+	// per-technology TCP sessions, for running nodes across processes
+	// and machines.
+	NetMedium = netmedium.Medium
+	// NetConfig tunes a NetMedium (beacon addresses, ports, timeouts).
+	NetConfig = netmedium.Config
 	// PeerID names a device on a medium.
 	PeerID = mpc.PeerID
 	// Technology is a radio technology (Bluetooth, p2p WiFi, infra WiFi).
@@ -184,6 +191,26 @@ func BootstrapWithRand(svc *Cloud, handle string, rng io.Reader) (*Credentials, 
 // NewMemMedium creates a live in-process medium for examples and tests.
 func NewMemMedium() *MemMedium {
 	return mpc.NewMemMedium()
+}
+
+// NewNetMedium creates the real-socket medium so a node runs in vivo:
+// discovery beacons over UDP (broadcast, multicast, or static peers) and
+// encrypted-session frames over per-technology TCP connections.
+func NewNetMedium(cfg NetConfig) (*NetMedium, error) {
+	return netmedium.New(cfg)
+}
+
+// SaveCredentials persists bootstrap credentials (identity key,
+// certificate, pinned root) so a daemon can start without reaching the
+// cloud; the file holds the private key and is written owner-only.
+func SaveCredentials(creds *Credentials, path string) error {
+	return cloud.SaveCredentials(creds, path)
+}
+
+// LoadCredentials reads credentials written by SaveCredentials,
+// re-verifying the certificate against the bundled root.
+func LoadCredentials(path string) (*Credentials, error) {
+	return cloud.LoadCredentials(path)
 }
 
 // NewSimMedium creates a deterministic virtual-time medium driven by clk.
