@@ -276,25 +276,113 @@ func BenchmarkWireRoundTrip(b *testing.B) {
 	}
 }
 
-// BenchmarkStoreSummary measures the advertisement-summary path that runs
-// on every store change.
-func BenchmarkStoreSummary(b *testing.B) {
-	st := store.New(id.NewUserID("self"))
-	for a := 0; a < 50; a++ {
-		author := id.NewUserID(fmt.Sprintf("author%d", a))
-		for seq := uint64(1); seq <= 20; seq++ {
+// benchAuthors preloads a store with the large-population shape the
+// storage refactor targets: 10k authors, sparse high sequence numbers.
+func benchAuthors(b *testing.B, st *store.Store, authors int) []id.UserID {
+	b.Helper()
+	ids := make([]id.UserID, authors)
+	for a := 0; a < authors; a++ {
+		ids[a] = id.NewUserID(fmt.Sprintf("author%05d", a))
+		// Two sparse seqs per author, far apart, so the per-author maps
+		// exercise the gap-walking paths rather than dense ranges.
+		for _, seq := range []uint64{uint64(a)%7 + 1, uint64(a)%7 + 1000} {
 			if _, err := st.Put(&msg.Message{
-				Author: author, Seq: seq, Kind: msg.KindPost, Created: time.Unix(1491472800, 0),
+				Author: ids[a], Seq: seq, Kind: msg.KindPost, Created: time.Unix(1491472800, 0),
 			}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	}
+	return ids
+}
+
+// BenchmarkStoreSummary measures the advertisement-summary path that runs
+// on every beacon refresh, at 10k authors. The seed rebuilt the whole
+// UserID → seq dictionary per call (O(authors) per beacon); the engine
+// now maintains it incrementally and hands out a cached copy-on-write
+// snapshot, so this is O(1) per call.
+func BenchmarkStoreSummary(b *testing.B) {
+	st := store.New(id.NewUserID("self"))
+	benchAuthors(b, st, 10_000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if len(st.Summary()) != 50 {
+		if len(st.Summary()) != 10_000 {
 			b.Fatal("bad summary")
 		}
+	}
+}
+
+// BenchmarkStorePut measures the insert path at 10k resident authors:
+// index insert plus the O(1) incremental summary update.
+func BenchmarkStorePut(b *testing.B) {
+	st := store.New(id.NewUserID("self"))
+	ids := benchAuthors(b, st, 10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		author := ids[i%len(ids)]
+		if _, err := st.Put(&msg.Message{
+			Author: author, Seq: uint64(2000 + i), Kind: msg.KindPost,
+			Created: time.Unix(1491472800, 0),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreMissing measures the advertisement-response planning path
+// with sparse, large sequence numbers. The seed scanned every seq in
+// [1, upto] (O(upto) per advertisement); the engine now gap-walks the
+// held set, so a sparse author with seq up to 1000 costs what it holds.
+func BenchmarkStoreMissing(b *testing.B) {
+	st := store.New(id.NewUserID("self"))
+	author := id.NewUserID("sparse-author")
+	for seq := uint64(1); seq <= 1000; seq += 97 {
+		if _, err := st.Put(&msg.Message{
+			Author: author, Seq: seq, Kind: msg.KindPost, Created: time.Unix(1491472800, 0),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := st.Missing(author, 1000); len(got) == 0 {
+			b.Fatal("bad missing set")
+		}
+	}
+}
+
+// BenchmarkStoreBufferPressure runs the constrained-device workload the
+// in-vivo study could not explore: a finite per-node quota on the ferry
+// topology, epidemic vs. interest. Epidemic floods every buffer it meets
+// and pays for it in evictions; interest carries only subscribed cargo
+// and keeps more of what matters.
+func BenchmarkStoreBufferPressure(b *testing.B) {
+	for _, scheme := range []string{"epidemic", "interest"} {
+		b.Run(scheme, func(b *testing.B) {
+			var delivered, evictions, trackedDrops float64
+			for i := 0; i < b.N; i++ {
+				bp, err := sim.NewBufferPressure(sim.BufferPressureConfig{
+					Seed: 11, Scheme: scheme, Quota: 12, Posts: 60,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				s, err := sim.New(bp.Config)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := s.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				delivered = float64(len(res.Collector.Deliveries(metrics.AllHops)))
+				evictions = float64(res.Collector.Evictions())
+				trackedDrops = float64(res.Collector.TrackedEvictions())
+			}
+			b.ReportMetric(delivered, "deliveries")
+			b.ReportMetric(evictions, "evictions")
+			b.ReportMetric(trackedDrops, "tracked-drops")
+		})
 	}
 }
 

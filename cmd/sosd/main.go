@@ -118,6 +118,12 @@ func run(args []string) error {
 	loss := fs.Duration("loss-timeout", 0, "silence before a peer is lost (default: 3.5 × interval)")
 	post := fs.String("post", "", "publish one post at startup")
 	follow := fs.String("follow", "", "comma-separated handles or user ids to follow at startup")
+	storeKind := fs.String("store", "mem", "storage engine: mem (volatile) or disk (survives restarts)")
+	storeDir := fs.String("store-dir", "", "disk engine directory (default: <creds file>.store)")
+	quota := fs.Int("quota", 0, "max buffered messages; over quota the eviction policy drops relay cargo (0 = unbounded)")
+	quotaBytes := fs.Int("quota-bytes", 0, "max buffered message bytes (0 = unbounded)")
+	evict := fs.String("evict", "", "eviction policy: drop-oldest, ttl, size-quota, subscription-priority (default: drop-oldest, or ttl when -relay-ttl is set)")
+	relayTTL := fs.Duration("relay-ttl", 0, "lifetime of other users' messages in the buffer (0 = forever)")
 	fs.Parse(args)
 	if *credsPath == "" {
 		return fmt.Errorf("run requires -creds (generate one with 'sosd provision')")
@@ -126,6 +132,41 @@ func run(args []string) error {
 	creds, err := sos.LoadCredentials(*credsPath)
 	if err != nil {
 		return err
+	}
+
+	// The storage engine: the paper's on-device database, here either a
+	// volatile in-memory buffer or a crash-recoverable disk database
+	// that lets the daemon resume messages and subscriptions after a
+	// restart.
+	policy, err := sos.PolicyByName(*evict, *relayTTL)
+	if err != nil {
+		return err
+	}
+	storeOpts := sos.StoreOptions{
+		MaxMessages: *quota,
+		MaxBytes:    *quotaBytes,
+		Policy:      policy,
+	}
+	var engine sos.Store
+	switch *storeKind {
+	case "mem":
+		engine = sos.NewMemStore(creds.Ident.User, storeOpts)
+	case "disk":
+		dir := *storeDir
+		if dir == "" {
+			dir = *credsPath + ".store"
+		}
+		disk, err := sos.OpenDiskStore(dir, creds.Ident.User, storeOpts)
+		if err != nil {
+			return err
+		}
+		if n := disk.Len(); n > 0 {
+			fmt.Printf("sosd: resumed %d messages and %d subscriptions from %s\n",
+				n, len(disk.Subscriptions()), dir)
+		}
+		engine = disk
+	default:
+		return fmt.Errorf("unknown -store %q (want mem or disk)", *storeKind)
 	}
 	cfg := sos.NetConfig{
 		BeaconListen:   *beaconListen,
@@ -147,6 +188,8 @@ func run(args []string) error {
 		Medium:   medium,
 		PeerName: sos.PeerID(*name),
 		Scheme:   *scheme,
+		Store:    engine,
+		Routing:  sos.RoutingOptions{RelayTTL: *relayTTL},
 		OnReceive: func(m *sos.Message, from sos.UserID) {
 			fmt.Printf("« received %s %s from %s via %s: %q\n",
 				m.Kind, m.Ref(), m.Author, from, trim(m.Payload))
@@ -239,11 +282,17 @@ func command(node *sos.Node, line string) bool {
 		}
 	case "stats":
 		s := node.Stats()
-		fmt.Printf("adhoc:   %+v\nmessage: %+v\n", s.Adhoc, s.Message)
+		fmt.Printf("adhoc:   %+v\nmessage: %+v\nstore:   %+v\n", s.Adhoc, s.Message, s.Store)
+	case "store":
+		st := node.Store().Stats()
+		fmt.Printf("store: %d messages (%d bytes), %d puts, %d duplicates\n",
+			st.Messages, st.Bytes, st.Puts, st.Duplicates)
+		fmt.Printf("       %d quota evictions, %d expirations, %d bytes dropped (summary gen %d)\n",
+			st.Evictions, st.Expirations, st.EvictedBytes, st.Generation)
 	case "quit", "exit":
 		return true
 	default:
-		fmt.Println("commands: post <text> | follow <handle-or-id> | peers | stats | quit")
+		fmt.Println("commands: post <text> | follow <handle-or-id> | peers | stats | store | quit")
 	}
 	return false
 }

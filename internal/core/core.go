@@ -48,6 +48,12 @@ type Config struct {
 	Rand io.Reader
 	// Routing tunes scheme construction.
 	Routing routing.Options
+	// Store selects the storage engine. Nil builds an in-memory engine
+	// whose eviction policy honours Routing.RelayTTL; daemons pass a
+	// disk engine (store.OpenDisk) so the local database survives
+	// restarts. The engine's owner must match the credentials, and the
+	// middleware takes ownership: Close closes it.
+	Store store.Engine
 
 	// OnReceive fires once per newly stored message.
 	OnReceive func(m *msg.Message, from id.UserID)
@@ -64,13 +70,14 @@ type Config struct {
 type Stats struct {
 	Adhoc   adhoc.Stats
 	Message message.Stats
+	Store   store.Stats
 }
 
 // Middleware is one application's SOS instance.
 type Middleware struct {
 	cfg      Config
 	clk      clock.Clock
-	store    *store.Store
+	store    store.Engine
 	verifier *pki.Verifier
 	routing  *routing.Manager
 	msgMgr   *message.Manager
@@ -92,7 +99,23 @@ func New(cfg Config) (*Middleware, error) {
 		cfg.Routing.Clock = cfg.Clock
 	}
 
-	st := store.New(cfg.Creds.Ident.User)
+	st := cfg.Store
+	if st == nil {
+		// Default engine: in-memory, unbounded, with Routing.RelayTTL
+		// mapped onto the TTL eviction policy (real buffer management
+		// instead of the old serve-time filter).
+		policy, err := store.PolicyByName("", cfg.Routing.RelayTTL)
+		if err != nil {
+			return nil, fmt.Errorf("core: building store policy: %w", err)
+		}
+		st = store.NewMemory(cfg.Creds.Ident.User, store.Options{
+			Clock:  cfg.Clock,
+			Policy: policy,
+		})
+	} else if st.Owner() != cfg.Creds.Ident.User {
+		return nil, fmt.Errorf("core: store owner %s does not match credentials user %s",
+			st.Owner(), cfg.Creds.Ident.User)
+	}
 	verifier, err := pki.NewVerifier(cfg.Creds.RootDER, cfg.Clock.Now)
 	if err != nil {
 		return nil, fmt.Errorf("core: building verifier: %w", err)
@@ -101,6 +124,9 @@ func New(cfg Config) (*Middleware, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: building routing manager: %w", err)
 	}
+	// Schemes observe every buffer drop, so per-message routing state
+	// (spray budgets) is released with the message.
+	st.OnEvict(func(ev store.Eviction) { routingMgr.OnEvicted(ev.Ref) })
 	if cfg.Scheme != "" {
 		if err := routingMgr.Use(cfg.Scheme); err != nil {
 			return nil, fmt.Errorf("core: selecting scheme: %w", err)
@@ -156,8 +182,9 @@ func (mw *Middleware) User() id.UserID { return mw.cfg.Creds.Ident.User }
 // Peer returns the device's discovery name.
 func (mw *Middleware) Peer() mpc.PeerID { return mw.adhocMgr.Self() }
 
-// Store exposes the local database (feeds, summaries, subscriptions).
-func (mw *Middleware) Store() *store.Store { return mw.store }
+// Store exposes the local database engine (feeds, summaries,
+// subscriptions, buffer statistics).
+func (mw *Middleware) Store() store.Engine { return mw.store }
 
 // Verifier exposes the device's certificate verifier, e.g. for CRL syncs.
 func (mw *Middleware) Verifier() *pki.Verifier { return mw.verifier }
@@ -292,11 +319,23 @@ func (mw *Middleware) SyncWithCloud(svc *cloud.Service) error {
 
 // Stats snapshots all layer counters.
 func (mw *Middleware) Stats() Stats {
-	return Stats{Adhoc: mw.adhocMgr.Stats(), Message: mw.msgMgr.Stats()}
+	return Stats{
+		Adhoc:   mw.adhocMgr.Stats(),
+		Message: mw.msgMgr.Stats(),
+		Store:   mw.store.Stats(),
+	}
 }
 
 // Advertise refreshes the discovery beacon (summary + scheme gossip).
 func (mw *Middleware) Advertise() error { return mw.msgMgr.Advertise() }
 
-// Close shuts the middleware down and detaches from the medium.
-func (mw *Middleware) Close() error { return mw.adhocMgr.Close() }
+// Close shuts the middleware down, detaches from the medium, and flushes
+// and closes the storage engine (crash-safe persistence for daemons).
+func (mw *Middleware) Close() error {
+	mediumErr := mw.adhocMgr.Close()
+	storeErr := mw.store.Close()
+	if mediumErr != nil {
+		return mediumErr
+	}
+	return storeErr
+}

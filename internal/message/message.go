@@ -21,6 +21,7 @@
 package message
 
 import (
+	"bytes"
 	"errors"
 	"sort"
 	"sync"
@@ -43,7 +44,7 @@ var (
 
 // Config assembles a message manager.
 type Config struct {
-	Store    *store.Store
+	Store    store.Engine
 	Routing  *routing.Manager
 	Verifier *pki.Verifier
 	Clock    clock.Clock
@@ -97,6 +98,15 @@ type Manager struct {
 	// message do not trigger duplicate transfers.
 	inflight map[msg.Ref]mpc.PeerID
 	stats    Stats
+
+	// adValid/adGen/adScheme/adData remember the last published beacon:
+	// Advertise is a no-op while the store's summary generation and the
+	// scheme gossip are unchanged, so beacon refreshes cost O(1) instead
+	// of re-encoding the full summary dictionary.
+	adValid  bool
+	adGen    uint64
+	adScheme string
+	adData   []byte
 }
 
 var _ adhoc.Handler = (*Manager)(nil)
@@ -147,7 +157,10 @@ func (m *Manager) ActiveLinks() []id.UserID {
 
 // Advertise publishes the current summary and scheme gossip as the
 // device's discovery beacon. Core calls it at startup and after every
-// change to the store.
+// change to the store. Expired relay cargo is swept first (the store's
+// TTL policy), and the beacon is re-published only when the summary
+// generation or the scheme gossip actually changed — the incremental
+// advertisement the storage engine's generation counter exists for.
 func (m *Manager) Advertise() error {
 	m.mu.Lock()
 	a := m.adhocMgr
@@ -155,8 +168,25 @@ func (m *Manager) Advertise() error {
 	if a == nil {
 		return ErrNotBound
 	}
+	m.cfg.Store.SweepExpired()
 	scheme := m.cfg.Routing.Current()
-	return a.Advertise(m.cfg.Store.Summary(), scheme.SchemeData())
+	name := scheme.Name()
+	data := scheme.SchemeData()
+	gen := m.cfg.Store.Generation()
+	m.mu.Lock()
+	unchanged := m.adValid && m.adGen == gen && m.adScheme == name && bytes.Equal(m.adData, data)
+	m.mu.Unlock()
+	if unchanged {
+		return nil
+	}
+	if err := a.Advertise(m.cfg.Store.Summary(), data); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.adValid, m.adGen, m.adScheme = true, gen, name
+	m.adData = append(m.adData[:0], data...)
+	m.mu.Unlock()
+	return nil
 }
 
 // PeerDiscovered implements adhoc.Handler. A beacon from an unlinked peer
@@ -371,11 +401,15 @@ func (m *Manager) pull() {
 }
 
 // onRequest serves the peer's pull request, scheme-filtered and chunked.
+// Expired cargo is swept first, so a TTL-bounded forwarder never serves a
+// foreign message past its lifetime — the serve-time guarantee the old
+// relay-TTL filter gave, now enforced by actual eviction.
 func (m *Manager) onRequest(link *adhoc.Link, req *wire.Request) {
 	m.mu.Lock()
 	m.stats.RequestsReceived++
 	m.mu.Unlock()
 
+	m.cfg.Store.SweepExpired()
 	scheme := m.cfg.Routing.Current()
 	serve := scheme.FilterServe(link.User(), req.Wants)
 	var outgoing []*msg.Message

@@ -46,6 +46,8 @@ type Collector struct {
 	deliveries     []Delivery
 	delivered      map[deliveryKey]bool
 	disseminations uint64
+	evictions      uint64
+	evictedTracked uint64
 }
 
 type deliveryKey struct {
@@ -101,6 +103,33 @@ func (c *Collector) Delivered(ref msg.Ref, to id.UserID, at time.Time, hops uint
 	c.deliveries = append(c.deliveries, Delivery{
 		Ref: ref, To: to, CreatedAt: createdAt, DeliveredAt: at, Hops: hops,
 	})
+}
+
+// Evicted counts one buffer drop at some node — a storage engine
+// evicting a message to stay within quota or TTL. Drops of workload
+// (tracked) messages are counted separately, since those are the drops
+// that can cost deliveries.
+func (c *Collector) Evicted(ref msg.Ref) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.evictions++
+	if _, tracked := c.created[ref]; tracked {
+		c.evictedTracked++
+	}
+}
+
+// Evictions returns the total buffer drops observed across all nodes.
+func (c *Collector) Evictions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}
+
+// TrackedEvictions returns the buffer drops that hit workload messages.
+func (c *Collector) TrackedEvictions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictedTracked
 }
 
 // HopFilter selects which deliveries a statistic covers.

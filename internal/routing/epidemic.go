@@ -1,9 +1,6 @@
 package routing
 
 import (
-	"time"
-
-	"sos/internal/clock"
 	"sos/internal/id"
 	"sos/internal/msg"
 	"sos/internal/wire"
@@ -13,25 +10,25 @@ import (
 // replication of every message to every encountered node. It achieves the
 // highest delivery ratio and the highest transfer overhead; the paper
 // ships it as the baseline scheme and notes it fits in under 100 lines —
-// as does this implementation.
+// as does this implementation. Buffer bounds (quota, relay TTL) live in
+// the storage engine, so the scheme itself is pure policy-free flooding.
 type Epidemic struct {
 	view StoreView
-	clk  clock.Clock
-	ttl  time.Duration
 }
 
 var _ Scheme = (*Epidemic)(nil)
 
 // NewEpidemic builds the scheme over a store view.
-func NewEpidemic(view StoreView, opts Options) *Epidemic {
-	return &Epidemic{view: view, clk: opts.Clock, ttl: opts.RelayTTL}
+func NewEpidemic(view StoreView, _ Options) *Epidemic {
+	return &Epidemic{view: view}
 }
 
 // Name implements Scheme.
 func (e *Epidemic) Name() string { return SchemeEpidemic }
 
 // Wants implements Scheme: request every advertised message we lack,
-// regardless of author.
+// regardless of author. Missing already excludes evicted refs, so a
+// bounded buffer never churns on re-fetching what it dropped.
 func (e *Epidemic) Wants(summary map[id.UserID]uint64) []wire.Want {
 	var wants []wire.Want
 	for author, latest := range summary {
@@ -42,10 +39,10 @@ func (e *Epidemic) Wants(summary map[id.UserID]uint64) []wire.Want {
 	return sortWants(wants)
 }
 
-// FilterServe implements Scheme: serve everything asked for, subject to
-// the relay-TTL buffer policy.
+// FilterServe implements Scheme: serve everything asked for. The storage
+// engine has already evicted anything the buffer policy refuses to carry.
 func (e *Epidemic) FilterServe(_ id.UserID, wants []wire.Want) []wire.Want {
-	return filterRelayTTL(e.view, e.clk, e.ttl, wants)
+	return wants
 }
 
 // PrepareOutgoing implements Scheme: epidemic carries no metadata.
@@ -53,6 +50,9 @@ func (e *Epidemic) PrepareOutgoing(_ id.UserID, _ *msg.Message) {}
 
 // OnReceived implements Scheme.
 func (e *Epidemic) OnReceived(_ *msg.Message, _ id.UserID) {}
+
+// OnEvicted implements Scheme: epidemic keeps no per-message state.
+func (e *Epidemic) OnEvicted(_ msg.Ref) {}
 
 // OnPeerConnected implements Scheme.
 func (e *Epidemic) OnPeerConnected(_ id.UserID) {}

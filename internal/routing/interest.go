@@ -1,9 +1,6 @@
 package routing
 
 import (
-	"time"
-
-	"sos/internal/clock"
 	"sos/internal/id"
 	"sos/internal/msg"
 	"sos/internal/wire"
@@ -19,15 +16,13 @@ import (
 // advertisements offer those messages to other subscribers.
 type Interest struct {
 	view StoreView
-	clk  clock.Clock
-	ttl  time.Duration
 }
 
 var _ Scheme = (*Interest)(nil)
 
 // NewInterest builds the scheme over a store view.
-func NewInterest(view StoreView, opts Options) *Interest {
-	return &Interest{view: view, clk: opts.Clock, ttl: opts.RelayTTL}
+func NewInterest(view StoreView, _ Options) *Interest {
+	return &Interest{view: view}
 }
 
 // Name implements Scheme.
@@ -49,13 +44,17 @@ func (ib *Interest) Wants(summary map[id.UserID]uint64) []wire.Want {
 }
 
 // FilterServe implements Scheme: requesters self-select by interest, so
-// serve whatever was asked, subject to the relay-TTL buffer policy.
+// serve whatever was asked; the storage engine's eviction policy already
+// bounds what this node still carries.
 func (ib *Interest) FilterServe(_ id.UserID, wants []wire.Want) []wire.Want {
-	return filterRelayTTL(ib.view, ib.clk, ib.ttl, wants)
+	return wants
 }
 
 // PrepareOutgoing implements Scheme.
 func (ib *Interest) PrepareOutgoing(_ id.UserID, _ *msg.Message) {}
+
+// OnEvicted implements Scheme: interest keeps no per-message state.
+func (ib *Interest) OnEvicted(_ msg.Ref) {}
 
 // OnReceived implements Scheme.
 func (ib *Interest) OnReceived(_ *msg.Message, _ id.UserID) {}

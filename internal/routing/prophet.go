@@ -35,7 +35,6 @@ type Prophet struct {
 	gamma     float64
 	threshold float64
 
-	ttl      time.Duration
 	preds    map[id.UserID]float64
 	lastAged time.Time
 	subsOf   map[id.UserID]map[id.UserID]bool // author → known subscribers
@@ -48,7 +47,6 @@ func NewProphet(view StoreView, opts Options) *Prophet {
 	p := &Prophet{
 		view:      view,
 		clk:       opts.Clock,
-		ttl:       opts.RelayTTL,
 		pEnc:      opts.ProphetEncounter,
 		beta:      opts.ProphetBeta,
 		gamma:     opts.ProphetGamma,
@@ -95,11 +93,15 @@ func (p *Prophet) Wants(summary map[id.UserID]uint64) []wire.Want {
 }
 
 // FilterServe implements Scheme: the requester self-selected by its own
-// predictability, so serve what was asked, subject to the relay-TTL
-// buffer policy.
+// predictability, so serve what was asked; the storage engine's eviction
+// policy bounds what this node still carries.
 func (p *Prophet) FilterServe(_ id.UserID, wants []wire.Want) []wire.Want {
-	return filterRelayTTL(p.view, p.clk, p.ttl, wants)
+	return wants
 }
+
+// OnEvicted implements Scheme: predictabilities are per-peer, not
+// per-message, so there is nothing to release.
+func (p *Prophet) OnEvicted(_ msg.Ref) {}
 
 // PrepareOutgoing implements Scheme.
 func (p *Prophet) PrepareOutgoing(_ id.UserID, _ *msg.Message) {}

@@ -43,20 +43,22 @@ var (
 )
 
 // StoreView is the read-only surface schemes use to consult the local
-// database; *store.Store satisfies it.
+// database; every store.Engine satisfies it. Age-based buffer policy
+// lives in the storage engine (store.Policy), not here.
 type StoreView interface {
 	Owner() id.UserID
 	MaxSeq(author id.UserID) uint64
 	Missing(author id.UserID, upto uint64) []uint64
 	IsSubscribed(author id.UserID) bool
 	Subscriptions() []id.UserID
-	// CreatedAt returns a held message's creation time.
-	CreatedAt(author id.UserID, seq uint64) (time.Time, bool)
 }
 
 // Scheme is one opportunistic routing protocol. The message manager calls
-// every hook from a single logical thread per node; implementations only
-// need internal locking if shared across managers (they are not).
+// the exchange hooks from a single logical thread per node — but
+// OnEvicted (and SchemeData, via Advertise) can fire from whichever
+// goroutine mutated the store, e.g. the application's publish path, so
+// schemes with mutable per-message state need internal locking around it
+// (see SprayAndWait).
 type Scheme interface {
 	// Name returns the registry name.
 	Name() string
@@ -69,6 +71,10 @@ type Scheme interface {
 	PrepareOutgoing(peer id.UserID, m *msg.Message)
 	// OnReceived observes a newly stored message obtained from peer.
 	OnReceived(m *msg.Message, from id.UserID)
+	// OnEvicted observes the storage engine dropping a held message
+	// (quota eviction or TTL expiry), so schemes release any per-message
+	// state — spray budgets, custody notes — instead of leaking it.
+	OnEvicted(ref msg.Ref)
 	// OnPeerConnected observes an authenticated encounter starting.
 	OnPeerConnected(peer id.UserID)
 	// OnPeerLost observes the end of an encounter.
@@ -85,9 +91,12 @@ type Options struct {
 	// Clock drives PRoPHET predictability aging and relay-TTL checks.
 	// Nil selects wall time.
 	Clock clock.Clock
-	// RelayTTL bounds how long a node forwards *other users'* messages:
-	// a forwarder serves a foreign message only while it is younger than
-	// the TTL. Authors always serve their own messages, so old content
+	// RelayTTL bounds how long a node carries *other users'* messages.
+	// It is enforced by the storage engine, not the schemes: the core
+	// layer maps a positive RelayTTL onto the store's TTL eviction
+	// policy, which physically drops (and tombstones) foreign messages
+	// older than the TTL, so a forwarder neither serves nor re-fetches
+	// them. Authors always keep their own messages, so old content
 	// remains deliverable directly from its source. Zero disables
 	// eviction. This is standard DTN buffer management; it also matches
 	// the field study's delivery pattern, where multi-hop forwarding
@@ -201,43 +210,19 @@ func (m *Manager) Current() Scheme {
 	return m.current
 }
 
+// OnEvicted forwards a storage-engine drop to the active scheme. The
+// core layer registers it as the store's eviction hook, which is how the
+// routing layer observes buffer management it no longer performs itself.
+func (m *Manager) OnEvicted(ref msg.Ref) {
+	m.Current().OnEvicted(ref)
+}
+
 // sortWants orders wants deterministically by author display form.
 func sortWants(wants []wire.Want) []wire.Want {
 	sort.Slice(wants, func(i, j int) bool {
 		return wants[i].Author.String() < wants[j].Author.String()
 	})
 	return wants
-}
-
-// filterRelayTTL applies the relay-TTL serving policy shared by all
-// built-in schemes: foreign messages older than ttl are not served;
-// locally-authored messages always are. A zero ttl serves everything.
-func filterRelayTTL(view StoreView, clk clock.Clock, ttl time.Duration, wants []wire.Want) []wire.Want {
-	if ttl <= 0 {
-		return wants
-	}
-	now := nowOf(clk)
-	var out []wire.Want
-	for _, w := range wants {
-		if w.Author == view.Owner() {
-			out = append(out, w)
-			continue
-		}
-		var seqs []uint64
-		for _, seq := range w.Seqs {
-			created, ok := view.CreatedAt(w.Author, seq)
-			if !ok {
-				continue // not held; nothing to serve anyway
-			}
-			if now.Sub(created) <= ttl {
-				seqs = append(seqs, seq)
-			}
-		}
-		if len(seqs) > 0 {
-			out = append(out, wire.Want{Author: w.Author, Seqs: seqs})
-		}
-	}
-	return out
 }
 
 // nowOf unwraps an Options clock safely.

@@ -262,6 +262,52 @@ func TestSprayAllowanceNeverExceedsInitialProperty(t *testing.T) {
 	}
 }
 
+// TestSprayAndWaitEvictionReleasesBudget: the storage engine dropping a
+// message must free its copy allowance, and a later reappearance of the
+// same ref starts from the carried budget again, not a stale entry.
+func TestSprayAndWaitEvictionReleasesBudget(t *testing.T) {
+	view := newView(t)
+	put(t, view, self, 1)
+	sw := NewSprayAndWait(view, Options{SprayBudget: 8})
+	ref := msg.Ref{Author: self, Seq: 1}
+	out := &msg.Message{Author: self, Seq: 1, Kind: msg.KindPost, Created: time.Now()}
+	sw.PrepareOutgoing(bob, out) // allowance now 4
+	if sw.allowance(ref) != 4 {
+		t.Fatalf("allowance = %d, want 4", sw.allowance(ref))
+	}
+	sw.OnEvicted(ref)
+	if _, held := sw.budget[ref]; held {
+		t.Error("eviction left a stale budget entry")
+	}
+	// Own refs restart at the initial budget on next touch.
+	if got := sw.allowance(ref); got != 8 {
+		t.Errorf("allowance after eviction = %d, want initial 8", got)
+	}
+}
+
+// TestManagerForwardsEvictions: the manager routes storage-engine drops
+// to whichever scheme is active at that moment.
+func TestManagerForwardsEvictions(t *testing.T) {
+	view := newView(t)
+	mgr, err := NewManager(view, Options{SprayBudget: 4})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	if err := mgr.Use(SchemeSprayAndWait); err != nil {
+		t.Fatalf("Use: %v", err)
+	}
+	put(t, view, self, 1)
+	sw := mgr.Current().(*SprayAndWait)
+	ref := msg.Ref{Author: self, Seq: 1}
+	if got := sw.allowance(ref); got != 4 {
+		t.Fatalf("allowance = %d, want 4", got)
+	}
+	mgr.OnEvicted(ref)
+	if _, held := sw.budget[ref]; held {
+		t.Error("manager did not forward the eviction to the active scheme")
+	}
+}
+
 func TestProphetEncounterAndAging(t *testing.T) {
 	clk := clock.NewVirtual(time.Date(2017, 4, 6, 8, 0, 0, 0, time.UTC))
 	view := newView(t)

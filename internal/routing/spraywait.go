@@ -1,9 +1,8 @@
 package routing
 
 import (
-	"time"
+	"sync"
 
-	"sos/internal/clock"
 	"sos/internal/id"
 	"sos/internal/msg"
 	"sos/internal/wire"
@@ -20,10 +19,14 @@ import (
 // The per-copy allowance travels in the message's Budget field (mutable
 // routing metadata outside the author signature, like the hop count).
 type SprayAndWait struct {
-	view     StoreView
-	clk      clock.Clock
-	ttl      time.Duration
-	initial  uint16
+	view    StoreView
+	initial uint16
+
+	// mu guards budget and peerSubs: unlike the other hooks, OnEvicted
+	// fires from whichever goroutine triggered the storage eviction
+	// (often the application's publish path), concurrently with the
+	// link-callback thread running FilterServe/OnReceived.
+	mu       sync.Mutex
 	budget   map[msg.Ref]uint16
 	peerSubs map[id.UserID]map[id.UserID]bool // peer → authors peer follows
 }
@@ -38,8 +41,6 @@ func NewSprayAndWait(view StoreView, opts Options) *SprayAndWait {
 	}
 	return &SprayAndWait{
 		view:     view,
-		clk:      opts.Clock,
-		ttl:      opts.RelayTTL,
 		initial:  initial,
 		budget:   make(map[msg.Ref]uint16),
 		peerSubs: make(map[id.UserID]map[id.UserID]bool),
@@ -65,7 +66,8 @@ func (sw *SprayAndWait) Wants(summary map[id.UserID]uint64) []wire.Want {
 // its spray phase, or if the requester is a destination (follows the
 // author).
 func (sw *SprayAndWait) FilterServe(peer id.UserID, wants []wire.Want) []wire.Want {
-	wants = filterRelayTTL(sw.view, sw.clk, sw.ttl, wants)
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
 	var out []wire.Want
 	for _, w := range wants {
 		destination := sw.peerSubs[peer][w.Author]
@@ -87,6 +89,8 @@ func (sw *SprayAndWait) FilterServe(peer id.UserID, wants []wire.Want) []wire.Wa
 // The outgoing copy carries half; we keep the other half. Destinations
 // receive a wait-phase copy without costing allowance.
 func (sw *SprayAndWait) PrepareOutgoing(peer id.UserID, m *msg.Message) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
 	ref := m.Ref()
 	if sw.peerSubs[peer][m.Author] {
 		m.Budget = 1
@@ -104,11 +108,22 @@ func (sw *SprayAndWait) PrepareOutgoing(peer id.UserID, m *msg.Message) {
 
 // OnReceived implements Scheme: adopt the allowance the copy carried.
 func (sw *SprayAndWait) OnReceived(m *msg.Message, _ id.UserID) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
 	b := m.Budget
 	if b == 0 {
 		b = 1
 	}
 	sw.budget[m.Ref()] = b
+}
+
+// OnEvicted implements Scheme: release the evicted message's remaining
+// copy allowance — the buffer dropped it, so the budget entry would
+// otherwise leak (and wrongly resurrect if the ref ever reappeared).
+func (sw *SprayAndWait) OnEvicted(ref msg.Ref) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	delete(sw.budget, ref)
 }
 
 // OnPeerConnected implements Scheme.
@@ -141,12 +156,15 @@ func (sw *SprayAndWait) OnPeerData(peer id.UserID, data []byte) {
 	for _, author := range g.Subs {
 		set[author] = true
 	}
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
 	sw.peerSubs[peer] = set
 }
 
 // allowance returns the local copy allowance for ref: authored messages
 // start at the configured L; relayed messages default to wait phase until
-// OnReceived records their carried budget.
+// OnReceived records their carried budget. Callers must hold sw.mu (the
+// single-threaded tests call it bare).
 func (sw *SprayAndWait) allowance(ref msg.Ref) uint16 {
 	if b, ok := sw.budget[ref]; ok {
 		return b

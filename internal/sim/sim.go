@@ -28,6 +28,7 @@ import (
 	"sos/internal/msg"
 	"sos/internal/pki"
 	"sos/internal/routing"
+	"sos/internal/store"
 	"sos/internal/trace"
 )
 
@@ -80,9 +81,19 @@ type Config struct {
 	Tech mpc.Technology
 	// Scheme is the default routing protocol (default interest-based).
 	Scheme string
-	// RelayTTL bounds how long nodes forward other users' messages
-	// (routing.Options.RelayTTL); zero disables eviction.
+	// RelayTTL bounds how long nodes forward other users' messages; it
+	// becomes each node's TTL eviction policy. Zero disables expiry.
 	RelayTTL time.Duration
+	// StoreQuota bounds each node's message buffer (messages); 0 =
+	// unbounded. A finite quota opens the constrained-device workload:
+	// the storage engines evict under pressure and the collector counts
+	// every drop.
+	StoreQuota int
+	// StoreQuotaBytes bounds each node's buffer in bytes; 0 = unbounded.
+	StoreQuotaBytes int
+	// StorePolicy names the eviction policy (store.PolicyByName);
+	// empty selects TTL when RelayTTL is set and drop-oldest otherwise.
+	StorePolicy string
 	// Seed fixes all randomness.
 	Seed int64
 	// Nodes are the simulated users.
@@ -209,6 +220,19 @@ func New(cfg Config) (*Sim, error) {
 			activity: spec.Activity,
 			peer:     mpc.PeerID(spec.Handle),
 		}
+		// Every node runs a bounded storage engine; eviction drops feed
+		// the collector so buffer pressure is a first-class metric.
+		policy, err := store.PolicyByName(cfg.StorePolicy, cfg.RelayTTL)
+		if err != nil {
+			return nil, fmt.Errorf("sim: store policy: %w", err)
+		}
+		st := store.NewMemory(creds.Ident.User, store.Options{
+			MaxMessages: cfg.StoreQuota,
+			MaxBytes:    cfg.StoreQuotaBytes,
+			Policy:      policy,
+			Clock:       clk,
+			OnEvict:     func(ev store.Eviction) { collector.Evicted(ev.Ref) },
+		})
 		mw, err := core.New(core.Config{
 			Creds:    creds,
 			Medium:   medium,
@@ -217,6 +241,7 @@ func New(cfg Config) (*Sim, error) {
 			Clock:    clk,
 			Rand:     nodeRng,
 			Routing:  routing.Options{Clock: clk, RelayTTL: cfg.RelayTTL},
+			Store:    st,
 			OnReceive: func(m *msg.Message, _ id.UserID) {
 				s.onReceive(n, m)
 			},

@@ -266,6 +266,67 @@ func TestWorkloadValidation(t *testing.T) {
 	}
 }
 
+// TestBufferPressureScenario runs the constrained-device workload: a
+// finite quota forces evictions on the ferry's critical path, the
+// collector counts every drop, and deliveries still happen.
+func TestBufferPressureScenario(t *testing.T) {
+	run := func(quota int) (*Result, *BufferPressure) {
+		bp, err := NewBufferPressure(BufferPressureConfig{Seed: 3, Quota: quota})
+		if err != nil {
+			t.Fatalf("NewBufferPressure: %v", err)
+		}
+		s, err := New(bp.Config)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res, bp
+	}
+
+	pressured, bp := run(12)
+	if got := pressured.Collector.Evictions(); got == 0 {
+		t.Error("finite quota produced no evictions")
+	}
+	delivered := len(pressured.Collector.Deliveries(metrics.AllHops))
+	if delivered == 0 {
+		t.Error("no deliveries under buffer pressure")
+	}
+	// Per-node store stats surface the drops too.
+	var storeEvictions uint64
+	for _, st := range pressured.NodeStats {
+		storeEvictions += st.Store.Evictions + st.Store.Expirations
+	}
+	if storeEvictions == 0 {
+		t.Error("node store stats recorded no evictions")
+	}
+	if q := bp.Config.StoreQuota; q != 12 {
+		t.Fatalf("scenario quota = %d, want 12", q)
+	}
+	// Non-authoring nodes must respect the quota exactly; authors may
+	// exceed it with their own messages, which are never evicted.
+	for handle, st := range pressured.NodeStats {
+		if handle[0] == 'a' {
+			continue
+		}
+		if st.Store.Messages > 12 {
+			t.Errorf("%s holds %d messages, quota 12", handle, st.Store.Messages)
+		}
+	}
+
+	// The unbounded control arm evicts nothing and delivers at least as
+	// much as the pressured run.
+	control, _ := run(-1)
+	if got := control.Collector.Evictions(); got != 0 {
+		t.Errorf("unbounded control arm evicted %d messages", got)
+	}
+	if controlDelivered := len(control.Collector.Deliveries(metrics.AllHops)); controlDelivered < delivered {
+		t.Errorf("control deliveries %d < pressured deliveries %d", controlDelivered, delivered)
+	}
+}
+
 func TestEpidemicOutperformsInterestInCoverage(t *testing.T) {
 	// Three nodes in a line; only the far node subscribed. Epidemic
 	// relays through the middle non-subscriber; interest-based cannot.

@@ -1,0 +1,43 @@
+package store_test
+
+import (
+	"testing"
+
+	"sos/internal/id"
+	"sos/internal/store"
+	"sos/internal/store/storetest"
+)
+
+var confOwner = id.NewUserID("conformance-owner")
+
+// memWorld adapts the in-memory engine to the conformance suite: every
+// Open is a fresh, empty store.
+type memWorld struct{}
+
+func (memWorld) Open(t *testing.T, opts store.Options) store.Engine {
+	return store.NewMemory(confOwner, opts)
+}
+func (memWorld) Persistent() bool { return false }
+
+// diskWorld adapts the disk engine: every Open reopens the same
+// directory, modelling a process restart.
+type diskWorld struct{ dir string }
+
+func (w *diskWorld) Open(t *testing.T, opts store.Options) store.Engine {
+	e, err := store.OpenDisk(w.dir, confOwner, opts)
+	if err != nil {
+		t.Fatalf("OpenDisk(%s): %v", w.dir, err)
+	}
+	return e
+}
+func (*diskWorld) Persistent() bool { return true }
+
+func TestMemoryEngineConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) storetest.World { return memWorld{} })
+}
+
+func TestDiskEngineConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) storetest.World {
+		return &diskWorld{dir: t.TempDir()}
+	})
+}

@@ -1,0 +1,256 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"sos/internal/id"
+	"sos/internal/msg"
+)
+
+func openDisk(t *testing.T, dir string, opts Options) *Disk {
+	t.Helper()
+	d, err := OpenDisk(dir, alice, opts)
+	if err != nil {
+		t.Fatalf("OpenDisk: %v", err)
+	}
+	return d
+}
+
+func TestDiskTornTail(t *testing.T) {
+	dir := t.TempDir()
+	d := openDisk(t, dir, Options{})
+	if _, err := d.Put(post(bob, 1, "whole")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, err := d.Put(post(bob, 2, "also whole")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Simulate a crash mid-append: chop the last record in half.
+	path := filepath.Join(dir, logFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-7], 0o600); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+
+	re := openDisk(t, dir, Options{})
+	defer re.Close()
+	if !re.Has(msg.Ref{Author: bob, Seq: 1}) {
+		t.Error("intact record lost")
+	}
+	if re.Has(msg.Ref{Author: bob, Seq: 2}) {
+		t.Error("torn record replayed")
+	}
+	// The torn tail must be gone from disk, and appends must continue.
+	if _, err := re.Put(post(bob, 3, "after recovery")); err != nil {
+		t.Fatalf("Put after recovery: %v", err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	again := openDisk(t, dir, Options{})
+	defer again.Close()
+	if !again.Has(msg.Ref{Author: bob, Seq: 3}) || again.Has(msg.Ref{Author: bob, Seq: 2}) {
+		t.Error("post-recovery append not replayed cleanly")
+	}
+}
+
+func TestDiskFlippedBitDropsTail(t *testing.T) {
+	dir := t.TempDir()
+	d := openDisk(t, dir, Options{})
+	if _, err := d.Put(post(bob, 1, "good")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, err := d.Put(post(bob, 2, "to be corrupted")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	path := filepath.Join(dir, logFile)
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)-10] ^= 0x40 // flip one bit inside the second record
+	if err := os.WriteFile(path, raw, 0o600); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+
+	re := openDisk(t, dir, Options{})
+	defer re.Close()
+	if !re.Has(msg.Ref{Author: bob, Seq: 1}) {
+		t.Error("record before the corruption lost")
+	}
+	if re.Has(msg.Ref{Author: bob, Seq: 2}) {
+		t.Error("CRC-failing record replayed")
+	}
+}
+
+func TestDiskCompaction(t *testing.T) {
+	dir := t.TempDir()
+	// A tiny threshold forces a compaction within a few puts.
+	d := openDisk(t, dir, Options{CompactBytes: 512, NoSync: true})
+	for seq := uint64(1); seq <= 8; seq++ {
+		if _, err := d.Put(post(bob, seq, "fill the log until it compacts")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	d.Subscribe(carol)
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); err != nil {
+		t.Fatalf("compaction never produced a snapshot: %v", err)
+	}
+	if st, err := os.Stat(filepath.Join(dir, logFile)); err != nil || st.Size() >= 512 {
+		t.Errorf("log not reset by compaction: size=%v err=%v", st, err)
+	}
+
+	re := openDisk(t, dir, Options{})
+	defer re.Close()
+	if re.Len() != 8 || !re.IsSubscribed(carol) {
+		t.Errorf("state after compaction: len=%d subscribed=%v, want 8/true",
+			re.Len(), re.IsSubscribed(carol))
+	}
+	if got := refsOf(re.All()); len(got) != 8 {
+		t.Errorf("All = %v", got)
+	}
+}
+
+func TestDiskReloadEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	d := openDisk(t, dir, Options{})
+	for seq := uint64(1); seq <= 5; seq++ {
+		if _, err := d.Put(post(bob, seq*3, "sparse")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	d.Subscribe(bob)
+	want := struct {
+		refs    []msg.Ref
+		summary map[id.UserID]uint64
+		missing []uint64
+	}{refsOf(d.All()), d.Summary(), d.Missing(bob, 15)}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	re := openDisk(t, dir, Options{})
+	defer re.Close()
+	if !reflect.DeepEqual(refsOf(re.All()), want.refs) {
+		t.Error("messages differ after reload")
+	}
+	if !reflect.DeepEqual(re.Summary(), want.summary) {
+		t.Error("summary differs after reload")
+	}
+	if !reflect.DeepEqual(re.Missing(bob, 15), want.missing) {
+		t.Error("missing set differs after reload")
+	}
+}
+
+// --- snapshot corruption paths ---
+
+// snapshotBytes builds a valid snapshot for surgery.
+func snapshotBytes(t *testing.T) []byte {
+	t.Helper()
+	s := New(alice)
+	mustPut(t, s, post(bob, 1, "body-one"))
+	mustPut(t, s, post(bob, 2, "body-two"))
+	s.Subscribe(bob)
+	s.Subscribe(carol)
+	var buf bytes.Buffer
+	if err := writeSnapshot(&buf, s.snapshot()); err != nil {
+		t.Fatalf("writeSnapshot: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestSnapshotCorruption(t *testing.T) {
+	valid := snapshotBytes(t)
+	tests := []struct {
+		name string
+		give func() []byte
+	}{
+		{name: "empty", give: func() []byte { return nil }},
+		{name: "bad magic", give: func() []byte {
+			b := append([]byte(nil), valid...)
+			b[0] ^= 0xff
+			return b
+		}},
+		{name: "truncated message body", give: func() []byte {
+			// Cut inside the first encoded message.
+			return valid[:len(snapshotMagic)+1+2+10]
+		}},
+		{name: "oversized length prefix", give: func() []byte {
+			b := append([]byte(nil), valid[:len(snapshotMagic)+1]...)
+			b = binary.AppendUvarint(b, maxEncodedMessage+1)
+			return b
+		}},
+		{name: "partial subscription list", give: func() []byte {
+			// Claim two subscriptions but include only half of one id.
+			b := append([]byte(nil), valid...)
+			return b[:len(b)-24]
+		}},
+		{name: "truncated count", give: func() []byte {
+			return append(append([]byte(nil), snapshotMagic...), 0x80)
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := New(alice)
+			if err := readSnapshot(bytes.NewReader(tt.give()), s); err == nil {
+				t.Error("readSnapshot accepted a corrupt stream")
+			}
+		})
+	}
+}
+
+// FuzzWALRecord fuzzes the disk engine's record codec: arbitrary bytes
+// must never panic, and every record the reader accepts must re-encode to
+// a frame the reader accepts again (decode/encode/decode agreement).
+func FuzzWALRecord(f *testing.F) {
+	// Seed with a few valid frames.
+	mk := func(typ byte, body []byte) []byte {
+		rec := append([]byte{typ}, binary.AppendUvarint(nil, uint64(len(body)))...)
+		rec = append(rec, body...)
+		return binary.BigEndian.AppendUint32(rec, crc32.ChecksumIEEE(rec))
+	}
+	user := id.NewUserID("fuzz")
+	f.Add(mk(recSub, user[:]))
+	f.Add(mk(recEvict, binary.AppendUvarint(append([]byte(nil), user[:]...), 7)))
+	f.Add(mk(recPut, []byte{1, 2, 3}))
+	f.Add([]byte{recPut, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		typ, body, n, err := readRecord(br)
+		if err != nil {
+			return
+		}
+		if n > int64(len(data)) {
+			t.Fatalf("readRecord consumed %d of %d bytes", n, len(data))
+		}
+		// Round trip: re-frame and decode again.
+		again := mk(typ, body)
+		typ2, body2, _, err := readRecord(bufio.NewReader(bytes.NewReader(again)))
+		if err != nil {
+			t.Fatalf("re-encoded record rejected: %v", err)
+		}
+		if typ2 != typ || !bytes.Equal(body2, body) {
+			t.Fatalf("round trip mismatch: %d/%x vs %d/%x", typ, body, typ2, body2)
+		}
+	})
+}

@@ -1,0 +1,183 @@
+// The storage engine contract. The paper's middleware "saves the action to
+// the local database on the mobile device" before dissemination (§V); on a
+// real device that database is a scarce, crash-prone resource, so the store
+// layer is pluggable: Engine is the behavioral contract every backend must
+// satisfy, and the package ships two — the in-memory Store (simulations,
+// tests, throwaway nodes) and the disk-backed Disk (daemons that must
+// survive restarts). The conformance suite in storetest runs both through
+// identical assertions, including kill-and-reload crash recovery.
+
+package store
+
+import (
+	"sos/internal/clock"
+	"sos/internal/id"
+	"sos/internal/msg"
+)
+
+// Engine is a node's message database plus subscription registry. All
+// implementations are safe for concurrent use. Messages handed in are
+// cloned on insert and handed out as clones, so callers can never mutate
+// stored state; the one exception is Summary, which returns a shared
+// read-only snapshot (see its doc comment).
+type Engine interface {
+	// Owner returns the user this database belongs to.
+	Owner() id.UserID
+	// NextSeq reserves the next sequence number for owner-authored
+	// messages. Reservations are not durable until the message is Put.
+	NextSeq() uint64
+
+	// Put inserts a message, returning true if it was new. Duplicate
+	// (author, seq) pairs — including pairs the engine has already held
+	// and evicted — are ignored, which keeps redundant epidemic
+	// deliveries idempotent and prevents evicted messages from being
+	// re-fetched in an endless churn loop. Put may evict other messages
+	// to stay within the configured quota.
+	Put(m *msg.Message) (bool, error)
+	// Get returns a copy of the message with the given ref.
+	Get(ref msg.Ref) (*msg.Message, bool)
+	// Has reports whether the engine currently holds the message.
+	Has(ref msg.Ref) bool
+	// Len returns the number of held messages.
+	Len() int
+
+	// MaxSeq returns the highest sequence number *seen* for author, or 0.
+	// Eviction never lowers it: it is the high-water mark the discovery
+	// summary advertises, not a guarantee of possession.
+	MaxSeq(author id.UserID) uint64
+	// Summary returns the advertisement dictionary (author → latest seen
+	// MessageNumber, paper §V-A). The returned map is a shared immutable
+	// snapshot maintained incrementally — O(1) per Put, copy-on-write
+	// when the snapshot has been handed out — so beaconing it is cheap;
+	// callers must not modify it.
+	Summary() map[id.UserID]uint64
+	// Generation returns a counter that increments whenever the summary
+	// changes. The ad hoc layer re-advertises only when it moves.
+	Generation() uint64
+
+	// Missing returns the sequence numbers in [1, upto] that the engine
+	// neither holds nor has deliberately evicted, in ascending order.
+	Missing(author id.UserID, upto uint64) []uint64
+	// MessagesFrom returns copies of held messages by author with seq >
+	// after, ordered by sequence number.
+	MessagesFrom(author id.UserID, after uint64) []*msg.Message
+	// Select returns copies of specific held messages; absent refs are
+	// skipped.
+	Select(author id.UserID, seqs []uint64) []*msg.Message
+	// All returns copies of every held message in deterministic order.
+	All() []*msg.Message
+	// Authors returns every author with at least one held message.
+	Authors() []id.UserID
+
+	// Subscribe records interest in a user's messages.
+	Subscribe(user id.UserID)
+	// Unsubscribe removes interest in a user's messages.
+	Unsubscribe(user id.UserID)
+	// IsSubscribed reports whether the node subscribes to user.
+	IsSubscribed(user id.UserID) bool
+	// Subscriptions returns the subscribed users in deterministic order.
+	Subscriptions() []id.UserID
+
+	// SweepExpired evicts every held message whose lifetime has ended
+	// under the engine's eviction policy and returns the count. The
+	// middleware sweeps before advertising and before serving, so a
+	// policy with expiry (TTL) bounds what a node forwards.
+	SweepExpired() int
+	// OnEvict registers an additional eviction observer. Hooks fire
+	// after the engine's internal lock is released, in registration
+	// order, once per dropped message.
+	OnEvict(fn func(Eviction))
+	// Stats snapshots the engine's counters.
+	Stats() Stats
+
+	// Close flushes and releases the engine. Reads remain valid; writes
+	// after Close fail on durable engines.
+	Close() error
+}
+
+// EvictReason says why a message was dropped.
+type EvictReason uint8
+
+// Eviction reasons.
+const (
+	// EvictCapacity: the buffer exceeded its message or byte quota and
+	// the eviction policy chose this message as the victim.
+	EvictCapacity EvictReason = iota + 1
+	// EvictExpired: the message outlived the policy's lifetime (TTL).
+	EvictExpired
+)
+
+// String names the reason for logs and metrics.
+func (r EvictReason) String() string {
+	switch r {
+	case EvictCapacity:
+		return "capacity"
+	case EvictExpired:
+		return "expired"
+	default:
+		return "unknown"
+	}
+}
+
+// Eviction describes one dropped message.
+type Eviction struct {
+	Ref    msg.Ref
+	Reason EvictReason
+	// Size is the bytes the drop freed (payload + signature +
+	// certificate + bookkeeping overhead).
+	Size int
+}
+
+// Stats counts storage-engine events. Counters are since-open: a durable
+// engine that replays its log on open counts the replayed inserts as Puts.
+type Stats struct {
+	// Puts counts accepted inserts.
+	Puts uint64
+	// Duplicates counts rejected re-inserts (already held or already
+	// evicted).
+	Duplicates uint64
+	// Evictions counts capacity-quota drops.
+	Evictions uint64
+	// Expirations counts lifetime (TTL) drops.
+	Expirations uint64
+	// EvictedBytes totals the bytes freed by drops of both kinds.
+	EvictedBytes uint64
+	// Messages and Bytes are the current buffer occupancy.
+	Messages int
+	Bytes    int
+	// Generation is the current summary generation.
+	Generation uint64
+}
+
+// Options tunes an engine. The zero value is an unbounded buffer with the
+// drop-oldest policy (which then never fires).
+type Options struct {
+	// MaxMessages bounds the buffer in messages; 0 = unbounded.
+	MaxMessages int
+	// MaxBytes bounds the buffer in bytes (payload + signature +
+	// certificate + overhead per message); 0 = unbounded.
+	MaxBytes int
+	// Policy selects the eviction policy; nil = DropOldest. Messages
+	// authored by the store's owner are never evicted — a device always
+	// keeps its own actions, matching the field study where old posts
+	// stayed deliverable single-hop from their authors.
+	Policy Policy
+	// Clock drives stored-at timestamps and TTL expiry; nil = wall time.
+	Clock clock.Clock
+	// OnEvict observes every drop (same contract as Engine.OnEvict).
+	OnEvict func(Eviction)
+
+	// NoSync, for the disk engine only, skips the fsync after each
+	// appended record. Faster, but a crash can lose the tail.
+	NoSync bool
+	// CompactBytes, for the disk engine only, is the append-log size
+	// that triggers snapshot compaction; 0 selects a 1 MiB default.
+	CompactBytes int64
+}
+
+// messageSize is the byte accounting for one stored message: the variable
+// fields plus a fixed overhead for the struct and index entries.
+func messageSize(m *msg.Message) int {
+	const overhead = 64
+	return len(m.Payload) + len(m.Sig) + len(m.CertDER) + overhead
+}

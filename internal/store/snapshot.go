@@ -1,0 +1,165 @@
+// Snapshot codec. A snapshot is the disk engine's compacted base state:
+// every held message, the subscription list, the eviction tombstones, and
+// the owner's sequence floor. It replaces the seed's ad-hoc Save/Load
+// streams; all integers are canonical encoding/binary uvarints.
+
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"sos/internal/id"
+	"sos/internal/msg"
+)
+
+// Errors reported by the snapshot and record codecs.
+var (
+	ErrCorrupt = errors.New("store: corrupt snapshot")
+)
+
+// snapshotMagic identifies a snapshot stream and versions its layout.
+var snapshotMagic = []byte{'S', 'O', 'S', 2}
+
+// maxEncodedMessage bounds one encoded message inside snapshots and log
+// records; anything larger is corruption, not data.
+const maxEncodedMessage = msg.MaxPayload * 2
+
+// writeSnapshot emits the snapshot stream.
+func writeSnapshot(w io.Writer, st snapshotState) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic); err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	writeUvarint(bw, uint64(len(st.msgs)))
+	for _, m := range st.msgs {
+		buf, err := m.Encode()
+		if err != nil {
+			return fmt.Errorf("store: encoding %s: %w", m.Ref(), err)
+		}
+		writeUvarint(bw, uint64(len(buf)))
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("store: writing snapshot: %w", err)
+		}
+	}
+	writeUvarint(bw, uint64(len(st.subs)))
+	for _, u := range st.subs {
+		if _, err := bw.Write(u[:]); err != nil {
+			return fmt.Errorf("store: writing snapshot: %w", err)
+		}
+	}
+	writeUvarint(bw, uint64(len(st.tombs)))
+	for _, author := range sortedTombAuthors(st.tombs) {
+		if _, err := bw.Write(author[:]); err != nil {
+			return fmt.Errorf("store: writing snapshot: %w", err)
+		}
+		seqs := st.tombs[author]
+		writeUvarint(bw, uint64(len(seqs)))
+		for _, seq := range seqs {
+			writeUvarint(bw, seq)
+		}
+	}
+	writeUvarint(bw, st.ownSeq)
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	return nil
+}
+
+// readSnapshot restores a snapshot stream into the store (which must be
+// open with quotas disabled, so the restore cannot trigger evictions).
+func readSnapshot(r io.Reader, s *Store) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("%w: magic: %v", ErrCorrupt, err)
+	}
+	for i, b := range snapshotMagic {
+		if magic[i] != b {
+			return fmt.Errorf("%w: bad magic % x", ErrCorrupt, magic)
+		}
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("%w: message count: %v", ErrCorrupt, err)
+	}
+	for i := uint64(0); i < n; i++ {
+		size, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("%w: message size: %v", ErrCorrupt, err)
+		}
+		if size > maxEncodedMessage {
+			return fmt.Errorf("%w: message size %d", ErrCorrupt, size)
+		}
+		buf := make([]byte, size)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return fmt.Errorf("%w: message body: %v", ErrCorrupt, err)
+		}
+		m, err := msg.Decode(buf)
+		if err != nil {
+			return fmt.Errorf("%w: decoding message: %v", ErrCorrupt, err)
+		}
+		if _, err := s.Put(m); err != nil {
+			return fmt.Errorf("%w: inserting message: %v", ErrCorrupt, err)
+		}
+	}
+	subCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("%w: subscription count: %v", ErrCorrupt, err)
+	}
+	for i := uint64(0); i < subCount; i++ {
+		var u id.UserID
+		if _, err := io.ReadFull(br, u[:]); err != nil {
+			return fmt.Errorf("%w: subscription entry: %v", ErrCorrupt, err)
+		}
+		s.Subscribe(u)
+	}
+	tombAuthors, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("%w: tombstone count: %v", ErrCorrupt, err)
+	}
+	for i := uint64(0); i < tombAuthors; i++ {
+		var author id.UserID
+		if _, err := io.ReadFull(br, author[:]); err != nil {
+			return fmt.Errorf("%w: tombstone author: %v", ErrCorrupt, err)
+		}
+		seqCount, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("%w: tombstone seq count: %v", ErrCorrupt, err)
+		}
+		for j := uint64(0); j < seqCount; j++ {
+			seq, err := binary.ReadUvarint(br)
+			if err != nil {
+				return fmt.Errorf("%w: tombstone seq: %v", ErrCorrupt, err)
+			}
+			s.applyEvict(msg.Ref{Author: author, Seq: seq})
+		}
+	}
+	ownSeq, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("%w: owner sequence: %v", ErrCorrupt, err)
+	}
+	s.bumpOwnSeq(ownSeq)
+	return nil
+}
+
+// writeUvarint appends a canonical uvarint to a buffered writer. Write
+// errors surface at Flush, which every caller checks.
+func writeUvarint(bw *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, _ = bw.Write(buf[:n])
+}
+
+func sortedTombAuthors(tombs map[id.UserID][]uint64) []id.UserID {
+	out := make([]id.UserID, 0, len(tombs))
+	for author := range tombs {
+		out = append(out, author)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}

@@ -4,46 +4,109 @@
 // by (author, sequence number), tracks the node's subscriptions, and
 // produces the discovery summary — the UserID → latest-MessageNumber
 // dictionary that the ad hoc manager advertises in plain text (§V-A).
+//
+// Storage is pluggable (see Engine): this file is the in-memory engine,
+// which also serves as the index layer of the disk engine. The buffer is
+// bounded — capacity quotas plus an eviction Policy decide what a full
+// device drops — and evicted refs leave tombstones so a dropped message is
+// neither re-requested from peers nor re-admitted, preventing fetch/evict
+// churn. The advertisement summary is maintained incrementally: O(1) per
+// Put with a generation counter, instead of a full rebuild per beacon.
 package store
 
 import (
-	"errors"
+	"container/list"
 	"fmt"
-	"io"
 	"sort"
 	"sync"
 	"time"
 
+	"sos/internal/clock"
 	"sos/internal/id"
 	"sos/internal/msg"
 )
 
-// Errors reported by the store.
-var (
-	ErrCorrupt = errors.New("store: corrupt snapshot")
-)
-
-// Store is a thread-safe message database plus subscription registry for a
-// single node.
+// Store is the in-memory storage engine: a thread-safe message database
+// plus subscription registry for a single node. It satisfies Engine; the
+// disk engine embeds it as its index.
 type Store struct {
-	mu       sync.RWMutex
-	owner    id.UserID
-	msgs     map[msg.Ref]*msg.Message
-	byAuthor map[id.UserID]map[uint64]*msg.Message
-	maxSeq   map[id.UserID]uint64
-	subs     map[id.UserID]bool
-	ownSeq   uint64
+	mu     sync.RWMutex
+	owner  id.UserID
+	clk    clock.Clock
+	policy Policy
+
+	maxMessages int
+	maxBytes    int
+
+	msgs     map[msg.Ref]*entry
+	byAuthor map[id.UserID]map[uint64]*entry
+	// maxSeq is the high-water mark of *seen* sequence numbers per
+	// author; eviction never lowers it.
+	maxSeq map[id.UserID]uint64
+	// dropped holds eviction tombstones: refs once held and deliberately
+	// dropped, excluded from Missing and rejected on re-Put.
+	dropped map[id.UserID]map[uint64]bool
+	subs    map[id.UserID]bool
+	// order is the insertion queue (*entry values) policies scan for
+	// victims; ties break toward the front.
+	order  *list.List
+	ownSeq uint64
+
+	// gen counts summary changes; summary is the incrementally
+	// maintained advertisement dictionary, cloned copy-on-write once it
+	// has been handed out so outstanding snapshots stay immutable.
+	gen        uint64
+	summary    map[id.UserID]uint64
+	summaryOut bool
+
+	bytes int
+	stats Stats
+
+	hookMu sync.Mutex
+	hooks  []func(Eviction)
 }
 
-// New creates an empty store owned by the given user.
+var _ Engine = (*Store)(nil)
+
+// entry is one held message plus its eviction bookkeeping.
+type entry struct {
+	m      *msg.Message
+	size   int
+	stored time.Time
+	elem   *list.Element
+}
+
+// New creates an unbounded in-memory store owned by the given user.
 func New(owner id.UserID) *Store {
-	return &Store{
-		owner:    owner,
-		msgs:     make(map[msg.Ref]*msg.Message),
-		byAuthor: make(map[id.UserID]map[uint64]*msg.Message),
-		maxSeq:   make(map[id.UserID]uint64),
-		subs:     make(map[id.UserID]bool),
+	return NewMemory(owner, Options{})
+}
+
+// NewMemory creates an in-memory store with explicit buffer options.
+func NewMemory(owner id.UserID, opts Options) *Store {
+	if opts.Clock == nil {
+		opts.Clock = clock.System()
 	}
+	if opts.Policy == nil {
+		opts.Policy = DropOldest()
+	}
+	s := &Store{
+		owner:       owner,
+		clk:         opts.Clock,
+		policy:      opts.Policy,
+		maxMessages: opts.MaxMessages,
+		maxBytes:    opts.MaxBytes,
+		msgs:        make(map[msg.Ref]*entry),
+		byAuthor:    make(map[id.UserID]map[uint64]*entry),
+		maxSeq:      make(map[id.UserID]uint64),
+		dropped:     make(map[id.UserID]map[uint64]bool),
+		subs:        make(map[id.UserID]bool),
+		order:       list.New(),
+		summary:     make(map[id.UserID]uint64),
+	}
+	if opts.OnEvict != nil {
+		s.hooks = append(s.hooks, opts.OnEvict)
+	}
+	return s
 }
 
 // Owner returns the user this store belongs to.
@@ -59,48 +122,232 @@ func (s *Store) NextSeq() uint64 {
 }
 
 // Put inserts a message, returning true if it was new. Duplicate
-// (author, seq) pairs are ignored, which makes redundant epidemic
-// deliveries idempotent. The stored copy is a clone, so later mutation of
-// m by the caller cannot corrupt the database.
+// (author, seq) pairs — held or tombstoned — are ignored, which makes
+// redundant epidemic deliveries idempotent and keeps evicted messages
+// from churning back in. The stored copy is a clone, so later mutation of
+// m by the caller cannot corrupt the database. When the insert pushes the
+// buffer over quota, the eviction policy drops victims (never the owner's
+// own messages) and registered OnEvict hooks observe each drop.
 func (s *Store) Put(m *msg.Message) (bool, error) {
 	if err := m.Validate(); err != nil {
 		return false, fmt.Errorf("store: rejecting message: %w", err)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	ref := m.Ref()
-	if _, dup := s.msgs[ref]; dup {
+	if _, held := s.msgs[ref]; held || s.dropped[ref.Author][ref.Seq] {
+		s.stats.Duplicates++
+		s.mu.Unlock()
 		return false, nil
 	}
 	cp := m.Clone()
-	s.msgs[ref] = cp
+	e := &entry{m: cp, size: messageSize(cp), stored: s.clk.Now()}
+	s.msgs[ref] = e
 	perAuthor := s.byAuthor[ref.Author]
 	if perAuthor == nil {
-		perAuthor = make(map[uint64]*msg.Message)
+		perAuthor = make(map[uint64]*entry)
 		s.byAuthor[ref.Author] = perAuthor
 	}
-	perAuthor[ref.Seq] = cp
+	perAuthor[ref.Seq] = e
+	e.elem = s.order.PushBack(e)
+	s.bytes += e.size
+	s.stats.Puts++
 	if ref.Seq > s.maxSeq[ref.Author] {
 		s.maxSeq[ref.Author] = ref.Seq
+		s.bumpSummaryLocked(ref.Author, ref.Seq)
 	}
 	if ref.Author == s.owner && ref.Seq > s.ownSeq {
 		s.ownSeq = ref.Seq
 	}
+	evs := s.enforceQuotaLocked()
+	s.mu.Unlock()
+	s.fire(evs)
 	return true, nil
+}
+
+// bumpSummaryLocked applies one incremental summary update: clone the
+// snapshot first if it has been handed out (copy-on-write), then the O(1)
+// entry update and generation bump.
+func (s *Store) bumpSummaryLocked(author id.UserID, seq uint64) {
+	if s.summaryOut {
+		cp := make(map[id.UserID]uint64, len(s.summary)+1)
+		for a, v := range s.summary {
+			cp[a] = v
+		}
+		s.summary = cp
+		s.summaryOut = false
+	}
+	s.summary[author] = seq
+	s.gen++
+}
+
+// enforceQuotaLocked drops policy-selected victims until the buffer fits
+// its quota, returning the evictions for post-unlock hook delivery. The
+// owner's own messages are never candidates; if only those remain, the
+// buffer is allowed to exceed quota.
+func (s *Store) enforceQuotaLocked() []Eviction {
+	var evs []Eviction
+	for s.overQuotaLocked() {
+		victim := s.victimLocked()
+		if victim == nil {
+			break
+		}
+		evs = append(evs, s.removeLocked(victim, EvictCapacity))
+	}
+	return evs
+}
+
+func (s *Store) overQuotaLocked() bool {
+	return (s.maxMessages > 0 && len(s.msgs) > s.maxMessages) ||
+		(s.maxBytes > 0 && s.bytes > s.maxBytes)
+}
+
+// victimLocked picks the policy's best victim. Drop-oldest ranks by
+// stored-at, which IS the insertion queue order, so the default policy
+// takes the front-most foreign entry in O(1) amortized; other policies
+// scan front-to-back with strict Less, which makes ties deterministic
+// (the earlier-inserted candidate wins).
+func (s *Store) victimLocked() *entry {
+	if _, fifo := s.policy.(dropOldest); fifo {
+		for el := s.order.Front(); el != nil; el = el.Next() {
+			if e := el.Value.(*entry); e.m.Author != s.owner {
+				return e
+			}
+		}
+		return nil
+	}
+	var best *entry
+	var bestMeta Entry
+	for el := s.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		if e.m.Author == s.owner {
+			continue
+		}
+		meta := s.entryMetaLocked(e)
+		if best == nil || s.policy.Less(meta, bestMeta) {
+			best, bestMeta = e, meta
+		}
+	}
+	return best
+}
+
+func (s *Store) entryMetaLocked(e *entry) Entry {
+	return Entry{
+		Ref:        e.m.Ref(),
+		Created:    e.m.Created,
+		StoredAt:   e.stored,
+		Size:       e.size,
+		Subscribed: s.subs[e.m.Author],
+	}
+}
+
+// removeLocked drops a held entry, leaving a tombstone so the ref is
+// neither re-requested nor re-admitted.
+func (s *Store) removeLocked(e *entry, reason EvictReason) Eviction {
+	ref := e.m.Ref()
+	delete(s.msgs, ref)
+	perAuthor := s.byAuthor[ref.Author]
+	delete(perAuthor, ref.Seq)
+	if len(perAuthor) == 0 {
+		delete(s.byAuthor, ref.Author)
+	}
+	s.order.Remove(e.elem)
+	s.bytes -= e.size
+	s.tombstoneLocked(ref)
+	switch reason {
+	case EvictExpired:
+		s.stats.Expirations++
+	default:
+		s.stats.Evictions++
+	}
+	s.stats.EvictedBytes += uint64(e.size)
+	return Eviction{Ref: ref, Reason: reason, Size: e.size}
+}
+
+// maxTombstonesPerAuthor bounds tombstone memory on long-running,
+// quota-bounded relays: a busy node evicts continuously, and unbounded
+// tombstones would eventually dwarf the buffer they protect. When an
+// author's set doubles the cap, the lowest (oldest-content) half is
+// forgotten — those refs become re-fetchable again, which is bounded
+// churn rather than unbounded memory.
+const maxTombstonesPerAuthor = 4096
+
+func (s *Store) tombstoneLocked(ref msg.Ref) {
+	perAuthor := s.dropped[ref.Author]
+	if perAuthor == nil {
+		perAuthor = make(map[uint64]bool)
+		s.dropped[ref.Author] = perAuthor
+	}
+	perAuthor[ref.Seq] = true
+	if len(perAuthor) >= 2*maxTombstonesPerAuthor {
+		seqs := make([]uint64, 0, len(perAuthor))
+		for seq := range perAuthor {
+			seqs = append(seqs, seq)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for _, seq := range seqs[:len(seqs)-maxTombstonesPerAuthor] {
+			delete(perAuthor, seq)
+		}
+	}
+}
+
+// SweepExpired evicts every foreign message whose lifetime has ended
+// under the eviction policy and returns the count. Non-expiring policies
+// make this a constant-time no-op.
+func (s *Store) SweepExpired() int {
+	if !s.policy.Expires() {
+		return 0
+	}
+	s.mu.Lock()
+	now := s.clk.Now()
+	var evs []Eviction
+	for el := s.order.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*entry)
+		if e.m.Author != s.owner && s.policy.Expired(s.entryMetaLocked(e), now) {
+			evs = append(evs, s.removeLocked(e, EvictExpired))
+		}
+		el = next
+	}
+	s.mu.Unlock()
+	s.fire(evs)
+	return len(evs)
+}
+
+// OnEvict registers an eviction observer; see Engine.OnEvict.
+func (s *Store) OnEvict(fn func(Eviction)) {
+	s.hookMu.Lock()
+	defer s.hookMu.Unlock()
+	s.hooks = append(s.hooks, fn)
+}
+
+// fire delivers evictions to the registered hooks outside the store lock.
+func (s *Store) fire(evs []Eviction) {
+	if len(evs) == 0 {
+		return
+	}
+	s.hookMu.Lock()
+	hooks := make([]func(Eviction), len(s.hooks))
+	copy(hooks, s.hooks)
+	s.hookMu.Unlock()
+	for _, ev := range evs {
+		for _, fn := range hooks {
+			fn(ev)
+		}
+	}
 }
 
 // Get returns a copy of the message with the given ref.
 func (s *Store) Get(ref msg.Ref) (*msg.Message, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	m, ok := s.msgs[ref]
+	e, ok := s.msgs[ref]
 	if !ok {
 		return nil, false
 	}
-	return m.Clone(), true
+	return e.m.Clone(), true
 }
 
-// Has reports whether the store holds the given message.
+// Has reports whether the store currently holds the given message.
 func (s *Store) Has(ref msg.Ref) bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -108,62 +355,77 @@ func (s *Store) Has(ref msg.Ref) bool {
 	return ok
 }
 
-// Len returns the number of stored messages.
+// Len returns the number of held messages.
 func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.msgs)
 }
 
-// MaxSeq returns the highest sequence number held for author, or 0.
+// MaxSeq returns the highest sequence number seen for author, or 0.
 func (s *Store) MaxSeq(author id.UserID) uint64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.maxSeq[author]
 }
 
-// CreatedAt returns the creation timestamp of a held message, if present.
-// Routing schemes use it for age-based buffer policies.
-func (s *Store) CreatedAt(author id.UserID, seq uint64) (time.Time, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	m, ok := s.msgs[msg.Ref{Author: author, Seq: seq}]
-	if !ok {
-		return time.Time{}, false
-	}
-	return m.Created, true
-}
-
-// Summary builds the plain-text advertisement dictionary: for every author
-// with at least one stored message, the latest MessageNumber held. This is
-// exactly the key/value dictionary the paper's §V-A beacons carry.
+// Summary returns the plain-text advertisement dictionary: for every
+// author ever seen, the latest MessageNumber — exactly the key/value
+// dictionary the paper's §V-A beacons carry. The map is a shared
+// immutable snapshot (copy-on-write on the next change); callers must
+// treat it as read-only.
 func (s *Store) Summary() map[id.UserID]uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make(map[id.UserID]uint64, len(s.maxSeq))
-	for author, seq := range s.maxSeq {
-		out[author] = seq
-	}
-	return out
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.summaryOut = true
+	return s.summary
 }
 
-// Missing returns the sequence numbers in [1, upto] that the store does
-// not hold for author, in ascending order. A browsing node uses this to
-// build its message request after seeing an advertisement.
+// Generation returns the summary-change counter; see Engine.Generation.
+func (s *Store) Generation() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen
+}
+
+// Missing returns the sequence numbers in [1, upto] that the store
+// neither holds nor has evicted, in ascending order. A browsing node uses
+// this to build its message request after seeing an advertisement. The
+// complement is computed by gap-walking the held and tombstoned sequence
+// sets, so cost scales with what the node has seen, not with upto.
 func (s *Store) Missing(author id.UserID, upto uint64) []uint64 {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	perAuthor := s.byAuthor[author]
-	var missing []uint64
-	for seq := uint64(1); seq <= upto; seq++ {
-		if _, ok := perAuthor[seq]; !ok {
-			missing = append(missing, seq)
+	held := s.byAuthor[author]
+	tombs := s.dropped[author]
+	accounted := make([]uint64, 0, len(held)+len(tombs))
+	for seq := range held {
+		if seq <= upto {
+			accounted = append(accounted, seq)
 		}
+	}
+	for seq := range tombs {
+		if seq <= upto && held[seq] == nil {
+			accounted = append(accounted, seq)
+		}
+	}
+	s.mu.RUnlock()
+
+	sort.Slice(accounted, func(i, j int) bool { return accounted[i] < accounted[j] })
+	var missing []uint64
+	next := uint64(1)
+	for _, seq := range accounted {
+		for ; next < seq; next++ {
+			missing = append(missing, next)
+		}
+		next = seq + 1
+	}
+	for ; next <= upto; next++ {
+		missing = append(missing, next)
 	}
 	return missing
 }
 
-// MessagesFrom returns copies of all stored messages by author with
+// MessagesFrom returns copies of all held messages by author with
 // sequence number strictly greater than after, ordered by sequence.
 func (s *Store) MessagesFrom(author id.UserID, after uint64) []*msg.Message {
 	s.mu.RLock()
@@ -178,38 +440,41 @@ func (s *Store) MessagesFrom(author id.UserID, after uint64) []*msg.Message {
 			seqs = append(seqs, seq)
 		}
 	}
+	if len(seqs) == 0 {
+		return nil
+	}
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
 	out := make([]*msg.Message, 0, len(seqs))
 	for _, seq := range seqs {
-		out = append(out, perAuthor[seq].Clone())
+		out = append(out, perAuthor[seq].m.Clone())
 	}
 	return out
 }
 
-// Select returns copies of specific messages by (author, seq); refs not
-// held are skipped.
+// Select returns copies of specific held messages by (author, seq); refs
+// not held are skipped.
 func (s *Store) Select(author id.UserID, seqs []uint64) []*msg.Message {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	perAuthor := s.byAuthor[author]
 	out := make([]*msg.Message, 0, len(seqs))
 	for _, seq := range seqs {
-		if m, ok := perAuthor[seq]; ok {
-			out = append(out, m.Clone())
+		if e, ok := perAuthor[seq]; ok {
+			out = append(out, e.m.Clone())
 		}
 	}
 	return out
 }
 
-// All returns copies of every stored message in deterministic order
+// All returns copies of every held message in deterministic order
 // (author display form, then sequence).
 func (s *Store) All() []*msg.Message {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	out := make([]*msg.Message, 0, len(s.msgs))
-	for _, m := range s.msgs {
-		out = append(out, m.Clone())
+	for _, e := range s.msgs {
+		out = append(out, e.m.Clone())
 	}
+	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Author != out[j].Author {
 			return out[i].Author.String() < out[j].Author.String()
@@ -219,20 +484,21 @@ func (s *Store) All() []*msg.Message {
 	return out
 }
 
-// Authors returns every author with at least one stored message.
+// Authors returns every author with at least one held message.
 func (s *Store) Authors() []id.UserID {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	out := make([]id.UserID, 0, len(s.byAuthor))
 	for author := range s.byAuthor {
 		out = append(out, author)
 	}
+	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
 	return out
 }
 
 // Subscribe records interest in a user's messages. Interest-based routing
-// only requests and carries messages whose author the node subscribes to.
+// only requests and carries messages whose author the node subscribes to,
+// and the subscription-priority eviction policy protects their messages.
 func (s *Store) Subscribe(user id.UserID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -256,126 +522,109 @@ func (s *Store) IsSubscribed(user id.UserID) bool {
 // Subscriptions returns the subscribed users in deterministic order.
 func (s *Store) Subscriptions() []id.UserID {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	out := make([]id.UserID, 0, len(s.subs))
 	for u := range s.subs {
 		out = append(out, u)
 	}
+	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
 	return out
 }
 
-// Save writes a snapshot of all messages and subscriptions to w. The
-// format is a count-prefixed sequence of encoded messages followed by the
-// subscription list.
-func (s *Store) Save(w io.Writer) error {
-	all := s.All()
-	subs := s.Subscriptions()
-
-	if err := writeUvarint(w, uint64(len(all))); err != nil {
-		return err
-	}
-	for _, m := range all {
-		buf, err := m.Encode()
-		if err != nil {
-			return fmt.Errorf("store: encoding %s: %w", m.Ref(), err)
-		}
-		if err := writeUvarint(w, uint64(len(buf))); err != nil {
-			return err
-		}
-		if _, err := w.Write(buf); err != nil {
-			return fmt.Errorf("store: writing snapshot: %w", err)
-		}
-	}
-	if err := writeUvarint(w, uint64(len(subs))); err != nil {
-		return err
-	}
-	for _, u := range subs {
-		if _, err := w.Write(u[:]); err != nil {
-			return fmt.Errorf("store: writing snapshot: %w", err)
-		}
-	}
-	return nil
+// Stats snapshots the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := s.stats
+	st.Messages = len(s.msgs)
+	st.Bytes = s.bytes
+	st.Generation = s.gen
+	return st
 }
 
-// Load restores a snapshot produced by Save into an empty store.
-func (s *Store) Load(r io.Reader) error {
-	n, err := readUvarint(r)
-	if err != nil {
-		return fmt.Errorf("%w: message count: %v", ErrCorrupt, err)
-	}
-	for i := uint64(0); i < n; i++ {
-		size, err := readUvarint(r)
-		if err != nil {
-			return fmt.Errorf("%w: message size: %v", ErrCorrupt, err)
-		}
-		if size > msg.MaxPayload*2 {
-			return fmt.Errorf("%w: message size %d", ErrCorrupt, size)
-		}
-		buf := make([]byte, size)
-		if _, err := io.ReadFull(r, buf); err != nil {
-			return fmt.Errorf("%w: message body: %v", ErrCorrupt, err)
-		}
-		m, err := msg.Decode(buf)
-		if err != nil {
-			return fmt.Errorf("%w: decoding message: %v", ErrCorrupt, err)
-		}
-		if _, err := s.Put(m); err != nil {
-			return fmt.Errorf("%w: inserting message: %v", ErrCorrupt, err)
-		}
-	}
-	subCount, err := readUvarint(r)
-	if err != nil {
-		return fmt.Errorf("%w: subscription count: %v", ErrCorrupt, err)
-	}
-	for i := uint64(0); i < subCount; i++ {
-		var u id.UserID
-		if _, err := io.ReadFull(r, u[:]); err != nil {
-			return fmt.Errorf("%w: subscription entry: %v", ErrCorrupt, err)
-		}
-		s.Subscribe(u)
-	}
-	return nil
+// Close releases the store. The in-memory engine has nothing to flush.
+func (s *Store) Close() error { return nil }
+
+// --- internal surface for the disk engine ---
+
+// setQuota swaps the capacity bounds and enforces them, used by the
+// disk engine to disable quotas during log replay (so replayed history
+// never re-evicts) and restore them afterwards.
+func (s *Store) setQuota(maxMessages, maxBytes int) []Eviction {
+	s.mu.Lock()
+	s.maxMessages, s.maxBytes = maxMessages, maxBytes
+	evs := s.enforceQuotaLocked()
+	s.mu.Unlock()
+	return evs
 }
 
-// writeUvarint writes a varint-encoded unsigned integer.
-func writeUvarint(w io.Writer, v uint64) error {
-	var buf [10]byte
-	n := putUvarint(buf[:], v)
-	if _, err := w.Write(buf[:n]); err != nil {
-		return fmt.Errorf("store: writing varint: %w", err)
+// applyEvict replays a logged eviction: remove the ref if held (without
+// firing hooks or counting it as a fresh drop) and tombstone it.
+func (s *Store) applyEvict(ref msg.Ref) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.msgs[ref]; ok {
+		delete(s.msgs, ref)
+		perAuthor := s.byAuthor[ref.Author]
+		delete(perAuthor, ref.Seq)
+		if len(perAuthor) == 0 {
+			delete(s.byAuthor, ref.Author)
+		}
+		s.order.Remove(e.elem)
+		s.bytes -= e.size
 	}
-	return nil
+	s.tombstoneLocked(ref)
 }
 
-// readUvarint reads a varint-encoded unsigned integer byte by byte.
-func readUvarint(r io.Reader) (uint64, error) {
-	var (
-		x     uint64
-		shift uint
-		b     [1]byte
-	)
-	for i := 0; i < 10; i++ {
-		if _, err := io.ReadFull(r, b[:]); err != nil {
-			return 0, err
-		}
-		if b[0] < 0x80 {
-			return x | uint64(b[0])<<shift, nil
-		}
-		x |= uint64(b[0]&0x7f) << shift
-		shift += 7
-	}
-	return 0, errors.New("varint too long")
+// snapshotState captures a consistent snapshot of everything a durable
+// engine must persist. Message pointers are shared, which is safe: stored
+// messages are immutable.
+type snapshotState struct {
+	msgs   []*msg.Message
+	subs   []id.UserID
+	tombs  map[id.UserID][]uint64
+	ownSeq uint64
 }
 
-// putUvarint encodes v into buf and returns the byte count.
-func putUvarint(buf []byte, v uint64) int {
-	i := 0
-	for v >= 0x80 {
-		buf[i] = byte(v) | 0x80
-		v >>= 7
-		i++
+func (s *Store) snapshot() snapshotState {
+	s.mu.RLock()
+	st := snapshotState{
+		msgs:   make([]*msg.Message, 0, len(s.msgs)),
+		subs:   make([]id.UserID, 0, len(s.subs)),
+		tombs:  make(map[id.UserID][]uint64, len(s.dropped)),
+		ownSeq: s.ownSeq,
 	}
-	buf[i] = byte(v)
-	return i + 1
+	for _, e := range s.msgs {
+		st.msgs = append(st.msgs, e.m)
+	}
+	for u := range s.subs {
+		st.subs = append(st.subs, u)
+	}
+	for author, seqs := range s.dropped {
+		out := make([]uint64, 0, len(seqs))
+		for seq := range seqs {
+			out = append(out, seq)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		st.tombs[author] = out
+	}
+	s.mu.RUnlock()
+
+	sort.Slice(st.msgs, func(i, j int) bool {
+		if st.msgs[i].Author != st.msgs[j].Author {
+			return st.msgs[i].Author.String() < st.msgs[j].Author.String()
+		}
+		return st.msgs[i].Seq < st.msgs[j].Seq
+	})
+	sort.Slice(st.subs, func(i, j int) bool { return st.subs[i].String() < st.subs[j].String() })
+	return st
+}
+
+// bumpOwnSeq raises the owner sequence floor during snapshot restore.
+func (s *Store) bumpOwnSeq(seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq > s.ownSeq {
+		s.ownSeq = seq
+	}
 }

@@ -9,6 +9,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"sos/internal/clock"
 	"sos/internal/id"
 	"sos/internal/msg"
 )
@@ -246,22 +247,24 @@ func TestConcurrentPutters(t *testing.T) {
 	}
 }
 
-func TestSaveLoadRoundTrip(t *testing.T) {
+func TestSnapshotRoundTrip(t *testing.T) {
 	s := New(alice)
 	mustPut(t, s, post(bob, 1, "b1"))
 	mustPut(t, s, post(bob, 2, "b2"))
 	mustPut(t, s, post(carol, 9, "c9"))
+	mustPut(t, s, post(alice, 3, "mine"))
 	s.Subscribe(bob)
 	s.Subscribe(carol)
+	s.applyEvict(msg.Ref{Author: carol, Seq: 4}) // tombstone without holding
 
 	var buf bytes.Buffer
-	if err := s.Save(&buf); err != nil {
-		t.Fatalf("Save: %v", err)
+	if err := writeSnapshot(&buf, s.snapshot()); err != nil {
+		t.Fatalf("writeSnapshot: %v", err)
 	}
 
 	restored := New(alice)
-	if err := restored.Load(&buf); err != nil {
-		t.Fatalf("Load: %v", err)
+	if err := readSnapshot(&buf, restored); err != nil {
+		t.Fatalf("readSnapshot: %v", err)
 	}
 	if !reflect.DeepEqual(refsOf(restored.All()), refsOf(s.All())) {
 		t.Error("restored messages differ")
@@ -272,24 +275,186 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(restored.Summary(), s.Summary()) {
 		t.Error("restored summary differs")
 	}
+	if got := restored.Missing(carol, 9); !reflect.DeepEqual(got, []uint64{1, 2, 3, 5, 6, 7, 8}) {
+		t.Errorf("restored tombstones lost: Missing(carol) = %v", got)
+	}
+	if got := restored.NextSeq(); got != 4 {
+		t.Errorf("NextSeq after restore = %d, want 4", got)
+	}
 }
 
-func TestLoadCorrupt(t *testing.T) {
-	tests := []struct {
-		name string
-		give []byte
-	}{
-		{name: "empty", give: nil},
-		{name: "truncated count", give: []byte{0x80}},
-		{name: "garbage body", give: []byte{1, 5, 1, 2, 3, 4, 5}},
+func TestEvictionDropOldest(t *testing.T) {
+	clk := clock.NewVirtual(time.Date(2017, 4, 6, 0, 0, 0, 0, time.UTC))
+	var drops []Eviction
+	s := NewMemory(alice, Options{
+		MaxMessages: 2,
+		Clock:       clk,
+		OnEvict:     func(ev Eviction) { drops = append(drops, ev) },
+	})
+	mustPut(t, s, post(bob, 1, "b1"))
+	clk.Advance(time.Minute)
+	mustPut(t, s, post(carol, 1, "c1"))
+	clk.Advance(time.Minute)
+	mustPut(t, s, post(bob, 2, "b2")) // over quota: bob#1 is oldest
+
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
 	}
-	for _, tt := range tests {
-		t.Run(tt.name, func(t *testing.T) {
-			s := New(alice)
-			if err := s.Load(bytes.NewReader(tt.give)); err == nil {
-				t.Error("Load accepted corrupt snapshot")
-			}
-		})
+	if s.Has(msg.Ref{Author: bob, Seq: 1}) {
+		t.Error("oldest message not evicted")
+	}
+	if len(drops) != 1 || drops[0].Ref != (msg.Ref{Author: bob, Seq: 1}) || drops[0].Reason != EvictCapacity {
+		t.Errorf("drops = %+v, want one capacity eviction of bob#1", drops)
+	}
+	// The advertised summary keeps the high-water mark.
+	if s.MaxSeq(bob) != 2 {
+		t.Errorf("MaxSeq(bob) = %d, want 2", s.MaxSeq(bob))
+	}
+	// The tombstone blocks both re-request and re-admission.
+	if got := s.Missing(bob, 2); got != nil {
+		t.Errorf("Missing(bob) = %v, want nil (evicted seq tombstoned)", got)
+	}
+	if added, err := s.Put(post(bob, 1, "b1 again")); err != nil || added {
+		t.Errorf("re-Put of evicted ref = (%v, %v), want (false, nil)", added, err)
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.Duplicates != 1 {
+		t.Errorf("stats = %+v, want 1 eviction and 1 duplicate", st)
+	}
+}
+
+func TestEvictionNeverDropsOwnerMessages(t *testing.T) {
+	s := NewMemory(alice, Options{MaxMessages: 1})
+	mustPut(t, s, post(alice, 1, "mine"))
+	mustPut(t, s, post(alice, 2, "also mine"))
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2 (owner messages exceed quota rather than drop)", s.Len())
+	}
+	// A foreign message gives the policy a victim again.
+	mustPut(t, s, post(bob, 1, "cargo"))
+	if s.Len() != 2 || s.Has(msg.Ref{Author: bob, Seq: 1}) {
+		t.Errorf("foreign message not chosen as victim: len=%d", s.Len())
+	}
+}
+
+func TestTTLSweep(t *testing.T) {
+	clk := clock.NewVirtual(time.Date(2017, 4, 6, 0, 0, 0, 0, time.UTC))
+	s := NewMemory(alice, Options{Policy: TTL(24 * time.Hour), Clock: clk})
+	old := post(bob, 1, "stale")
+	old.Created = clk.Now().Add(-36 * time.Hour)
+	mustPut(t, s, old)
+	ownOld := post(alice, 1, "own stale")
+	ownOld.Created = clk.Now().Add(-48 * time.Hour)
+	mustPut(t, s, ownOld)
+	fresh := post(bob, 2, "fresh")
+	fresh.Created = clk.Now()
+	mustPut(t, s, fresh)
+
+	if n := s.SweepExpired(); n != 1 {
+		t.Fatalf("SweepExpired = %d, want 1", n)
+	}
+	if s.Has(msg.Ref{Author: bob, Seq: 1}) {
+		t.Error("expired foreign message survived the sweep")
+	}
+	if !s.Has(msg.Ref{Author: alice, Seq: 1}) {
+		t.Error("owner's old message was expired")
+	}
+	if !s.Has(msg.Ref{Author: bob, Seq: 2}) {
+		t.Error("fresh message was expired")
+	}
+	if st := s.Stats(); st.Expirations != 1 {
+		t.Errorf("Expirations = %d, want 1", st.Expirations)
+	}
+}
+
+func TestSummaryGeneration(t *testing.T) {
+	s := New(alice)
+	g0 := s.Generation()
+	mustPut(t, s, post(bob, 2, "b2"))
+	g1 := s.Generation()
+	if g1 == g0 {
+		t.Error("generation did not move on a summary change")
+	}
+	// An out-of-order older seq changes holdings but not the summary.
+	mustPut(t, s, post(bob, 1, "b1"))
+	if s.Generation() != g1 {
+		t.Error("generation moved though the summary did not change")
+	}
+	// A handed-out snapshot stays immutable across later puts.
+	snap := s.Summary()
+	mustPut(t, s, post(bob, 3, "b3"))
+	if snap[bob] != 2 {
+		t.Errorf("handed-out summary mutated: %v", snap)
+	}
+	if got := s.Summary()[bob]; got != 3 {
+		t.Errorf("fresh summary = %d, want 3", got)
+	}
+}
+
+func TestSizeQuotaPolicyEvictsLargest(t *testing.T) {
+	s := NewMemory(alice, Options{MaxMessages: 2, Policy: SizeQuota()})
+	mustPut(t, s, post(bob, 1, "tiny"))
+	mustPut(t, s, post(carol, 1, string(make([]byte, 4096))))
+	mustPut(t, s, post(bob, 2, "small"))
+	if s.Has(msg.Ref{Author: carol, Seq: 1}) {
+		t.Error("size-quota policy kept the largest message")
+	}
+	if !s.Has(msg.Ref{Author: bob, Seq: 1}) || !s.Has(msg.Ref{Author: bob, Seq: 2}) {
+		t.Error("size-quota policy dropped a small message")
+	}
+}
+
+func TestSubscriptionPriorityPolicyProtectsFeed(t *testing.T) {
+	s := NewMemory(alice, Options{MaxMessages: 2, Policy: SubscriptionPriority()})
+	s.Subscribe(carol)
+	mustPut(t, s, post(carol, 1, "feed"))
+	mustPut(t, s, post(bob, 1, "cargo"))
+	mustPut(t, s, post(carol, 2, "more feed"))
+	if s.Has(msg.Ref{Author: bob, Seq: 1}) {
+		t.Error("unsubscribed cargo survived over feed content")
+	}
+	if !s.Has(msg.Ref{Author: carol, Seq: 1}) || !s.Has(msg.Ref{Author: carol, Seq: 2}) {
+		t.Error("subscribed feed content was evicted")
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	for _, name := range []string{PolicyDropOldest, PolicySizeQuota, PolicySubscriptionPriority} {
+		p, err := PolicyByName(name, 0)
+		if err != nil || p.Name() != name {
+			t.Errorf("PolicyByName(%q) = %v, %v", name, p, err)
+		}
+	}
+	if p, err := PolicyByName(PolicyTTL, time.Hour); err != nil || p.Name() != PolicyTTL {
+		t.Errorf("PolicyByName(ttl, 1h) = %v, %v", p, err)
+	}
+	if _, err := PolicyByName(PolicyTTL, 0); err == nil {
+		t.Error("ttl policy without a lifetime accepted")
+	}
+	if _, err := PolicyByName("no-such-policy", 0); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if p, _ := PolicyByName("", 0); p.Name() != PolicyDropOldest {
+		t.Errorf("default policy = %s, want drop-oldest", p.Name())
+	}
+	if p, _ := PolicyByName("", time.Hour); p.Name() != PolicyTTL {
+		t.Errorf("default policy with ttl = %s, want ttl", p.Name())
+	}
+	// A relay TTL composes with any named policy instead of being
+	// silently dropped.
+	p, err := PolicyByName(PolicySubscriptionPriority, time.Hour)
+	if err != nil {
+		t.Fatalf("PolicyByName(subscription-priority, 1h): %v", err)
+	}
+	if !p.Expires() {
+		t.Error("ttl not layered over subscription-priority")
+	}
+	old := Entry{Created: time.Date(2017, 4, 6, 0, 0, 0, 0, time.UTC)}
+	if !p.Expired(old, old.Created.Add(2*time.Hour)) {
+		t.Error("composed policy did not expire an old entry")
+	}
+	if !p.Less(Entry{Subscribed: false}, Entry{Subscribed: true}) {
+		t.Error("composed policy lost the base victim ranking")
 	}
 }
 

@@ -1,0 +1,349 @@
+// Package storetest is the shared conformance suite for store.Engine
+// implementations, mirroring mpc/mediumtest: every backend — the
+// in-memory Store and the disk-backed Disk — must expose identical
+// database semantics (idempotent puts, high-water summaries with a
+// generation counter, tombstoned evictions, quota enforcement), so the
+// layers above can treat them as interchangeable. Durable engines are
+// additionally run through clean reload and kill-and-reload crash
+// recovery.
+package storetest
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"sos/internal/clock"
+	"sos/internal/id"
+	"sos/internal/msg"
+	"sos/internal/store"
+)
+
+// World is one isolated storage universe. Open opens an engine over the
+// universe's durable state; calling it again models a process restart.
+// For volatile backends every Open returns a fresh empty engine.
+type World interface {
+	Open(t *testing.T, opts store.Options) store.Engine
+	// Persistent reports whether state written through one Open survives
+	// into the next.
+	Persistent() bool
+}
+
+// owner and peers used throughout the suite.
+var (
+	owner = id.NewUserID("conformance-owner")
+	bob   = id.NewUserID("conformance-bob")
+	carol = id.NewUserID("conformance-carol")
+)
+
+var t0 = time.Date(2017, 4, 6, 0, 0, 0, 0, time.UTC)
+
+// Run exercises the full conformance suite, building a fresh World per
+// subtest.
+func Run(t *testing.T, mk func(t *testing.T) World) {
+	t.Run("PutGetRoundTrip", func(t *testing.T) { testPutGet(t, mk(t)) })
+	t.Run("DuplicatePuts", func(t *testing.T) { testDuplicates(t, mk(t)) })
+	t.Run("SummaryAndGeneration", func(t *testing.T) { testSummary(t, mk(t)) })
+	t.Run("MissingGapWalk", func(t *testing.T) { testMissing(t, mk(t)) })
+	t.Run("Subscriptions", func(t *testing.T) { testSubscriptions(t, mk(t)) })
+	t.Run("NextSeqResumes", func(t *testing.T) { testNextSeq(t, mk(t)) })
+	t.Run("QuotaEviction", func(t *testing.T) { testQuotaEviction(t, mk(t)) })
+	t.Run("TTLExpiry", func(t *testing.T) { testTTLExpiry(t, mk(t)) })
+	t.Run("Reload", func(t *testing.T) { testReload(t, mk(t)) })
+	t.Run("CrashRecovery", func(t *testing.T) { testCrashRecovery(t, mk(t)) })
+	t.Run("EvictionSurvivesReload", func(t *testing.T) { testEvictionReload(t, mk(t)) })
+}
+
+func post(author id.UserID, seq uint64, text string) *msg.Message {
+	return &msg.Message{
+		Author:  author,
+		Seq:     seq,
+		Kind:    msg.KindPost,
+		Created: t0.Add(time.Duration(seq) * time.Minute),
+		Payload: []byte(text),
+	}
+}
+
+func mustPut(t *testing.T, e store.Engine, m *msg.Message) {
+	t.Helper()
+	added, err := e.Put(m)
+	if err != nil {
+		t.Fatalf("Put(%v): %v", m.Ref(), err)
+	}
+	if !added {
+		t.Fatalf("Put(%v): unexpectedly a duplicate", m.Ref())
+	}
+}
+
+func testPutGet(t *testing.T, w World) {
+	e := w.Open(t, store.Options{})
+	defer e.Close()
+	if e.Owner() != owner {
+		t.Errorf("Owner = %s, want %s", e.Owner(), owner)
+	}
+	m := post(bob, 1, "hello")
+	mustPut(t, e, m)
+	got, ok := e.Get(m.Ref())
+	if !ok {
+		t.Fatal("Get: not found")
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("Get = %+v, want %+v", got, m)
+	}
+	// The engine must have cloned on insert and hand out clones.
+	m.Payload[0] = 'X'
+	if again, _ := e.Get(m.Ref()); string(again.Payload) != "hello" {
+		t.Error("engine shares storage with the caller")
+	}
+	got.Payload[0] = 'Y'
+	if again, _ := e.Get(m.Ref()); string(again.Payload) != "hello" {
+		t.Error("engine shares storage with readers")
+	}
+	if !e.Has(m.Ref()) || e.Len() != 1 {
+		t.Errorf("Has/Len = %v/%d, want true/1", e.Has(m.Ref()), e.Len())
+	}
+	if _, err := e.Put(&msg.Message{}); err == nil {
+		t.Error("invalid message accepted")
+	}
+}
+
+func testDuplicates(t *testing.T, w World) {
+	e := w.Open(t, store.Options{})
+	defer e.Close()
+	m := post(bob, 1, "once")
+	mustPut(t, e, m)
+	added, err := e.Put(m)
+	if err != nil || added {
+		t.Errorf("duplicate Put = (%v, %v), want (false, nil)", added, err)
+	}
+	if st := e.Stats(); st.Puts != 1 || st.Duplicates != 1 {
+		t.Errorf("stats = %+v, want 1 put and 1 duplicate", st)
+	}
+}
+
+func testSummary(t *testing.T, w World) {
+	e := w.Open(t, store.Options{})
+	defer e.Close()
+	g0 := e.Generation()
+	mustPut(t, e, post(bob, 2, "b2"))
+	mustPut(t, e, post(carol, 5, "c5"))
+	if e.Generation() == g0 {
+		t.Error("generation did not advance on summary changes")
+	}
+	want := map[id.UserID]uint64{bob: 2, carol: 5}
+	if got := e.Summary(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Summary = %v, want %v", got, want)
+	}
+	g1 := e.Generation()
+	mustPut(t, e, post(bob, 1, "older")) // holdings change, summary does not
+	if e.Generation() != g1 {
+		t.Error("generation advanced without a summary change")
+	}
+	if e.MaxSeq(bob) != 2 || e.MaxSeq(owner) != 0 {
+		t.Errorf("MaxSeq = %d/%d, want 2/0", e.MaxSeq(bob), e.MaxSeq(owner))
+	}
+}
+
+func testMissing(t *testing.T, w World) {
+	e := w.Open(t, store.Options{})
+	defer e.Close()
+	mustPut(t, e, post(bob, 1, "b1"))
+	mustPut(t, e, post(bob, 3, "b3"))
+	// Sparse, large sequence numbers must not cost O(upto).
+	mustPut(t, e, post(bob, 1_000_000, "way out"))
+	if got, want := e.Missing(bob, 5), []uint64{2, 4, 5}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Missing(bob, 5) = %v, want %v", got, want)
+	}
+	if got := e.Missing(carol, 2); !reflect.DeepEqual(got, []uint64{1, 2}) {
+		t.Errorf("Missing(unknown author) = %v, want [1 2]", got)
+	}
+	if got := e.Missing(bob, 0); got != nil {
+		t.Errorf("Missing(upto=0) = %v, want nil", got)
+	}
+	if got := e.MessagesFrom(bob, 1); len(got) != 2 || got[0].Seq != 3 {
+		t.Errorf("MessagesFrom(bob, 1) = %d messages, want [3, 1000000]", len(got))
+	}
+	if got := e.Select(bob, []uint64{1, 2, 3}); len(got) != 2 {
+		t.Errorf("Select = %d messages, want 2", len(got))
+	}
+}
+
+func testSubscriptions(t *testing.T, w World) {
+	e := w.Open(t, store.Options{})
+	defer e.Close()
+	if e.IsSubscribed(bob) {
+		t.Error("fresh engine subscribed to bob")
+	}
+	e.Subscribe(bob)
+	e.Subscribe(carol)
+	e.Subscribe(bob) // idempotent
+	if !e.IsSubscribed(bob) || len(e.Subscriptions()) != 2 {
+		t.Errorf("subscriptions = %v", e.Subscriptions())
+	}
+	e.Unsubscribe(bob)
+	if e.IsSubscribed(bob) {
+		t.Error("unsubscribe did not take effect")
+	}
+}
+
+func testNextSeq(t *testing.T, w World) {
+	e := w.Open(t, store.Options{})
+	defer e.Close()
+	if got := e.NextSeq(); got != 1 {
+		t.Errorf("first NextSeq = %d, want 1", got)
+	}
+	mustPut(t, e, post(owner, 7, "own action from the past"))
+	if got := e.NextSeq(); got != 8 {
+		t.Errorf("NextSeq after own seq 7 = %d, want 8", got)
+	}
+}
+
+func testQuotaEviction(t *testing.T, w World) {
+	clk := clock.NewVirtual(t0)
+	var drops []store.Eviction
+	e := w.Open(t, store.Options{
+		MaxMessages: 2,
+		Clock:       clk,
+		OnEvict:     func(ev store.Eviction) { drops = append(drops, ev) },
+	})
+	defer e.Close()
+	mustPut(t, e, post(owner, 1, "own, protected"))
+	clk.Advance(time.Minute)
+	mustPut(t, e, post(bob, 1, "oldest cargo"))
+	clk.Advance(time.Minute)
+	mustPut(t, e, post(carol, 1, "newer cargo"))
+
+	if e.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", e.Len())
+	}
+	if e.Has(msg.Ref{Author: owner, Seq: 1}) == false {
+		t.Error("owner's message was evicted")
+	}
+	if e.Has(msg.Ref{Author: bob, Seq: 1}) {
+		t.Error("drop-oldest kept the oldest foreign message")
+	}
+	if len(drops) != 1 || drops[0].Reason != store.EvictCapacity {
+		t.Fatalf("drops = %+v, want one capacity eviction", drops)
+	}
+	// Tombstone semantics: not missing, not re-admittable.
+	if got := e.Missing(bob, 1); got != nil {
+		t.Errorf("Missing includes an evicted seq: %v", got)
+	}
+	if added, _ := e.Put(post(bob, 1, "return of the cargo")); added {
+		t.Error("evicted ref re-admitted")
+	}
+	if st := e.Stats(); st.Evictions != 1 {
+		t.Errorf("Evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func testTTLExpiry(t *testing.T, w World) {
+	clk := clock.NewVirtual(t0)
+	e := w.Open(t, store.Options{Policy: store.TTL(time.Hour), Clock: clk})
+	defer e.Close()
+	m := post(bob, 1, "cargo")
+	m.Created = clk.Now()
+	mustPut(t, e, m)
+	own := post(owner, 1, "own")
+	own.Created = clk.Now()
+	mustPut(t, e, own)
+
+	if n := e.SweepExpired(); n != 0 {
+		t.Fatalf("premature expiry: %d", n)
+	}
+	clk.Advance(2 * time.Hour)
+	if n := e.SweepExpired(); n != 1 {
+		t.Fatalf("SweepExpired = %d, want 1", n)
+	}
+	if e.Has(m.Ref()) {
+		t.Error("expired foreign message survived")
+	}
+	if !e.Has(own.Ref()) {
+		t.Error("owner's message expired")
+	}
+	if st := e.Stats(); st.Expirations != 1 {
+		t.Errorf("Expirations = %d, want 1", st.Expirations)
+	}
+}
+
+// testReload checks the clean shutdown/reopen path on durable engines.
+func testReload(t *testing.T, w World) {
+	if !w.Persistent() {
+		t.Skip("volatile engine")
+	}
+	e := w.Open(t, store.Options{})
+	mustPut(t, e, post(bob, 1, "survives"))
+	mustPut(t, e, post(owner, 2, "own survives"))
+	e.Subscribe(carol)
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	re := w.Open(t, store.Options{})
+	defer re.Close()
+	if re.Len() != 2 || !re.Has(msg.Ref{Author: bob, Seq: 1}) {
+		t.Errorf("reloaded Len = %d, want 2", re.Len())
+	}
+	if !re.IsSubscribed(carol) {
+		t.Error("subscription lost across reload")
+	}
+	if got := re.NextSeq(); got != 3 {
+		t.Errorf("NextSeq after reload = %d, want 3 (own seq continues)", got)
+	}
+	if got := re.Summary()[bob]; got != 1 {
+		t.Errorf("reloaded summary[bob] = %d, want 1", got)
+	}
+}
+
+// testCrashRecovery kills the engine — no Close, the process just goes
+// away — and reopens over the same state.
+func testCrashRecovery(t *testing.T, w World) {
+	if !w.Persistent() {
+		t.Skip("volatile engine")
+	}
+	e := w.Open(t, store.Options{})
+	mustPut(t, e, post(bob, 1, "acked before the crash"))
+	e.Subscribe(bob)
+	e.Unsubscribe(bob)
+	e.Subscribe(carol)
+	// Crash: drop the handle on the floor.
+
+	re := w.Open(t, store.Options{})
+	defer re.Close()
+	if !re.Has(msg.Ref{Author: bob, Seq: 1}) {
+		t.Error("message lost in crash")
+	}
+	if re.IsSubscribed(bob) || !re.IsSubscribed(carol) {
+		t.Errorf("subscription replay wrong: bob=%v carol=%v",
+			re.IsSubscribed(bob), re.IsSubscribed(carol))
+	}
+}
+
+// testEvictionReload checks that tombstones are durable: a message
+// evicted before a restart must not become requestable again after it.
+func testEvictionReload(t *testing.T, w World) {
+	if !w.Persistent() {
+		t.Skip("volatile engine")
+	}
+	e := w.Open(t, store.Options{MaxMessages: 1})
+	mustPut(t, e, post(bob, 1, "evict me"))
+	mustPut(t, e, post(carol, 1, "usurper"))
+	if e.Has(msg.Ref{Author: bob, Seq: 1}) {
+		t.Fatal("expected bob#1 evicted")
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	re := w.Open(t, store.Options{MaxMessages: 1})
+	defer re.Close()
+	if got := re.Missing(bob, 1); got != nil {
+		t.Errorf("evicted ref requestable after reload: Missing = %v", got)
+	}
+	if added, _ := re.Put(post(bob, 1, "zombie")); added {
+		t.Error("evicted ref re-admitted after reload")
+	}
+	if !re.Has(msg.Ref{Author: carol, Seq: 1}) {
+		t.Error("survivor lost across reload")
+	}
+}

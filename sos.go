@@ -58,8 +58,29 @@ type (
 	Ref = msg.Ref
 	// Kind enumerates user-action types.
 	Kind = msg.Kind
-	// Store is a node's local message database.
-	Store = store.Store
+)
+
+// Storage types: the pluggable on-device database (paper §V: the
+// middleware "saves the action to the local database on the mobile
+// device" before dissemination).
+type (
+	// Store is a node's local message database engine. Two backends
+	// ship: MemStore (volatile) and DiskStore (survives restarts); both
+	// enforce buffer quotas with a pluggable EvictionPolicy.
+	Store = store.Engine
+	// MemStore is the in-memory storage engine.
+	MemStore = store.Store
+	// DiskStore is the durable storage engine: append-only log plus
+	// snapshot compaction, crash-recoverable.
+	DiskStore = store.Disk
+	// StoreOptions tunes an engine: quotas, eviction policy, clock.
+	StoreOptions = store.Options
+	// StoreStats counts storage events (puts, evictions, occupancy).
+	StoreStats = store.Stats
+	// Eviction describes one dropped message.
+	Eviction = store.Eviction
+	// EvictionPolicy ranks eviction victims for a full buffer.
+	EvictionPolicy = store.Policy
 )
 
 // Message kinds.
@@ -155,6 +176,28 @@ type (
 // NewNode wires up and starts a middleware instance.
 func NewNode(cfg NodeConfig) (*Node, error) {
 	return core.New(cfg)
+}
+
+// NewMemStore creates an in-memory storage engine for owner. Pass it in
+// NodeConfig.Store to bound a node's buffer; a nil NodeConfig.Store gets
+// an unbounded one automatically.
+func NewMemStore(owner UserID, opts StoreOptions) *MemStore {
+	return store.NewMemory(owner, opts)
+}
+
+// OpenDiskStore opens (or creates) the durable storage engine in dir,
+// replaying its snapshot and append log so a restarted daemon resumes
+// its message database, subscriptions, and eviction tombstones.
+func OpenDiskStore(dir string, owner UserID, opts StoreOptions) (*DiskStore, error) {
+	return store.OpenDisk(dir, owner, opts)
+}
+
+// PolicyByName builds an eviction policy from its registry name
+// ("drop-oldest", "ttl", "size-quota", "subscription-priority"); ttl
+// parameterizes the "ttl" policy. An empty name selects "ttl" when ttl >
+// 0 and "drop-oldest" otherwise.
+func PolicyByName(name string, ttl time.Duration) (EvictionPolicy, error) {
+	return store.PolicyByName(name, ttl)
 }
 
 // NewCA creates a certificate authority with a fresh self-signed root.
