@@ -5,10 +5,14 @@
 //
 // Usage:
 //
-//	sosbench [-days 2] [-posts 80] [-seeds 3] [-sweep scheme|density|ttl]
+//	sosbench [-days 2] [-posts 80] [-seeds 3] [-sweep scheme|density|ttl] [-json]
+//
+// -json emits the sweep as a machine-readable array instead of the
+// table, so results are diffable and comparable across revisions.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,13 +24,14 @@ import (
 
 func main() {
 	var (
-		days  = flag.Int("days", 2, "study length per run")
-		posts = flag.Int("posts", 80, "posts per run")
-		seeds = flag.Int("seeds", 3, "seeds to average over")
-		sweep = flag.String("sweep", "scheme", "sweep dimension: scheme|density|ttl")
+		days     = flag.Int("days", 2, "study length per run")
+		posts    = flag.Int("posts", 80, "posts per run")
+		seeds    = flag.Int("seeds", 3, "seeds to average over")
+		sweep    = flag.String("sweep", "scheme", "sweep dimension: scheme|density|ttl")
+		jsonMode = flag.Bool("json", false, "emit results as JSON instead of a table")
 	)
 	flag.Parse()
-	if err := run(*days, *posts, *seeds, *sweep); err != nil {
+	if err := run(*days, *posts, *seeds, *sweep, *jsonMode); err != nil {
 		fmt.Fprintln(os.Stderr, "sosbench:", err)
 		os.Exit(1)
 	}
@@ -41,7 +46,21 @@ type result struct {
 	delay24    float64
 }
 
-func run(days, posts, seeds int, sweep string) error {
+// row is one configuration's averaged results in the JSON output.
+type row struct {
+	Variant    string  `json:"variant"`
+	Sweep      string  `json:"sweep"`
+	Days       int     `json:"days"`
+	Posts      int     `json:"posts"`
+	Seeds      int     `json:"seeds"`
+	Deliveries float64 `json:"deliveries"`
+	OneHop     float64 `json:"oneHopShare"`
+	Frames     float64 `json:"frames"`
+	KiB        float64 `json:"kib"`
+	Delay24h   float64 `json:"cdfAt24h"`
+}
+
+func run(days, posts, seeds int, sweep string, jsonMode bool) error {
 	type variant struct {
 		label string
 		cfg   sim.GainesvilleConfig
@@ -76,16 +95,34 @@ func run(days, posts, seeds int, sweep string) error {
 		return fmt.Errorf("unknown sweep %q", sweep)
 	}
 
-	fmt.Printf("sweep=%s days=%d posts=%d seeds=%d\n\n", sweep, days, posts, seeds)
-	fmt.Printf("%-16s %11s %11s %11s %11s %11s\n",
-		"variant", "deliveries", "1hop-share", "frames", "KiB", "cdf@24h")
+	if !jsonMode {
+		fmt.Printf("sweep=%s days=%d posts=%d seeds=%d\n\n", sweep, days, posts, seeds)
+		fmt.Printf("%-16s %11s %11s %11s %11s %11s\n",
+			"variant", "deliveries", "1hop-share", "frames", "KiB", "cdf@24h")
+	}
+	rows := make([]row, 0, len(variants))
 	for _, v := range variants {
 		agg, err := average(v.cfg, seeds)
 		if err != nil {
 			return fmt.Errorf("%s: %w", v.label, err)
 		}
-		fmt.Printf("%-16s %11.1f %11.2f %11.1f %11.1f %11.2f\n",
-			v.label, agg.deliveries, agg.oneHop, agg.frames, agg.kib, agg.delay24)
+		r := row{
+			Variant: v.label, Sweep: sweep, Days: days, Posts: posts, Seeds: seeds,
+			Deliveries: agg.deliveries, OneHop: agg.oneHop,
+			Frames: agg.frames, KiB: agg.kib, Delay24h: agg.delay24,
+		}
+		rows = append(rows, r)
+		if !jsonMode {
+			// Rows stream as each variant finishes, so a long sweep
+			// shows progress and can be aborted early.
+			fmt.Printf("%-16s %11.1f %11.2f %11.1f %11.1f %11.2f\n",
+				r.Variant, r.Deliveries, r.OneHop, r.Frames, r.KiB, r.Delay24h)
+		}
+	}
+	if jsonMode {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rows)
 	}
 	return nil
 }

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"sos"
+	"sos/internal/telemetry"
 )
 
 func main() {
@@ -124,6 +125,7 @@ func run(args []string) error {
 	quotaBytes := fs.Int("quota-bytes", 0, "max buffered message bytes (0 = unbounded)")
 	evict := fs.String("evict", "", "eviction policy: drop-oldest, ttl, size-quota, subscription-priority (default: drop-oldest, or ttl when -relay-ttl is set)")
 	relayTTL := fs.Duration("relay-ttl", 0, "lifetime of other users' messages in the buffer (0 = forever)")
+	telemetryAddr := fs.String("telemetry", "", "stream lifecycle events to a collector at this TCP address (e.g. a soslab run)")
 	fs.Parse(args)
 	if *credsPath == "" {
 		return fmt.Errorf("run requires -creds (generate one with 'sosd provision')")
@@ -183,6 +185,17 @@ func run(args []string) error {
 		return err
 	}
 
+	// Live telemetry: every lifecycle event (created, disseminated,
+	// delivered, evicted, contact up/down) streams to the collector so
+	// a soslab experiment measures this node without touching it.
+	var observer sos.Observer
+	if *telemetryAddr != "" {
+		exporter := telemetry.NewExporter(*telemetryAddr, telemetry.ExporterOptions{})
+		defer exporter.Close() // after node.Close below: final events still flush
+		observer = telemetry.NewObserver(creds.Ident.User, nil, exporter)
+		fmt.Printf("sosd: telemetry → %s\n", *telemetryAddr)
+	}
+
 	node, err := sos.NewNode(sos.NodeConfig{
 		Creds:    creds,
 		Medium:   medium,
@@ -190,6 +203,7 @@ func run(args []string) error {
 		Scheme:   *scheme,
 		Store:    engine,
 		Routing:  sos.RoutingOptions{RelayTTL: *relayTTL},
+		Observer: observer,
 		OnReceive: func(m *sos.Message, from sos.UserID) {
 			fmt.Printf("« received %s %s from %s via %s: %q\n",
 				m.Kind, m.Ref(), m.Author, from, trim(m.Payload))
@@ -281,18 +295,18 @@ func command(node *sos.Node, line string) bool {
 			fmt.Printf("  follows %s (have up to seq %d)\n", u, st.MaxSeq(u))
 		}
 	case "stats":
+		// The live-inspection view: what the node holds and how it
+		// routes, without needing a telemetry collector attached.
 		s := node.Stats()
-		fmt.Printf("adhoc:   %+v\nmessage: %+v\nstore:   %+v\n", s.Adhoc, s.Message, s.Store)
-	case "store":
-		st := node.Store().Stats()
-		fmt.Printf("store: %d messages (%d bytes), %d puts, %d duplicates\n",
-			st.Messages, st.Bytes, st.Puts, st.Duplicates)
-		fmt.Printf("       %d quota evictions, %d expirations, %d bytes dropped (summary gen %d)\n",
-			st.Evictions, st.Expirations, st.EvictedBytes, st.Generation)
+		fmt.Printf("scheme:  %s (available: %s)\n", node.Scheme(), strings.Join(node.Schemes(), ", "))
+		fmt.Printf("store:   %d messages, %d bytes (gen %d)\n", s.Store.Messages, s.Store.Bytes, s.Store.Generation)
+		fmt.Printf("         %d puts, %d duplicates, %d evictions, %d expirations, %d bytes evicted\n",
+			s.Store.Puts, s.Store.Duplicates, s.Store.Evictions, s.Store.Expirations, s.Store.EvictedBytes)
+		fmt.Printf("adhoc:   %+v\nmessage: %+v\n", s.Adhoc, s.Message)
 	case "quit", "exit":
 		return true
 	default:
-		fmt.Println("commands: post <text> | follow <handle-or-id> | peers | stats | store | quit")
+		fmt.Println("commands: post <text> | follow <handle-or-id> | peers | stats | quit")
 	}
 	return false
 }

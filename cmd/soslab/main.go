@@ -1,0 +1,147 @@
+// Command soslab runs one in-vivo experiment from a declarative spec
+// file and reports the paper's §VI quantities — delivery ratios, delay
+// CDF, dissemination counts — aggregated from the fleet's live telemetry
+// streams. It is the reproduction's version of the remote-monitoring
+// platform the companion demo paper describes: where sosbench sweeps the
+// in-silico simulator, soslab measures real processes on real sockets.
+//
+//	soslab -spec examples/soslab-fleet/fleet.json
+//	soslab -spec fleet.json -mode process -sosd ./sosd -out report.json -csv delays.csv
+//
+// The spec declares the fleet (size, social graph, routing scheme,
+// storage engine and quotas), the post workload, and a churn schedule of
+// nodes sleeping and waking. Mode "inprocess" (default) runs every node
+// inside soslab over loopback NetMedium sockets; mode "process" spawns
+// one real sosd child process per node.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"sos/internal/lab"
+	"sos/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "soslab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("soslab", flag.ExitOnError)
+	specPath := fs.String("spec", "", "experiment spec file (JSON; required)")
+	mode := fs.String("mode", lab.ModeInProcess, "fleet shape: inprocess (one process, loopback sockets) or process (sosd children)")
+	sosd := fs.String("sosd", "sosd", "sosd binary for -mode process")
+	out := fs.String("out", "", "write the JSON report here (\"-\" for stdout)")
+	csv := fs.String("csv", "", "write the delay CDF as CSV here")
+	workDir := fs.String("workdir", "", "credentials/store directory (default: a temporary one)")
+	quiet := fs.Bool("q", false, "suppress live progress")
+	verbose := fs.Bool("v", false, "log node-level detail (child output, churn, posts)")
+	minDeliveries := fs.Int("min-deliveries", 0, "exit nonzero unless at least this many deliveries occurred (CI smoke)")
+	fs.Parse(args)
+	if *specPath == "" {
+		fs.Usage()
+		return fmt.Errorf("-spec is required")
+	}
+
+	spec, err := lab.LoadSpec(*specPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("soslab: %q — %d nodes, %s routing, %d posts over %s (%s mode)\n",
+		spec.Name, spec.Nodes, spec.Scheme, spec.Posts, spec.Duration, *mode)
+
+	opts := lab.Options{
+		Mode:     *mode,
+		SosdPath: *sosd,
+		WorkDir:  *workDir,
+	}
+	if *verbose {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Printf("  "+format+"\n", args...)
+		}
+	}
+
+	// Live progress: count events as the aggregator ingests them and
+	// print a ticker line while the experiment runs.
+	var created, disseminated, delivered, contacts atomic.Uint64
+	if !*quiet {
+		opts.OnEvent = func(ev telemetry.Event) {
+			switch ev.Type {
+			case telemetry.EventCreated:
+				created.Add(1)
+			case telemetry.EventDisseminated:
+				disseminated.Add(1)
+			case telemetry.EventDelivered:
+				delivered.Add(1)
+			case telemetry.EventContactUp:
+				contacts.Add(1)
+			}
+		}
+		start := time.Now()
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			ticker := time.NewTicker(time.Second)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+					fmt.Printf("  t=%-5s created=%d disseminated=%d delivered=%d contacts=%d\n",
+						time.Since(start).Truncate(time.Second), created.Load(),
+						disseminated.Load(), delivered.Load(), contacts.Load())
+				}
+			}
+		}()
+	}
+
+	report, err := lab.Run(spec, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.Summary())
+
+	if *out != "" {
+		if *out == "-" {
+			if err := report.WriteJSON(os.Stdout); err != nil {
+				return err
+			}
+		} else if err := writeFile(*out, report.WriteJSON); err != nil {
+			return err
+		} else {
+			fmt.Printf("soslab: report → %s\n", *out)
+		}
+	}
+	if *csv != "" {
+		if err := writeFile(*csv, report.WriteDelayCSV); err != nil {
+			return err
+		}
+		fmt.Printf("soslab: delay CDF → %s\n", *csv)
+	}
+	if report.Deliveries < *minDeliveries {
+		return fmt.Errorf("only %d deliveries, want at least %d", report.Deliveries, *minDeliveries)
+	}
+	return nil
+}
+
+// writeFile writes via the given render function with 0644 permissions.
+func writeFile(path string, render func(w io.Writer) error) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

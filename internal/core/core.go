@@ -30,6 +30,79 @@ var (
 	ErrNoCert = errors.New("core: message author certificate unavailable")
 )
 
+// Observer receives middleware lifecycle events — the telemetry hook the
+// in-vivo lab attaches so a live deployment emits the same records the
+// simulator's collector computes in silico. Callbacks fire synchronously
+// on middleware goroutines; implementations must be fast, non-blocking,
+// and must not call back into the middleware. Messages handed to an
+// observer are shared snapshots and must not be mutated.
+type Observer interface {
+	// MessageCreated fires once per locally authored message, after it is
+	// signed and stored.
+	MessageCreated(m *msg.Message)
+	// MessageReceived fires once per newly stored remote message — one
+	// user-to-user dissemination. delivered reports whether this node
+	// subscribes to the author (the paper's delivery event).
+	MessageReceived(m *msg.Message, from id.UserID, delivered bool)
+	// MessageEvicted fires once per message dropped by the storage
+	// engine (quota or TTL).
+	MessageEvicted(ev store.Eviction)
+	// ContactUp / ContactDown observe authenticated encounters.
+	ContactUp(user id.UserID)
+	ContactDown(user id.UserID)
+}
+
+// CombineObservers fans events out to every non-nil observer in order.
+// It returns nil when none remain, so the result can be assigned to
+// Config.Observer directly.
+func CombineObservers(observers ...Observer) Observer {
+	var live []Observer
+	for _, o := range observers {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return multiObserver(live)
+}
+
+type multiObserver []Observer
+
+func (m multiObserver) MessageCreated(mm *msg.Message) {
+	for _, o := range m {
+		o.MessageCreated(mm)
+	}
+}
+
+func (m multiObserver) MessageReceived(mm *msg.Message, from id.UserID, delivered bool) {
+	for _, o := range m {
+		o.MessageReceived(mm, from, delivered)
+	}
+}
+
+func (m multiObserver) MessageEvicted(ev store.Eviction) {
+	for _, o := range m {
+		o.MessageEvicted(ev)
+	}
+}
+
+func (m multiObserver) ContactUp(user id.UserID) {
+	for _, o := range m {
+		o.ContactUp(user)
+	}
+}
+
+func (m multiObserver) ContactDown(user id.UserID) {
+	for _, o := range m {
+		o.ContactDown(user)
+	}
+}
+
 // Config assembles a middleware instance.
 type Config struct {
 	// Creds are the device credentials from the one-time infrastructure
@@ -60,6 +133,9 @@ type Config struct {
 	// OnPeerUp / OnPeerDown observe authenticated encounters.
 	OnPeerUp   func(user id.UserID)
 	OnPeerDown func(user id.UserID)
+	// Observer, when set, receives every lifecycle event (telemetry).
+	// Combine several with CombineObservers.
+	Observer Observer
 
 	// DisableAutoConnect turns off connecting to peers whose beacons offer
 	// wanted messages (the default behaviour).
@@ -125,11 +201,44 @@ func New(cfg Config) (*Middleware, error) {
 		return nil, fmt.Errorf("core: building routing manager: %w", err)
 	}
 	// Schemes observe every buffer drop, so per-message routing state
-	// (spray budgets) is released with the message.
-	st.OnEvict(func(ev store.Eviction) { routingMgr.OnEvicted(ev.Ref) })
+	// (spray budgets) is released with the message; the observer sees the
+	// drop too (telemetry).
+	obs := cfg.Observer
+	st.OnEvict(func(ev store.Eviction) {
+		routingMgr.OnEvicted(ev.Ref)
+		if obs != nil {
+			obs.MessageEvicted(ev)
+		}
+	})
 	if cfg.Scheme != "" {
 		if err := routingMgr.Use(cfg.Scheme); err != nil {
 			return nil, fmt.Errorf("core: selecting scheme: %w", err)
+		}
+	}
+	// Interpose the observer on the message-manager callbacks: a receipt
+	// is one dissemination, and a receipt by a subscriber of the author
+	// is one delivery — the exact events the evaluation counts.
+	onReceive := cfg.OnReceive
+	onPeerUp := cfg.OnPeerUp
+	onPeerDown := cfg.OnPeerDown
+	if obs != nil {
+		onReceive = func(m *msg.Message, from id.UserID) {
+			obs.MessageReceived(m, from, st.IsSubscribed(m.Author))
+			if cfg.OnReceive != nil {
+				cfg.OnReceive(m, from)
+			}
+		}
+		onPeerUp = func(user id.UserID) {
+			obs.ContactUp(user)
+			if cfg.OnPeerUp != nil {
+				cfg.OnPeerUp(user)
+			}
+		}
+		onPeerDown = func(user id.UserID) {
+			obs.ContactDown(user)
+			if cfg.OnPeerDown != nil {
+				cfg.OnPeerDown(user)
+			}
 		}
 	}
 	msgMgr, err := message.New(message.Config{
@@ -137,9 +246,9 @@ func New(cfg Config) (*Middleware, error) {
 		Routing:     routingMgr,
 		Verifier:    verifier,
 		Clock:       cfg.Clock,
-		OnReceive:   cfg.OnReceive,
-		OnPeerUp:    cfg.OnPeerUp,
-		OnPeerDown:  cfg.OnPeerDown,
+		OnReceive:   onReceive,
+		OnPeerUp:    onPeerUp,
+		OnPeerDown:  onPeerDown,
 		AutoConnect: !cfg.DisableAutoConnect,
 	})
 	if err != nil {
@@ -265,6 +374,9 @@ func (mw *Middleware) publish(kind msg.Kind, subject id.UserID, payload []byte) 
 	}
 	if _, err := mw.store.Put(m); err != nil {
 		return nil, fmt.Errorf("core: storing action: %w", err)
+	}
+	if mw.cfg.Observer != nil {
+		mw.cfg.Observer.MessageCreated(m.Clone())
 	}
 	if err := mw.msgMgr.Advertise(); err != nil {
 		return nil, fmt.Errorf("core: advertising action: %w", err)

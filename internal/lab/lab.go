@@ -1,0 +1,330 @@
+package lab
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"sos/internal/cloud"
+	"sos/internal/core"
+	"sos/internal/id"
+	"sos/internal/mpc"
+	"sos/internal/netmedium"
+	"sos/internal/pki"
+	"sos/internal/routing"
+	"sos/internal/store"
+	"sos/internal/telemetry"
+)
+
+// Run modes.
+const (
+	// ModeInProcess runs the fleet as N middleware instances inside
+	// this process, each with its own loopback NetMedium endpoint (real
+	// UDP beacons, real TCP sessions).
+	ModeInProcess = "inprocess"
+	// ModeProcess runs the fleet as N real sosd child processes wired
+	// together over loopback — the full in-vivo deployment shape.
+	ModeProcess = "process"
+)
+
+// Options tunes a run beyond what the spec declares.
+type Options struct {
+	// Mode selects ModeInProcess (default) or ModeProcess.
+	Mode string
+	// SosdPath locates the sosd binary for ModeProcess; default "sosd"
+	// (resolved via PATH).
+	SosdPath string
+	// WorkDir holds credentials and disk stores; empty creates (and
+	// removes) a temporary directory.
+	WorkDir string
+	// Logf, when set, receives progress and child-process output.
+	Logf func(format string, args ...any)
+	// OnEvent observes every aggregated telemetry event (live progress).
+	OnEvent func(ev telemetry.Event)
+	// ExtraObserver, when set, attaches a second observer to every
+	// in-process node — the acceptance tests use it to watch the same
+	// run directly and cross-check the aggregated metrics.
+	ExtraObserver func(handle string, user id.UserID) core.Observer
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Run executes the experiment and returns its report.
+func Run(spec *Spec, opts Options) (*Report, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("lab: nil spec")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	switch opts.Mode {
+	case "", ModeInProcess:
+		return runInProcess(spec, opts)
+	case ModeProcess:
+		return runProcess(spec, opts)
+	default:
+		return nil, fmt.Errorf("lab: unknown mode %q (want %q or %q)", opts.Mode, ModeInProcess, ModeProcess)
+	}
+}
+
+// timelineEvent is one scheduled action: a workload post or a churn op.
+type timelineEvent struct {
+	at    time.Duration
+	post  *postEvent
+	churn *ChurnEvent
+}
+
+// timeline merges the post schedule and churn schedule in time order
+// (churn before posts at the same instant, so a node that wakes at t can
+// post at t).
+func timeline(spec *Spec) []timelineEvent {
+	var out []timelineEvent
+	posts := spec.postSchedule()
+	for i := range posts {
+		out = append(out, timelineEvent{at: posts[i].at, post: &posts[i]})
+	}
+	for i := range spec.Churn {
+		out = append(out, timelineEvent{at: spec.Churn[i].At.D(), churn: &spec.Churn[i]})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].at != out[j].at {
+			return out[i].at < out[j].at
+		}
+		return out[i].churn != nil && out[j].churn == nil
+	})
+	return out
+}
+
+// inNode is one in-process fleet member.
+type inNode struct {
+	handle   string
+	user     id.UserID
+	peer     mpc.PeerID
+	mw       *core.Middleware
+	exporter *telemetry.Exporter
+	down     bool
+}
+
+// runInProcess executes the whole fleet inside this process over a
+// shared loopback NetMedium instance: every endpoint binds its own real
+// sockets, and churn toggles radios with Medium.SetReachable — the same
+// severing a device sleeping mid-gathering causes in the field.
+func runInProcess(spec *Spec, opts Options) (*Report, error) {
+	workDir := opts.WorkDir
+	if spec.storeEngine(ModeInProcess) == "disk" && workDir == "" {
+		dir, err := os.MkdirTemp("", "soslab-*")
+		if err != nil {
+			return nil, fmt.Errorf("lab: temp dir: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		workDir = dir
+	}
+
+	agg := telemetry.NewAggregator()
+	if opts.OnEvent != nil {
+		agg.OnEvent(opts.OnEvent)
+	}
+	srv, err := telemetry.NewServer("127.0.0.1:0", agg, opts.Logf)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close(5 * time.Second)
+	opts.logf("lab: telemetry collector on %s", srv.Addr())
+
+	// One-time infrastructure: CA, cloud, and per-node credentials,
+	// deterministic under the spec seed.
+	master := rand.New(rand.NewSource(spec.Seed))
+	ca, err := pki.NewCA(spec.Name+" Lab CA", pki.WithEntropy(rand.New(rand.NewSource(master.Int63()))))
+	if err != nil {
+		return nil, fmt.Errorf("lab: creating CA: %w", err)
+	}
+	svc := cloud.New(ca)
+
+	medium, err := netmedium.New(netmedium.Config{
+		BeaconListen:   "127.0.0.1:0",
+		ListenIP:       "127.0.0.1",
+		BeaconInterval: spec.BeaconInterval.D(),
+		LossTimeout:    spec.LossTimeout.D(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lab: creating medium: %w", err)
+	}
+
+	policy, err := store.PolicyByName(spec.Store.Policy, spec.Store.RelayTTL.D())
+	if err != nil {
+		return nil, fmt.Errorf("lab: store policy: %w", err)
+	}
+
+	nodes := make([]*inNode, 0, spec.Nodes)
+	byHandle := make(map[string]*inNode, spec.Nodes)
+	users := make(map[string]id.UserID, spec.Nodes)
+	defer func() {
+		for _, n := range nodes {
+			if n.mw != nil {
+				n.mw.Close()
+			}
+			n.exporter.Close()
+		}
+	}()
+	for _, handle := range spec.Handles {
+		creds, err := cloud.Bootstrap(svc, handle, rand.New(rand.NewSource(master.Int63())))
+		if err != nil {
+			return nil, fmt.Errorf("lab: bootstrapping %q: %w", handle, err)
+		}
+		n := &inNode{
+			handle:   handle,
+			user:     creds.Ident.User,
+			peer:     mpc.PeerID(handle),
+			exporter: telemetry.NewExporter(srv.Addr(), telemetry.ExporterOptions{Logf: opts.Logf}),
+		}
+		// Registered before the fallible steps below, so the deferred
+		// cleanup stops this exporter even when construction fails.
+		nodes = append(nodes, n)
+		obs := core.Observer(telemetry.NewObserver(n.user, nil, n.exporter))
+		if opts.ExtraObserver != nil {
+			obs = core.CombineObservers(obs, opts.ExtraObserver(handle, n.user))
+		}
+		engine, err := buildEngine(spec, ModeInProcess, workDir, handle, creds.Ident.User, policy)
+		if err != nil {
+			return nil, err
+		}
+		mw, err := core.New(core.Config{
+			Creds:    creds,
+			Medium:   medium,
+			PeerName: n.peer,
+			Scheme:   spec.Scheme,
+			Routing:  routing.Options{RelayTTL: spec.Store.RelayTTL.D()},
+			Store:    engine,
+			Observer: obs,
+		})
+		if err != nil {
+			engine.Close() // core.New takes ownership only on success
+			return nil, fmt.Errorf("lab: starting %q: %w", handle, err)
+		}
+		n.mw = mw
+		byHandle[handle] = n
+		users[handle] = n.user
+	}
+
+	// Pre-seeded social graph (quiet subscriptions, as in the field
+	// study where relationships predate the experiment).
+	for _, e := range spec.FollowEdges() {
+		follower := nodes[e[0]]
+		followee := nodes[e[1]]
+		follower.mw.Subscribe(followee.user)
+	}
+	for _, n := range nodes {
+		if err := n.mw.Advertise(); err != nil {
+			return nil, fmt.Errorf("lab: advertising %q: %w", n.handle, err)
+		}
+	}
+
+	setRadio := func(n *inNode, up bool) {
+		for _, other := range nodes {
+			if other == n {
+				continue
+			}
+			// Waking restores only links to awake peers; sleeping
+			// severs everything.
+			if up && other.down {
+				continue
+			}
+			medium.SetReachable(n.peer, other.peer, up)
+		}
+		n.down = !up
+	}
+
+	// The experiment clock: wall time, real sockets.
+	startedAt := time.Now()
+	executed, skipped := 0, 0
+	for _, ev := range timeline(spec) {
+		if d := time.Until(startedAt.Add(ev.at)); d > 0 {
+			time.Sleep(d)
+		}
+		switch {
+		case ev.post != nil:
+			n := nodes[ev.post.author]
+			if n.down {
+				// Same rule as process mode: a sleeping app has no user
+				// in front of it, so the post does not happen.
+				skipped++
+				opts.logf("lab: skipping post by sleeping node %s", n.handle)
+				continue
+			}
+			if _, err := n.mw.Post([]byte(ev.post.body)); err != nil {
+				return nil, fmt.Errorf("lab: %s posting: %w", n.handle, err)
+			}
+			executed++
+			opts.logf("lab: %s posted (%d/%d)", n.handle, executed, spec.Posts)
+		case ev.churn != nil:
+			n := byHandle[ev.churn.Node]
+			up := ev.churn.Op == OpUp
+			if n.down != up {
+				opts.logf("lab: churn %s %s (no-op)", ev.churn.Node, ev.churn.Op)
+				continue
+			}
+			setRadio(n, up)
+			opts.logf("lab: churn %s %s", ev.churn.Node, ev.churn.Op)
+		}
+	}
+	if d := time.Until(startedAt.Add(spec.Duration.D())); d > 0 {
+		time.Sleep(d)
+	}
+	elapsed := time.Since(startedAt)
+
+	// Teardown in telemetry-safe order: stop the middlewares (no more
+	// events), flush and close the exporters, then wait for the server
+	// to finish reading every stream — only then is the aggregate
+	// complete.
+	reports := make([]NodeReport, 0, len(nodes))
+	for _, n := range nodes {
+		stats := n.mw.Stats()
+		if err := n.mw.Close(); err != nil {
+			opts.logf("lab: closing %s: %v", n.handle, err)
+		}
+		n.mw = nil
+		n.exporter.Close()
+		es := n.exporter.Stats()
+		reports = append(reports, NodeReport{
+			Handle:              n.handle,
+			User:                n.user.String(),
+			Stats:               &stats,
+			TelemetrySent:       es.Sent,
+			TelemetryDropped:    es.Dropped,
+			TelemetryReconnects: es.Reconnects,
+		})
+	}
+	if err := srv.Close(10 * time.Second); err != nil {
+		opts.logf("lab: closing collector: %v", err)
+	}
+
+	return buildReport(spec, ModeInProcess, startedAt, elapsed,
+		agg, spec.Subscriptions(users), reports, executed, skipped), nil
+}
+
+// buildEngine constructs one node's storage engine per the spec.
+func buildEngine(spec *Spec, mode, workDir, handle string, owner id.UserID, policy store.Policy) (store.Engine, error) {
+	sOpts := store.Options{
+		MaxMessages: spec.Store.Quota,
+		MaxBytes:    spec.Store.QuotaBytes,
+		Policy:      policy,
+	}
+	switch spec.storeEngine(mode) {
+	case "disk":
+		dir := filepath.Join(workDir, handle+".store")
+		engine, err := store.OpenDisk(dir, owner, sOpts)
+		if err != nil {
+			return nil, fmt.Errorf("lab: opening disk store for %q: %w", handle, err)
+		}
+		return engine, nil
+	default:
+		return store.NewMemory(owner, sOpts), nil
+	}
+}

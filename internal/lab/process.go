@@ -1,0 +1,306 @@
+package lab
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"sos/internal/cloud"
+	"sos/internal/id"
+	"sos/internal/pki"
+	"sos/internal/telemetry"
+)
+
+// childProc is one sosd child process.
+type childProc struct {
+	handle     string
+	user       id.UserID
+	credsPath  string
+	storeDir   string
+	beaconAddr string
+	follows    []string
+	restarts   int
+
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+}
+
+// running reports whether the child is currently alive.
+func (p *childProc) running() bool { return p.cmd != nil }
+
+// runProcess executes the fleet as real sosd child processes over
+// loopback: each child binds its own UDP beacon socket and TCP session
+// listeners, discovers the others through explicit unicast beacon
+// targets, and streams telemetry back over TCP. Churn stops and restarts
+// whole processes — with the default disk engine a waking node resumes
+// its message database, exactly like a phone returning from sleep.
+func runProcess(spec *Spec, opts Options) (*Report, error) {
+	sosd := opts.SosdPath
+	if sosd == "" {
+		sosd = "sosd"
+	}
+	if _, err := exec.LookPath(sosd); err != nil {
+		return nil, fmt.Errorf("lab: sosd binary not found (%w); build it with 'go build ./cmd/sosd' and pass its path", err)
+	}
+	if spec.storeEngine(ModeProcess) == "mem" && len(spec.Churn) > 0 {
+		// A restarted child with a volatile store resets its sequence
+		// counter, so post-restart messages collide with pre-restart
+		// refs and silently vanish from every peer and every count.
+		return nil, fmt.Errorf("lab: process-mode churn requires the disk store engine (mem resets sequence numbers across restarts)")
+	}
+	workDir := opts.WorkDir
+	if workDir == "" {
+		dir, err := os.MkdirTemp("", "soslab-*")
+		if err != nil {
+			return nil, fmt.Errorf("lab: temp dir: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		workDir = dir
+	}
+
+	agg := telemetry.NewAggregator()
+	if opts.OnEvent != nil {
+		agg.OnEvent(opts.OnEvent)
+	}
+	srv, err := telemetry.NewServer("127.0.0.1:0", agg, opts.Logf)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close(5 * time.Second)
+	opts.logf("lab: telemetry collector on %s", srv.Addr())
+
+	// Provision the whole fleet ahead of deployment (the paper's
+	// one-time infrastructure requirement): one credentials file per
+	// handle, certified by a common root.
+	master := rand.New(rand.NewSource(spec.Seed))
+	ca, err := pki.NewCA(spec.Name+" Lab CA", pki.WithEntropy(rand.New(rand.NewSource(master.Int63()))))
+	if err != nil {
+		return nil, fmt.Errorf("lab: creating CA: %w", err)
+	}
+	svc := cloud.New(ca)
+
+	users := make(map[string]id.UserID, spec.Nodes)
+	procs := make([]*childProc, 0, spec.Nodes)
+	byHandle := make(map[string]*childProc, spec.Nodes)
+	for _, handle := range spec.Handles {
+		creds, err := cloud.Bootstrap(svc, handle, rand.New(rand.NewSource(master.Int63())))
+		if err != nil {
+			return nil, fmt.Errorf("lab: bootstrapping %q: %w", handle, err)
+		}
+		credsPath := filepath.Join(workDir, handle+".creds")
+		if err := cloud.SaveCredentials(creds, credsPath); err != nil {
+			return nil, err
+		}
+		port, err := freeUDPPort()
+		if err != nil {
+			return nil, err
+		}
+		p := &childProc{
+			handle:     handle,
+			user:       creds.Ident.User,
+			credsPath:  credsPath,
+			storeDir:   filepath.Join(workDir, handle+".store"),
+			beaconAddr: fmt.Sprintf("127.0.0.1:%d", port),
+		}
+		procs = append(procs, p)
+		byHandle[handle] = p
+		users[handle] = creds.Ident.User
+	}
+	for _, e := range spec.FollowEdges() {
+		follower := procs[e[0]]
+		follower.follows = append(follower.follows, spec.Handles[e[1]])
+	}
+	defer func() {
+		for _, p := range procs {
+			if p.running() {
+				stopChild(p, opts, time.Second)
+			}
+		}
+	}()
+	for _, p := range procs {
+		if err := startChild(spec, opts, sosd, srv.Addr(), p, procs); err != nil {
+			return nil, err
+		}
+	}
+
+	startedAt := time.Now()
+	executed, skipped := 0, 0
+	for _, ev := range timeline(spec) {
+		if d := time.Until(startedAt.Add(ev.at)); d > 0 {
+			time.Sleep(d)
+		}
+		switch {
+		case ev.post != nil:
+			p := procs[ev.post.author]
+			if !p.running() {
+				// The author is asleep; a real user cannot post from a
+				// dead app. Recorded so the report explains the gap.
+				skipped++
+				opts.logf("lab: skipping post by sleeping node %s", p.handle)
+				continue
+			}
+			if _, err := fmt.Fprintf(p.stdin, "post %s\n", ev.post.body); err != nil {
+				return nil, fmt.Errorf("lab: posting via %s: %w", p.handle, err)
+			}
+			executed++
+			opts.logf("lab: %s posted (%d/%d)", p.handle, executed, spec.Posts)
+		case ev.churn != nil:
+			p := byHandle[ev.churn.Node]
+			switch {
+			case ev.churn.Op == OpDown && p.running():
+				stopChild(p, opts, 5*time.Second)
+				opts.logf("lab: churn %s down", p.handle)
+			case ev.churn.Op == OpUp && !p.running():
+				p.restarts++
+				if err := startChild(spec, opts, sosd, srv.Addr(), p, procs); err != nil {
+					return nil, err
+				}
+				opts.logf("lab: churn %s up", p.handle)
+			default:
+				opts.logf("lab: churn %s %s (no-op)", ev.churn.Node, ev.churn.Op)
+			}
+		}
+	}
+	if d := time.Until(startedAt.Add(spec.Duration.D())); d > 0 {
+		time.Sleep(d)
+	}
+	elapsed := time.Since(startedAt)
+
+	// Graceful teardown: "quit" lets each sosd close its node and flush
+	// its telemetry exporter before the collector stops reading.
+	reports := make([]NodeReport, 0, len(procs))
+	for _, p := range procs {
+		if p.running() {
+			stopChild(p, opts, 10*time.Second)
+		}
+		reports = append(reports, NodeReport{
+			Handle:   p.handle,
+			User:     p.user.String(),
+			Restarts: p.restarts,
+		})
+	}
+	if err := srv.Close(10 * time.Second); err != nil {
+		opts.logf("lab: closing collector: %v", err)
+	}
+
+	return buildReport(spec, ModeProcess, startedAt, elapsed,
+		agg, spec.Subscriptions(users), reports, executed, skipped), nil
+}
+
+// startChild spawns one sosd process wired to the rest of the fleet.
+func startChild(spec *Spec, opts Options, sosd, telemetryAddr string, p *childProc, procs []*childProc) error {
+	var targets []string
+	for _, other := range procs {
+		if other != p {
+			targets = append(targets, other.beaconAddr)
+		}
+	}
+	args := []string{
+		"run",
+		"-creds", p.credsPath,
+		"-name", p.handle,
+		"-scheme", spec.Scheme,
+		"-beacon-listen", p.beaconAddr,
+		"-beacon-targets", strings.Join(targets, ","),
+		"-listen-ip", "127.0.0.1",
+		"-beacon-interval", spec.BeaconInterval.D().String(),
+		"-loss-timeout", spec.LossTimeout.D().String(),
+		"-telemetry", telemetryAddr,
+		"-store", spec.storeEngine(ModeProcess),
+		"-store-dir", p.storeDir,
+	}
+	if spec.Store.Quota > 0 {
+		args = append(args, "-quota", fmt.Sprint(spec.Store.Quota))
+	}
+	if spec.Store.QuotaBytes > 0 {
+		args = append(args, "-quota-bytes", fmt.Sprint(spec.Store.QuotaBytes))
+	}
+	if spec.Store.Policy != "" {
+		args = append(args, "-evict", spec.Store.Policy)
+	}
+	if spec.Store.RelayTTL > 0 {
+		args = append(args, "-relay-ttl", spec.Store.RelayTTL.D().String())
+	}
+	if len(p.follows) > 0 {
+		args = append(args, "-follow", strings.Join(p.follows, ","))
+	}
+
+	cmd := exec.Command(sosd, args...)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return fmt.Errorf("lab: stdin pipe for %s: %w", p.handle, err)
+	}
+	// A plain Writer (not StdoutPipe) lets exec own the copy goroutine,
+	// so Wait blocks until the child's final output — the shutdown and
+	// flush diagnostics — has been logged in full.
+	out := &lineWriter{logf: opts.logf, prefix: p.handle}
+	cmd.Stdout = out
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("lab: starting sosd for %s: %w", p.handle, err)
+	}
+	p.cmd = cmd
+	p.stdin = stdin
+	return nil
+}
+
+// lineWriter forwards a child's output to the lab log one line at a
+// time, buffering partial lines across writes.
+type lineWriter struct {
+	logf   func(format string, args ...any)
+	prefix string
+	buf    []byte
+}
+
+func (w *lineWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	for {
+		nl := bytes.IndexByte(w.buf, '\n')
+		if nl < 0 {
+			return len(p), nil
+		}
+		w.logf("[%s] %s", w.prefix, strings.TrimRight(string(w.buf[:nl]), "\r"))
+		w.buf = w.buf[nl+1:]
+	}
+}
+
+// stopChild asks a sosd process to quit and waits, escalating to a kill
+// after the grace period.
+func stopChild(p *childProc, opts Options, grace time.Duration) {
+	if p.cmd == nil {
+		return
+	}
+	fmt.Fprintln(p.stdin, "quit")
+	p.stdin.Close()
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(grace):
+		opts.logf("lab: %s did not quit in %s; killing", p.handle, grace)
+		p.cmd.Process.Kill()
+		<-done
+	}
+	p.cmd = nil
+	p.stdin = nil
+}
+
+// freeUDPPort reserves an ephemeral loopback UDP port and releases it for
+// the child to bind. The tiny claim-to-bind race is acceptable for a lab
+// on loopback.
+func freeUDPPort() (int, error) {
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return 0, fmt.Errorf("lab: reserving beacon port: %w", err)
+	}
+	port := conn.LocalAddr().(*net.UDPAddr).Port
+	conn.Close()
+	return port, nil
+}

@@ -1,0 +1,197 @@
+package lab
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"sos/internal/core"
+	"sos/internal/metrics"
+	"sos/internal/telemetry"
+)
+
+// NodeReport is one node's slice of the report.
+type NodeReport struct {
+	Handle string `json:"handle"`
+	User   string `json:"user"`
+	// Restarts counts churn wake-ups that respawned the node (process
+	// mode).
+	Restarts int `json:"restarts,omitempty"`
+	// Stats carries the node's middleware counters (in-process mode
+	// only; child processes keep theirs behind the sosd REPL).
+	Stats *core.Stats `json:"stats,omitempty"`
+	// Telemetry* count the node's exporter activity (in-process mode).
+	TelemetrySent       uint64 `json:"telemetrySent,omitempty"`
+	TelemetryDropped    uint64 `json:"telemetryDropped,omitempty"`
+	TelemetryReconnects uint64 `json:"telemetryReconnects,omitempty"`
+}
+
+// DelayStats summarizes the delivery-delay distribution in seconds.
+type DelayStats struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50,omitempty"`
+	P90   float64 `json:"p90,omitempty"`
+	Max   float64 `json:"max,omitempty"`
+}
+
+// RatioStats summarizes the per-subscription delivery-ratio series
+// (paper Fig. 4d).
+type RatioStats struct {
+	Subscriptions int     `json:"subscriptions"`
+	Mean          float64 `json:"mean"`
+	// Above80 is the fraction of subscriptions with a delivery ratio
+	// strictly greater than 0.80 — the form the paper quotes.
+	Above80 float64   `json:"above80"`
+	Ratios  []float64 `json:"ratios,omitempty"`
+}
+
+// Report is a finished experiment: the spec echoed back plus every §VI
+// quantity computed from the fleet's live telemetry.
+type Report struct {
+	Name      string    `json:"name"`
+	Mode      string    `json:"mode"`
+	StartedAt time.Time `json:"startedAt"`
+	Duration  Duration  `json:"duration"`
+	Scheme    string    `json:"scheme"`
+	NodeCount int       `json:"nodeCount"`
+
+	// Workload actually executed.
+	PostsScheduled int `json:"postsScheduled"`
+	PostsExecuted  int `json:"postsExecuted"`
+	PostsSkipped   int `json:"postsSkipped,omitempty"`
+
+	// The §VI quantities.
+	Created          int        `json:"created"`
+	Disseminations   uint64     `json:"disseminations"`
+	Deliveries       int        `json:"deliveries"`
+	OneHopDeliveries int        `json:"oneHopDeliveries"`
+	OneHopShare      float64    `json:"oneHopShare"`
+	Delay            DelayStats `json:"delaySeconds"`
+	// DelayCDF is the empirical CDF of delivery delays as (seconds,
+	// fraction) step points — the Fig. 4c series at lab timescale.
+	DelayCDF         [][2]float64 `json:"delayCDF,omitempty"`
+	Ratio            RatioStats   `json:"deliveryRatio"`
+	Evictions        uint64       `json:"evictions"`
+	TrackedEvictions uint64       `json:"trackedEvictions"`
+
+	Telemetry telemetry.AggregatorStats `json:"telemetry"`
+	Nodes     []NodeReport              `json:"nodes"`
+
+	Spec *Spec `json:"spec"`
+
+	// col is the live aggregated collector the series were computed
+	// from, for callers (and tests) that want the raw records.
+	col *metrics.Collector
+}
+
+// Collector returns the aggregated collector behind the report.
+func (r *Report) Collector() *metrics.Collector { return r.col }
+
+// buildReport computes every series from the aggregated collector.
+func buildReport(spec *Spec, mode string, startedAt time.Time, elapsed time.Duration,
+	agg *telemetry.Aggregator, subs []metrics.Subscription,
+	nodes []NodeReport, executed, skipped int) *Report {
+
+	col := agg.Collector()
+	all := col.Deliveries(metrics.AllHops)
+	delays := make([]float64, 0, len(all))
+	for _, d := range all {
+		delays = append(delays, d.Delay().Seconds())
+	}
+	cdf := metrics.NewCDF(delays)
+	ratios := col.DeliveryRatios(subs, metrics.AllHops)
+	mean := 0.0
+	for _, r := range ratios {
+		mean += r
+	}
+	if len(ratios) > 0 {
+		mean /= float64(len(ratios))
+	}
+
+	r := &Report{
+		Name:             spec.Name,
+		Mode:             mode,
+		StartedAt:        startedAt,
+		Duration:         Duration(elapsed),
+		Scheme:           spec.Scheme,
+		NodeCount:        spec.Nodes,
+		PostsScheduled:   spec.Posts,
+		PostsExecuted:    executed,
+		PostsSkipped:     skipped,
+		Created:          col.CreatedCount(),
+		Disseminations:   col.Disseminations(),
+		Deliveries:       len(all),
+		OneHopDeliveries: len(col.Deliveries(metrics.OneHop)),
+		OneHopShare:      col.OneHopShare(),
+		Delay: DelayStats{
+			Count: cdf.N(),
+		},
+		DelayCDF: cdf.Points(),
+		Ratio: RatioStats{
+			Subscriptions: len(ratios),
+			Mean:          mean,
+			Above80:       metrics.FractionAbove(ratios, 0.80),
+			Ratios:        ratios,
+		},
+		Evictions:        col.Evictions(),
+		TrackedEvictions: col.TrackedEvictions(),
+		Telemetry:        agg.Stats(),
+		Nodes:            nodes,
+		Spec:             spec,
+		col:              col,
+	}
+	if cdf.N() > 0 {
+		r.Delay.P50 = cdf.Quantile(0.50)
+		r.Delay.P90 = cdf.Quantile(0.90)
+		r.Delay.Max = cdf.Quantile(1.0)
+	}
+	return r
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("lab: writing report: %w", err)
+	}
+	return nil
+}
+
+// WriteDelayCSV writes the delay CDF as "seconds,cdf" rows.
+func (r *Report) WriteDelayCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "seconds,cdf"); err != nil {
+		return fmt.Errorf("lab: writing csv: %w", err)
+	}
+	for _, p := range r.DelayCDF {
+		if _, err := fmt.Fprintf(w, "%.6f,%.6f\n", p[0], p[1]); err != nil {
+			return fmt.Errorf("lab: writing csv: %w", err)
+		}
+	}
+	return nil
+}
+
+// Summary renders the human-readable result block soslab prints.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "experiment %q (%s, %d nodes, %s routing) ran %s\n",
+		r.Name, r.Mode, r.NodeCount, r.Scheme, r.Duration)
+	fmt.Fprintf(&b, "  posts:           %d executed / %d scheduled (%d skipped)\n",
+		r.PostsExecuted, r.PostsScheduled, r.PostsSkipped)
+	fmt.Fprintf(&b, "  created:         %d unique messages\n", r.Created)
+	fmt.Fprintf(&b, "  disseminations:  %d user-to-user transfers\n", r.Disseminations)
+	fmt.Fprintf(&b, "  deliveries:      %d (%d one-hop, share %.2f)\n",
+		r.Deliveries, r.OneHopDeliveries, r.OneHopShare)
+	if r.Delay.Count > 0 {
+		fmt.Fprintf(&b, "  delay:           p50 %.2fs  p90 %.2fs  max %.2fs\n",
+			r.Delay.P50, r.Delay.P90, r.Delay.Max)
+	}
+	fmt.Fprintf(&b, "  delivery ratio:  mean %.2f over %d subscriptions (%.2f above 0.80)\n",
+		r.Ratio.Mean, r.Ratio.Subscriptions, r.Ratio.Above80)
+	fmt.Fprintf(&b, "  evictions:       %d (%d workload)\n", r.Evictions, r.TrackedEvictions)
+	fmt.Fprintf(&b, "  telemetry:       %d events from %d nodes (%d retransmits discarded)\n",
+		r.Telemetry.Events, r.Telemetry.Nodes, r.Telemetry.Duplicates)
+	return b.String()
+}

@@ -1,0 +1,347 @@
+// Package lab is the experiment harness of the in-vivo lab: it takes a
+// declarative specification of a fleet — size, social graph, routing
+// scheme, storage engine and quota, post workload, and a churn schedule
+// of nodes sleeping and waking (the paper's §VI reality, where devices
+// disseminate only while the app is foregrounded) — and runs it as a
+// real deployment: either N complete middleware instances over loopback
+// NetMedium sockets in one process, or N real sosd child processes. Live
+// telemetry streams from every node into an aggregator, and the run ends
+// with a report of the paper's evaluation quantities (delivery ratios,
+// delay CDF, dissemination counts) computed from the fleet's own events.
+package lab
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"sos/internal/id"
+	"sos/internal/metrics"
+)
+
+// Duration is a time.Duration that marshals as a human-readable string
+// ("1m30s") and unmarshals from either that form or raw nanoseconds.
+type Duration time.Duration
+
+// D returns the native duration.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+// String renders the duration.
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	switch val := v.(type) {
+	case string:
+		parsed, err := time.ParseDuration(val)
+		if err != nil {
+			return fmt.Errorf("lab: bad duration %q: %w", val, err)
+		}
+		*d = Duration(parsed)
+	case float64:
+		*d = Duration(time.Duration(val))
+	default:
+		return fmt.Errorf("lab: duration must be a string or nanosecond count, got %T", v)
+	}
+	return nil
+}
+
+// StoreSpec selects and bounds each node's storage engine.
+type StoreSpec struct {
+	// Engine is "mem" or "disk"; empty selects mem in-process and disk
+	// for child processes (so churned nodes resume their database on
+	// wake, keeping sequence numbers collision-free).
+	Engine string `json:"engine,omitempty"`
+	// Quota / QuotaBytes bound the buffer; 0 = unbounded.
+	Quota      int `json:"quota,omitempty"`
+	QuotaBytes int `json:"quotaBytes,omitempty"`
+	// Policy names the eviction policy (store.PolicyByName).
+	Policy string `json:"policy,omitempty"`
+	// RelayTTL bounds how long foreign messages are carried.
+	RelayTTL Duration `json:"relayTTL,omitempty"`
+}
+
+// Churn operations.
+const (
+	OpDown = "down"
+	OpUp   = "up"
+)
+
+// ChurnEvent is one scheduled availability change: a node's radio (and,
+// in process mode, its whole process) going to sleep or waking up.
+type ChurnEvent struct {
+	// At is the offset from experiment start.
+	At Duration `json:"at"`
+	// Node is the affected node's handle.
+	Node string `json:"node"`
+	// Op is OpDown or OpUp.
+	Op string `json:"op"`
+}
+
+// Spec declares one experiment.
+type Spec struct {
+	// Name labels the experiment in reports.
+	Name string `json:"name,omitempty"`
+	// Nodes is the fleet size (ignored when Handles is set).
+	Nodes int `json:"nodes,omitempty"`
+	// Handles optionally names the nodes; defaults to n1..nN.
+	Handles []string `json:"handles,omitempty"`
+	// Scheme is the routing protocol for every node; default epidemic.
+	Scheme string `json:"scheme,omitempty"`
+	// Graph picks a social-graph preset — "ring" (i follows i+1),
+	// "star" (everyone follows the first node), "full" (everyone
+	// follows everyone) — or "" to use Edges alone.
+	Graph string `json:"graph,omitempty"`
+	// Edges adds explicit 1-based [follower, followee] pairs.
+	Edges [][2]int `json:"edges,omitempty"`
+	// Store configures every node's storage engine.
+	Store StoreSpec `json:"store,omitempty"`
+	// Posts is the workload size; posts are spread evenly over
+	// PostWindow with authors assigned round-robin. Default: one per
+	// node.
+	Posts int `json:"posts,omitempty"`
+	// PostWindow is how much of the run the workload occupies; default
+	// two thirds of Duration (the tail drains in-flight messages).
+	PostWindow Duration `json:"postWindow,omitempty"`
+	// Duration is the wall-clock experiment length.
+	Duration Duration `json:"duration"`
+	// BeaconInterval / LossTimeout tune discovery; defaults 100ms and
+	// 3.5× the interval — loopback-lab speeds, not field speeds.
+	BeaconInterval Duration `json:"beaconInterval,omitempty"`
+	LossTimeout    Duration `json:"lossTimeout,omitempty"`
+	// Churn is the sleep/wake schedule.
+	Churn []ChurnEvent `json:"churn,omitempty"`
+	// Seed fixes credential generation (and hence user ids) for
+	// reproducible reports.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// LoadSpec reads and validates a spec file.
+func LoadSpec(path string) (*Spec, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lab: reading spec: %w", err)
+	}
+	return ParseSpec(raw)
+}
+
+// ParseSpec parses and validates a JSON spec.
+func ParseSpec(raw []byte) (*Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("lab: parsing spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks the spec and fills defaults.
+func (s *Spec) Validate() error {
+	if len(s.Handles) == 0 {
+		if s.Nodes < 2 {
+			return fmt.Errorf("lab: spec needs at least 2 nodes, got %d", s.Nodes)
+		}
+		for i := 1; i <= s.Nodes; i++ {
+			s.Handles = append(s.Handles, fmt.Sprintf("n%d", i))
+		}
+	}
+	s.Nodes = len(s.Handles)
+	if s.Nodes < 2 {
+		return fmt.Errorf("lab: spec needs at least 2 nodes, got %d", s.Nodes)
+	}
+	seen := make(map[string]bool, s.Nodes)
+	for _, h := range s.Handles {
+		if h == "" {
+			return fmt.Errorf("lab: empty handle")
+		}
+		// Handles become file names, flag values (comma-joined), and
+		// REPL arguments, so only a conservative charset is safe.
+		for _, r := range h {
+			if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' ||
+				r == '-' || r == '_' || r == '.') {
+				return fmt.Errorf("lab: handle %q contains %q (allowed: letters, digits, '-', '_', '.')", h, r)
+			}
+		}
+		if seen[h] {
+			return fmt.Errorf("lab: duplicate handle %q", h)
+		}
+		seen[h] = true
+	}
+	if s.Duration <= 0 {
+		return fmt.Errorf("lab: duration must be positive")
+	}
+	if s.Name == "" {
+		s.Name = "experiment"
+	}
+	// The name rides inside post bodies piped to child REPLs line by
+	// line; control characters would let a spec inject REPL commands.
+	for _, r := range s.Name {
+		if r < 0x20 || r == 0x7f {
+			return fmt.Errorf("lab: name contains control character %q", r)
+		}
+	}
+	if s.Scheme == "" {
+		s.Scheme = "epidemic"
+	}
+	if s.Posts == 0 {
+		s.Posts = s.Nodes
+	}
+	if s.Posts < 0 {
+		return fmt.Errorf("lab: negative post count")
+	}
+	if s.PostWindow <= 0 {
+		s.PostWindow = s.Duration * 2 / 3
+	}
+	if s.PostWindow > s.Duration {
+		return fmt.Errorf("lab: postWindow %s exceeds duration %s", s.PostWindow, s.Duration)
+	}
+	if s.BeaconInterval <= 0 {
+		s.BeaconInterval = Duration(100 * time.Millisecond)
+	}
+	if s.LossTimeout <= 0 {
+		s.LossTimeout = s.BeaconInterval * 7 / 2
+	}
+	switch s.Graph {
+	case "", "ring", "star", "full":
+	default:
+		return fmt.Errorf("lab: unknown graph preset %q (want ring, star, or full)", s.Graph)
+	}
+	for _, e := range s.Edges {
+		if e[0] < 1 || e[0] > s.Nodes || e[1] < 1 || e[1] > s.Nodes {
+			return fmt.Errorf("lab: edge %v out of range [1,%d]", e, s.Nodes)
+		}
+		if e[0] == e[1] {
+			return fmt.Errorf("lab: self-loop edge %v", e)
+		}
+	}
+	switch s.Store.Engine {
+	case "", "mem", "disk":
+	default:
+		return fmt.Errorf("lab: unknown store engine %q (want mem or disk)", s.Store.Engine)
+	}
+	for i, c := range s.Churn {
+		if c.Op != OpDown && c.Op != OpUp {
+			return fmt.Errorf("lab: churn[%d]: unknown op %q (want %q or %q)", i, c.Op, OpDown, OpUp)
+		}
+		if !seen[c.Node] {
+			return fmt.Errorf("lab: churn[%d] names unknown node %q", i, c.Node)
+		}
+		if c.At < 0 || c.At > s.Duration {
+			return fmt.Errorf("lab: churn[%d] at %s outside the run", i, c.At)
+		}
+	}
+	return nil
+}
+
+// FollowEdges resolves the preset plus explicit edges into deduplicated
+// 0-based [follower, followee] pairs.
+func (s *Spec) FollowEdges() [][2]int {
+	set := make(map[[2]int]bool)
+	add := func(a, b int) {
+		if a != b {
+			set[[2]int{a, b}] = true
+		}
+	}
+	n := s.Nodes
+	switch s.Graph {
+	case "ring":
+		for i := 0; i < n; i++ {
+			add(i, (i+1)%n)
+		}
+	case "star":
+		for i := 1; i < n; i++ {
+			add(i, 0)
+		}
+	case "full":
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				add(i, j)
+			}
+		}
+	}
+	for _, e := range s.Edges {
+		add(e[0]-1, e[1]-1)
+	}
+	out := make([][2]int, 0, len(set))
+	for e := range set {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Subscriptions maps the resolved social graph onto user identifiers for
+// the delivery-ratio series.
+func (s *Spec) Subscriptions(users map[string]id.UserID) []metrics.Subscription {
+	edges := s.FollowEdges()
+	subs := make([]metrics.Subscription, 0, len(edges))
+	for _, e := range edges {
+		subs = append(subs, metrics.Subscription{
+			Follower: users[s.Handles[e[0]]],
+			Followee: users[s.Handles[e[1]]],
+		})
+	}
+	return subs
+}
+
+// postEvent is one scheduled workload post.
+type postEvent struct {
+	at     time.Duration
+	author int // handle index
+	body   string
+}
+
+// postSchedule spreads Posts evenly over PostWindow, round-robin over
+// authors — a deterministic stand-in for the field study's user posts.
+func (s *Spec) postSchedule() []postEvent {
+	if s.Posts == 0 {
+		return nil
+	}
+	out := make([]postEvent, 0, s.Posts)
+	window := s.PostWindow.D()
+	for i := 0; i < s.Posts; i++ {
+		var at time.Duration
+		if s.Posts > 1 {
+			at = time.Duration(int64(window) * int64(i) / int64(s.Posts-1))
+		}
+		author := i % s.Nodes
+		out = append(out, postEvent{
+			at:     at,
+			author: author,
+			body:   fmt.Sprintf("%s post %d from %s", s.Name, i+1, s.Handles[author]),
+		})
+	}
+	return out
+}
+
+// storeEngine returns the effective engine for the given mode.
+func (s *Spec) storeEngine(mode string) string {
+	if s.Store.Engine != "" {
+		return s.Store.Engine
+	}
+	if mode == ModeProcess {
+		return "disk"
+	}
+	return "mem"
+}

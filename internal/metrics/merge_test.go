@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"sos/internal/id"
+	"sos/internal/msg"
+)
+
+func TestCollectorMerge(t *testing.T) {
+	alice, bob := id.NewUserID("alice"), id.NewUserID("bob")
+	at := func(sec int) time.Time { return time.Unix(1700000000+int64(sec), 0) }
+	ref1 := msg.Ref{Author: alice, Seq: 1}
+	ref2 := msg.Ref{Author: bob, Seq: 1}
+
+	a := NewCollector()
+	a.MessageCreated(ref1, at(0))
+	a.Delivered(ref1, bob, at(4), 1)
+	a.Disseminated(ref1)
+	a.Evicted(ref1)
+
+	b := NewCollector()
+	b.MessageCreated(ref2, at(1))
+	b.Delivered(ref2, alice, at(5), 2)
+	b.Disseminated(ref2)
+	// Overlap: b also saw ref1's delivery to bob (redundant path).
+	b.MessageCreated(ref1, at(0))
+	b.Delivered(ref1, bob, at(9), 3)
+
+	a.Merge(b)
+	if got := a.CreatedCount(); got != 2 {
+		t.Fatalf("created = %d, want 2", got)
+	}
+	dels := a.Deliveries(AllHops)
+	if len(dels) != 2 {
+		t.Fatalf("deliveries = %d, want 2 (duplicate not deduplicated?)", len(dels))
+	}
+	if got := a.Disseminations(); got != 2 {
+		t.Fatalf("disseminations = %d, want 2", got)
+	}
+	if got := a.Evictions(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	if !a.Tracks(ref2) {
+		t.Fatal("merged collector does not track ref2")
+	}
+
+	// Merging is idempotent-safe on deliveries: a second merge of the
+	// same source adds no duplicate records.
+	a.Merge(b)
+	if got := len(a.Deliveries(AllHops)); got != 2 {
+		t.Fatalf("re-merge duplicated deliveries: %d", got)
+	}
+
+	// Deliveries recorded by b for messages a had never seen arrive with
+	// their creation records: merging into an empty collector keeps them.
+	c := NewCollector()
+	c.Merge(b)
+	if got := len(c.Deliveries(AllHops)); got != 2 {
+		t.Fatalf("empty-target merge lost deliveries: %d", got)
+	}
+	// Self-merge and nil-merge are no-ops.
+	before := c.CreatedCount()
+	c.Merge(c)
+	c.Merge(nil)
+	if c.CreatedCount() != before {
+		t.Fatalf("self/nil merge changed state")
+	}
+}

@@ -123,6 +123,10 @@ func (r EvictReason) String() string {
 type Eviction struct {
 	Ref    msg.Ref
 	Reason EvictReason
+	// Kind is the dropped message's kind. Telemetry consumers use it to
+	// tell workload drops (posts) from social-graph chatter after the
+	// message itself is gone.
+	Kind msg.Kind
 	// Size is the bytes the drop freed (payload + signature +
 	// certificate + bookkeeping overhead).
 	Size int

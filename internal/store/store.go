@@ -260,7 +260,7 @@ func (s *Store) removeLocked(e *entry, reason EvictReason) Eviction {
 		s.stats.Evictions++
 	}
 	s.stats.EvictedBytes += uint64(e.size)
-	return Eviction{Ref: ref, Reason: reason, Size: e.size}
+	return Eviction{Ref: ref, Reason: reason, Kind: e.m.Kind, Size: e.size}
 }
 
 // maxTombstonesPerAuthor bounds tombstone memory on long-running,

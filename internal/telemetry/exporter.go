@@ -1,0 +1,269 @@
+package telemetry
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"sos/internal/wire"
+)
+
+// Exporter defaults.
+const (
+	DefaultExporterBuffer = 4096
+	DefaultRetryInterval  = 250 * time.Millisecond
+	DefaultDialTimeout    = 2 * time.Second
+	DefaultWriteTimeout   = 5 * time.Second
+	DefaultFlushTimeout   = 5 * time.Second
+)
+
+// ExporterOptions tunes an Exporter. The zero value selects the defaults.
+type ExporterOptions struct {
+	// Buffer is the event queue depth; when the queue is full (collector
+	// unreachable or slow) new events are dropped and counted, never
+	// blocking the middleware.
+	Buffer int
+	// RetryInterval is the pause between reconnection attempts.
+	RetryInterval time.Duration
+	// DialTimeout bounds one connection attempt.
+	DialTimeout time.Duration
+	// WriteTimeout bounds one frame write; a stalled collector counts as
+	// a broken connection.
+	WriteTimeout time.Duration
+	// FlushTimeout bounds how long Close waits for queued events to
+	// drain before abandoning them (counted as drops).
+	FlushTimeout time.Duration
+	// Logf, when set, receives debug logging.
+	Logf func(format string, args ...any)
+}
+
+func (o ExporterOptions) withDefaults() ExporterOptions {
+	if o.Buffer <= 0 {
+		o.Buffer = DefaultExporterBuffer
+	}
+	if o.RetryInterval <= 0 {
+		o.RetryInterval = DefaultRetryInterval
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = DefaultDialTimeout
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = DefaultWriteTimeout
+	}
+	if o.FlushTimeout <= 0 {
+		o.FlushTimeout = DefaultFlushTimeout
+	}
+	return o
+}
+
+// ExporterStats counts exporter events.
+type ExporterStats struct {
+	// Recorded counts events handed to Record.
+	Recorded uint64
+	// Sent counts events written to the collector.
+	Sent uint64
+	// Dropped counts events lost to a full queue or an abandoned flush.
+	Dropped uint64
+	// Reconnects counts broken-and-redialed connections (the first
+	// successful dial is not a reconnect).
+	Reconnects uint64
+}
+
+// Exporter streams telemetry events to a remote Aggregator server over
+// TCP. Record never blocks: events queue in a bounded buffer, a
+// background goroutine writes them as length-prefixed frames, and the
+// connection is redialed with backoff whenever it breaks — on a phone in
+// the field the collector link is opportunistic too. Overflow drops the
+// newest event and counts it, so a dead collector costs memory-bounded
+// telemetry, never middleware progress.
+type Exporter struct {
+	addr string
+	opts ExporterOptions
+
+	mu     sync.Mutex
+	closed bool
+	stats  ExporterStats
+	conn   net.Conn // live connection, force-closed on abandoned flush
+
+	ch   chan Event
+	stop chan struct{} // abandons dial/flush loops
+	done chan struct{} // loop exited
+}
+
+var _ Sink = (*Exporter)(nil)
+
+// NewExporter starts an exporter shipping to the collector at addr. The
+// connection is established lazily, so a collector that comes up late
+// only delays events (up to the buffer), it does not fail the node.
+func NewExporter(addr string, opts ExporterOptions) *Exporter {
+	e := &Exporter{
+		addr: addr,
+		opts: opts.withDefaults(),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	e.ch = make(chan Event, e.opts.Buffer)
+	go e.loop()
+	return e
+}
+
+// Record implements Sink: enqueue without blocking, drop on overflow.
+func (e *Exporter) Record(ev Event) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats.Recorded++
+	if e.closed {
+		e.stats.Dropped++
+		return
+	}
+	select {
+	case e.ch <- ev:
+	default:
+		e.stats.Dropped++
+	}
+}
+
+// Stats snapshots the counters.
+func (e *Exporter) Stats() ExporterStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Close stops accepting events, flushes the queue, waits for the
+// collector to finish ingesting the stream (each phase bounded by
+// FlushTimeout), and closes the connection. On a clean return every
+// sent event has been read by the collector; events that cannot be
+// flushed in time are dropped and counted.
+func (e *Exporter) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		<-e.done
+		return nil
+	}
+	e.closed = true
+	close(e.ch)
+	e.mu.Unlock()
+
+	select {
+	case <-e.done:
+	case <-time.After(e.opts.FlushTimeout):
+		close(e.stop)
+		e.mu.Lock()
+		if e.conn != nil {
+			e.conn.Close() // unblock a stalled write
+		}
+		e.mu.Unlock()
+		<-e.done
+	}
+	return nil
+}
+
+// loop drains the queue into the connection, redialing as needed.
+func (e *Exporter) loop() {
+	defer close(e.done)
+	var buf []byte
+	for ev := range e.ch {
+		buf = ev.Encode(buf[:0])
+		if !e.send(buf) {
+			// Shipping was abandoned: count this and everything still
+			// queued as dropped, then exit.
+			dropped := uint64(1)
+			for range e.ch {
+				dropped++
+			}
+			e.mu.Lock()
+			e.stats.Dropped += dropped
+			e.mu.Unlock()
+			return
+		}
+		e.mu.Lock()
+		e.stats.Sent++
+		e.mu.Unlock()
+	}
+	e.mu.Lock()
+	conn := e.conn
+	e.conn = nil
+	e.mu.Unlock()
+	if conn == nil {
+		return
+	}
+	// Graceful shutdown barrier: written frames may still sit in kernel
+	// buffers — or the whole connection in the listener's accept backlog
+	// — so half-close and wait (bounded) for the collector to finish
+	// reading the stream and close its end. When this returns cleanly,
+	// every sent event has been ingested.
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.CloseWrite()
+		tc.SetReadDeadline(time.Now().Add(e.opts.FlushTimeout))
+		io.Copy(io.Discard, tc)
+	}
+	conn.Close()
+}
+
+// send writes one encoded event, dialing and redialing until it succeeds
+// or the exporter is told to stop; it reports whether the frame was sent.
+func (e *Exporter) send(frame []byte) bool {
+	for attempt := 0; ; attempt++ {
+		conn := e.connect(attempt > 0)
+		if conn == nil {
+			return false
+		}
+		conn.SetWriteDeadline(time.Now().Add(e.opts.WriteTimeout))
+		if err := wire.WriteFrame(conn, frame); err == nil {
+			return true
+		} else if e.opts.Logf != nil {
+			e.opts.Logf("telemetry: write to %s failed: %v", e.addr, err)
+		}
+		conn.Close()
+		e.mu.Lock()
+		e.conn = nil
+		e.mu.Unlock()
+		// Back off before retrying the frame: a peer that accepts dials
+		// but rejects writes would otherwise spin this loop hot.
+		select {
+		case <-e.stop:
+			return false
+		case <-time.After(e.opts.RetryInterval):
+		}
+	}
+}
+
+// connect returns the live connection, dialing (with retries) if there is
+// none. It returns nil when the exporter is stopped mid-dial.
+func (e *Exporter) connect(redial bool) net.Conn {
+	e.mu.Lock()
+	if e.conn != nil {
+		conn := e.conn
+		e.mu.Unlock()
+		return conn
+	}
+	e.mu.Unlock()
+	for {
+		select {
+		case <-e.stop:
+			return nil
+		default:
+		}
+		conn, err := net.DialTimeout("tcp", e.addr, e.opts.DialTimeout)
+		if err == nil {
+			e.mu.Lock()
+			e.conn = conn
+			if redial {
+				e.stats.Reconnects++
+			}
+			e.mu.Unlock()
+			return conn
+		}
+		if e.opts.Logf != nil {
+			e.opts.Logf("telemetry: dial %s: %v", e.addr, err)
+		}
+		select {
+		case <-e.stop:
+			return nil
+		case <-time.After(e.opts.RetryInterval):
+		}
+	}
+}

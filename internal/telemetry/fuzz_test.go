@@ -1,0 +1,40 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+
+	"sos/internal/id"
+	"sos/internal/msg"
+	"time"
+)
+
+// FuzzTelemetryEvent hammers the event codec: arbitrary bytes must never
+// panic the decoder, and anything that decodes must re-encode to the
+// identical wire form (the codec is canonical).
+func FuzzTelemetryEvent(f *testing.F) {
+	seed := Event{
+		Type: EventDelivered, Node: id.NewUserID("n1"),
+		At: time.Unix(1700000000, 42), Ref: msg.Ref{Author: id.NewUserID("n2"), Seq: 7},
+		Kind: msg.KindPost, Peer: id.NewUserID("n2"), Hops: 2,
+		Created: time.Unix(1699999999, 0),
+	}
+	f.Add(seed.Encode(nil))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, EventSize))
+	f.Add(make([]byte, EventSize))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ev, err := DecodeEvent(data)
+		if err != nil {
+			return
+		}
+		out := ev.Encode(nil)
+		if !bytes.Equal(out, data) {
+			t.Fatalf("re-encode mismatch:\n in %x\nout %x", data, out)
+		}
+		if _, err := DecodeEvent(out); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,171 @@
+// Package telemetry is the live instrumentation layer of the in-vivo
+// lab. The paper's evaluation quantities (§VI: delay CDFs, delivery
+// ratios, dissemination counts) were collected from a real deployment by
+// a remote-monitoring platform; this package is that platform's wire
+// protocol and plumbing for the reproduction. A node-side Observer turns
+// core.Middleware lifecycle events into compact binary Events, an
+// Exporter streams them to a collector over TCP (buffered, reconnecting,
+// drop-counting — a phone-grade link, not a database write), and an
+// Aggregator merges the per-node streams back into a metrics.Collector
+// so the §VI series are computed live across a distributed fleet.
+package telemetry
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"sos/internal/id"
+	"sos/internal/msg"
+)
+
+// EventType enumerates the lifecycle events a node reports.
+type EventType uint8
+
+// Event types. Message events carry Ref and Kind; contact events carry
+// Peer. EventDelivered additionally carries the message's creation time
+// and hop count, so a delivery record is self-contained even when the
+// author's stream lags.
+const (
+	// EventCreated: the node authored and stored a new message.
+	EventCreated EventType = iota + 1
+	// EventDisseminated: the node received and stored a remote message —
+	// one user-to-user transfer.
+	EventDisseminated
+	// EventDelivered: the received message's author is one the node
+	// subscribes to (the paper's delivery).
+	EventDelivered
+	// EventEvicted: the node's storage engine dropped a message.
+	EventEvicted
+	// EventContactUp / EventContactDown: an authenticated encounter
+	// began / ended.
+	EventContactUp
+	EventContactDown
+)
+
+// String names the event type for logs.
+func (t EventType) String() string {
+	switch t {
+	case EventCreated:
+		return "created"
+	case EventDisseminated:
+		return "disseminated"
+	case EventDelivered:
+		return "delivered"
+	case EventEvicted:
+		return "evicted"
+	case EventContactUp:
+		return "contact-up"
+	case EventContactDown:
+		return "contact-down"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(t))
+	}
+}
+
+func (t EventType) valid() bool { return t >= EventCreated && t <= EventContactDown }
+
+// Event is one telemetry record. All fields ride in every encoding (the
+// record is fixed-size); unused ones are zero for a given type.
+type Event struct {
+	// Type says what happened.
+	Type EventType
+	// Node is the reporting node's user identifier.
+	Node id.UserID
+	// At is when it happened, by the reporting node's clock.
+	At time.Time
+	// Ref identifies the message (message events).
+	Ref msg.Ref
+	// Kind is the message's kind (message events). Aggregators track
+	// only posts — the workload — and use Kind to discard social-graph
+	// chatter without waiting for a creation record that never comes.
+	Kind msg.Kind
+	// Peer is the encountered user (contact events) or the sender the
+	// message arrived from (dissemination/delivery events).
+	Peer id.UserID
+	// Hops is the message's device-to-device transfer count on arrival.
+	Hops uint16
+	// Created is the message's authored timestamp (creation/delivery
+	// events), carried so delay computation never needs a join against
+	// another node's stream.
+	Created time.Time
+}
+
+// EventSize is the exact encoded size of one Event.
+const EventSize = 1 + id.UserIDLen + 8 + id.UserIDLen + 8 + 1 + id.UserIDLen + 2 + 8
+
+// Codec errors.
+var (
+	ErrBadEvent = fmt.Errorf("telemetry: malformed event")
+)
+
+// Encode appends the fixed-size binary form of e to dst and returns the
+// extended slice. Times are truncated to nanosecond Unix representation;
+// the zero time encodes as 0 and decodes back to the zero time.
+func (e Event) Encode(dst []byte) []byte {
+	dst = append(dst, byte(e.Type))
+	dst = append(dst, e.Node[:]...)
+	dst = binary.BigEndian.AppendUint64(dst, encodeTime(e.At))
+	dst = append(dst, e.Ref.Author[:]...)
+	dst = binary.BigEndian.AppendUint64(dst, e.Ref.Seq)
+	dst = append(dst, byte(e.Kind))
+	dst = append(dst, e.Peer[:]...)
+	dst = binary.BigEndian.AppendUint16(dst, e.Hops)
+	dst = binary.BigEndian.AppendUint64(dst, encodeTime(e.Created))
+	return dst
+}
+
+// DecodeEvent parses one encoded Event. The buffer must be exactly
+// EventSize bytes with a known event type.
+func DecodeEvent(buf []byte) (Event, error) {
+	if len(buf) != EventSize {
+		return Event{}, fmt.Errorf("%w: %d bytes, want %d", ErrBadEvent, len(buf), EventSize)
+	}
+	var e Event
+	e.Type = EventType(buf[0])
+	if !e.Type.valid() {
+		return Event{}, fmt.Errorf("%w: unknown type %d", ErrBadEvent, buf[0])
+	}
+	off := 1
+	off += copy(e.Node[:], buf[off:])
+	e.At = decodeTime(binary.BigEndian.Uint64(buf[off:]))
+	off += 8
+	off += copy(e.Ref.Author[:], buf[off:])
+	e.Ref.Seq = binary.BigEndian.Uint64(buf[off:])
+	off += 8
+	e.Kind = msg.Kind(buf[off])
+	off++
+	off += copy(e.Peer[:], buf[off:])
+	e.Hops = binary.BigEndian.Uint16(buf[off:])
+	off += 2
+	e.Created = decodeTime(binary.BigEndian.Uint64(buf[off:]))
+	return e, nil
+}
+
+// encodeTime maps a time to its Unix nanosecond count, reserving 0 for
+// the zero time (the Unix epoch itself encodes as 1 ns later — an error
+// nine orders of magnitude below beacon granularity).
+func encodeTime(t time.Time) uint64 {
+	if t.IsZero() {
+		return 0
+	}
+	n := t.UnixNano()
+	if n == 0 {
+		n = 1
+	}
+	return uint64(n)
+}
+
+func decodeTime(n uint64) time.Time {
+	if n == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, int64(n))
+}
+
+// Sink consumes telemetry events. Aggregator consumes them in-process;
+// Exporter ships them to a remote Aggregator over TCP. Record must be
+// safe for concurrent use and must not block.
+type Sink interface {
+	Record(ev Event)
+}

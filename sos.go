@@ -171,7 +171,15 @@ type (
 	NodeConfig = core.Config
 	// NodeStats aggregates per-layer counters.
 	NodeStats = core.Stats
+	// Observer receives middleware lifecycle events (NodeConfig.Observer)
+	// — the hook live telemetry attaches.
+	Observer = core.Observer
 )
+
+// CombineObservers fans lifecycle events out to every non-nil observer.
+func CombineObservers(observers ...Observer) Observer {
+	return core.CombineObservers(observers...)
+}
 
 // NewNode wires up and starts a middleware instance.
 func NewNode(cfg NodeConfig) (*Node, error) {
