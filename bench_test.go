@@ -18,6 +18,7 @@ import (
 
 	"sos"
 	"sos/internal/id"
+	"sos/internal/lab"
 	"sos/internal/metrics"
 	"sos/internal/msg"
 	"sos/internal/secure"
@@ -253,7 +254,9 @@ func BenchmarkEnvelopeSealOpen(b *testing.B) {
 }
 
 // BenchmarkWireRoundTrip measures frame codec throughput for a
-// representative batch.
+// representative batch on the pooled encode path the contact hot path
+// uses: AppendEncode into a reused buffer, decode with batch messages
+// aliasing the input.
 func BenchmarkWireRoundTrip(b *testing.B) {
 	author := id.NewUserID("alice")
 	batch := &wire.Batch{}
@@ -264,15 +267,47 @@ func BenchmarkWireRoundTrip(b *testing.B) {
 			Sig: make([]byte, 70), CertDER: make([]byte, 500),
 		})
 	}
+	buf := wire.GetBuffer()
+	defer buf.Free()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		buf, err := wire.Encode(batch)
+		enc, err := wire.AppendEncode(buf.B[:0], batch)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := wire.Decode(buf); err != nil {
+		buf.B = enc
+		if _, err := wire.Decode(enc); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkContactThroughput measures messages synced per contact-second
+// between two live nodes whose stores have seen 1k/10k/100k authors — the
+// §VI-bounding quantity the delta-sync plane holds flat as the summary
+// dictionary grows. Run with -benchtime=1x: each iteration is already a
+// complete measured contact (the lab harness does its own averaging over
+// the posts in the contact).
+func BenchmarkContactThroughput(b *testing.B) {
+	for _, authors := range []int{1_000, 10_000, 100_000} {
+		posts := 200
+		if authors >= 100_000 {
+			posts = 100 // preload dominates; keep the total bounded
+		}
+		b.Run(fmt.Sprintf("authors=%d", authors), func(b *testing.B) {
+			var res lab.ContactResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = lab.RunContact(lab.ContactConfig{Authors: authors, Posts: posts})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.MsgsPerSec, "msgs/contact-sec")
+			b.ReportMetric(res.AllocsPerMsg, "allocs/msg")
+			b.ReportMetric(res.BytesPerMsg, "B/msg")
+		})
 	}
 }
 

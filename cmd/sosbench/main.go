@@ -1,14 +1,26 @@
-// Command sosbench runs parameter sweeps over the in-silico field study:
-// routing scheme × population size × relay TTL, printing one table row
-// per configuration. It answers the paper's closing call for "further
-// investigations at higher densities".
+// Command sosbench runs parameter sweeps over the in-silico field study —
+// routing scheme × population size × relay TTL, answering the paper's
+// closing call for "further investigations at higher densities" — plus
+// the live contact-throughput benchmark behind the committed perf
+// baseline.
 //
 // Usage:
 //
-//	sosbench [-days 2] [-posts 80] [-seeds 3] [-sweep scheme|density|ttl] [-json]
+//	sosbench [-days 2] [-posts 80] [-seeds 3] [-sweep scheme|density|ttl|contact] [-json]
+//	         [-cpuprofile f] [-memprofile f] [-baseline BENCH_baseline.json] [-gate 0.20]
 //
 // -json emits the sweep as a machine-readable array instead of the
 // table, so results are diffable and comparable across revisions.
+//
+// -sweep contact measures messages synced per contact-second between two
+// live nodes at 1k/10k/100k-author stores (see internal/lab.RunContact).
+// With -baseline it compares the machine-independent metrics (allocs and
+// bytes per synced message) against the committed BENCH_baseline.json and
+// exits nonzero when any regresses by more than -gate (default 20%) —
+// the CI perf gate. Wall-clock throughput is reported but never gated:
+// it measures the runner, not the code.
+//
+// -cpuprofile/-memprofile write pprof profiles covering the sweep.
 package main
 
 import (
@@ -16,25 +28,169 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
+	"sos/internal/lab"
 	"sos/internal/metrics"
 	"sos/internal/sim"
 )
 
 func main() {
 	var (
-		days     = flag.Int("days", 2, "study length per run")
-		posts    = flag.Int("posts", 80, "posts per run")
-		seeds    = flag.Int("seeds", 3, "seeds to average over")
-		sweep    = flag.String("sweep", "scheme", "sweep dimension: scheme|density|ttl")
-		jsonMode = flag.Bool("json", false, "emit results as JSON instead of a table")
+		days       = flag.Int("days", 2, "study length per run")
+		posts      = flag.Int("posts", 80, "posts per run")
+		seeds      = flag.Int("seeds", 3, "seeds to average over")
+		sweep      = flag.String("sweep", "scheme", "sweep dimension: scheme|density|ttl|contact")
+		jsonMode   = flag.Bool("json", false, "emit results as JSON instead of a table")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering the sweep")
+		memProfile = flag.String("memprofile", "", "write a heap profile after the sweep")
+		baseline   = flag.String("baseline", "", "contact sweep: compare against this BENCH_baseline.json")
+		gate       = flag.Float64("gate", 0.20, "contact sweep: fail when allocs/bytes per message regress by more than this fraction")
 	)
 	flag.Parse()
-	if err := run(*days, *posts, *seeds, *sweep, *jsonMode); err != nil {
+
+	// No os.Exit before the profiles are flushed: a truncated CPU profile
+	// on a failing run would lose the data exactly when a regression needs
+	// diagnosing.
+	var profileStop func()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sosbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "sosbench:", err)
+			os.Exit(1)
+		}
+		profileStop = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+
+	var err error
+	if *sweep == "contact" {
+		err = runContact(*jsonMode, *baseline, *gate)
+	} else {
+		err = run(*days, *posts, *seeds, *sweep, *jsonMode)
+	}
+
+	if profileStop != nil {
+		profileStop()
+	}
+	if *memProfile != "" {
+		f, mpErr := os.Create(*memProfile)
+		if mpErr == nil {
+			runtime.GC()
+			mpErr = pprof.WriteHeapProfile(f)
+			f.Close()
+		}
+		if mpErr != nil {
+			fmt.Fprintln(os.Stderr, "sosbench: memprofile:", mpErr)
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sosbench:", err)
 		os.Exit(1)
 	}
+}
+
+// contactConfigs are the store shapes the contact benchmark sweeps; they
+// must match the committed baseline's rows.
+var contactConfigs = []lab.ContactConfig{
+	{Authors: 1_000, Posts: 200},
+	{Authors: 10_000, Posts: 200},
+	{Authors: 100_000, Posts: 100},
+}
+
+// runContact measures the contact sweep and optionally gates it against
+// a committed baseline.
+func runContact(jsonMode bool, baselinePath string, gate float64) error {
+	if !jsonMode {
+		fmt.Printf("sweep=contact gate=%.0f%% baseline=%s\n\n", 100*gate, baselinePath)
+		fmt.Printf("%-16s %14s %14s %14s\n", "variant", "msgs/sec", "allocs/msg", "B/msg")
+	}
+	results := make([]lab.ContactResult, 0, len(contactConfigs))
+	for _, cfg := range contactConfigs {
+		res, err := lab.RunContact(cfg)
+		if err != nil {
+			return fmt.Errorf("contact authors=%d: %w", cfg.Authors, err)
+		}
+		results = append(results, res)
+		if !jsonMode {
+			fmt.Printf("%-16s %14.1f %14.1f %14.1f\n",
+				fmt.Sprintf("authors=%d", res.Authors), res.MsgsPerSec, res.AllocsPerMsg, res.BytesPerMsg)
+		}
+	}
+	if jsonMode {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			return err
+		}
+	}
+	if baselinePath == "" {
+		return nil
+	}
+	return gateAgainst(baselinePath, gate, results)
+}
+
+// gateAgainst fails when a machine-independent metric regresses past the
+// allowed fraction relative to the committed baseline.
+func gateAgainst(path string, gate float64, results []lab.ContactResult) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base []lab.ContactResult
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	byAuthors := make(map[int]lab.ContactResult, len(base))
+	for _, b := range base {
+		byAuthors[b.Authors] = b
+	}
+	// Any divergence between the sweep shapes and the baseline rows is a
+	// hard failure: a silently skipped row would turn the gate vacuous.
+	var failures []string
+	if len(base) != len(results) {
+		failures = append(failures, fmt.Sprintf(
+			"baseline has %d rows, sweep measured %d — re-run `sosbench -sweep contact -json` and commit the new %s",
+			len(base), len(results), path))
+	}
+	for _, res := range results {
+		b, ok := byAuthors[res.Authors]
+		if !ok {
+			failures = append(failures, fmt.Sprintf(
+				"no baseline row for authors=%d — commit an updated %s", res.Authors, path))
+			continue
+		}
+		check := func(metric string, got, want float64) {
+			if want <= 0 {
+				return
+			}
+			if ratio := got / want; ratio > 1+gate {
+				failures = append(failures, fmt.Sprintf(
+					"authors=%d %s: %.1f vs baseline %.1f (+%.0f%%, gate %.0f%%)",
+					res.Authors, metric, got, want, 100*(ratio-1), 100*gate))
+			}
+		}
+		check("allocs/msg", res.AllocsPerMsg, b.AllocsPerMsg)
+		check("bytes/msg", res.BytesPerMsg, b.BytesPerMsg)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "sosbench: REGRESSION:", f)
+		}
+		return fmt.Errorf("%d perf regression(s) past the %.0f%% gate", len(failures), 100*gate)
+	}
+	fmt.Fprintf(os.Stderr, "sosbench: perf gate passed (%d configurations within %.0f%% of baseline)\n",
+		len(results), 100*gate)
+	return nil
 }
 
 // result aggregates the metrics of one configuration over seeds.

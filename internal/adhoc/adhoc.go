@@ -48,7 +48,10 @@ var (
 )
 
 // Handler is the callback surface the message manager registers.
-// Callbacks for one manager are serialized; they must not block.
+// Callbacks for one manager are serialized; they must not block. Frames
+// handed to FrameIn may alias decode scratch that is reused after the
+// callback returns (a Batch's messages alias the decrypted frame buffer);
+// handlers that retain message contents must clone first.
 type Handler interface {
 	// PeerDiscovered fires when a peer's plain-text advertisement is seen
 	// (new peer, or refreshed summary).
@@ -167,10 +170,14 @@ func (m *Manager) Stats() Stats {
 	return m.stats
 }
 
-// Advertise publishes the local summary dictionary as this device's
-// plain-text advertisement (paper §V-A).
-func (m *Manager) Advertise(summary map[id.UserID]uint64, schemeData []byte) error {
-	ad := &wire.Advertisement{Peer: string(m.cfg.PeerName), Summary: summary, SchemeData: schemeData}
+// Advertise publishes the advertisement as this device's plain-text
+// discovery beacon (paper §V-A). Beacons must be full advertisements
+// (BaseGen zero): the medium replays the current beacon to newly arrived
+// peers, which have no base to apply a delta against.
+func (m *Manager) Advertise(ad *wire.Advertisement) error {
+	if ad.IsDelta() {
+		return fmt.Errorf("adhoc: refusing delta advertisement as discovery beacon")
+	}
 	buf, err := wire.Encode(ad)
 	if err != nil {
 		return fmt.Errorf("adhoc: encoding advertisement: %w", err)
@@ -487,9 +494,12 @@ func (m *Manager) onHelloAck(st *connState, frame []byte) {
 }
 
 // onSealed handles session frames: the responder's pending HelloFin, or
-// post-handshake traffic.
+// post-handshake traffic. OpenShared reuses the session's decrypt scratch
+// across frames; this is safe because onSealed runs on the endpoint's
+// serial callback queue and the decoded frame does not outlive FrameIn
+// (see the Handler doc).
 func (m *Manager) onSealed(st *connState, frame []byte, expectFin bool) {
-	plain, err := st.session.Open(frame, nil)
+	plain, err := st.session.OpenShared(frame, nil)
 	if err != nil {
 		m.mu.Lock()
 		m.stats.DecryptionFailures++
@@ -582,6 +592,10 @@ type Link struct {
 
 	sendMu sync.Mutex
 	sess   *secure.Session
+	// encBuf and outBuf are the link's encode and seal scratch, guarded
+	// by sendMu; media clone on Send, so both are reusable immediately.
+	encBuf []byte
+	outBuf []byte
 }
 
 // Peer returns the remote device name.
@@ -593,20 +607,40 @@ func (l *Link) User() id.UserID { return l.cert.User }
 // Cert returns the remote user's verified certificate.
 func (l *Link) Cert() *pki.UserCert { return l.cert }
 
-// SendFrame encodes f, seals it in the link session, and sends it.
+// SendFrame encodes f, seals it in the link session, and sends it. Both
+// the encode and the seal run in per-link scratch buffers, so steady-state
+// sends do not allocate.
 func (l *Link) SendFrame(f wire.Frame) error {
-	buf, err := wire.Encode(f)
+	l.sendMu.Lock()
+	defer l.sendMu.Unlock()
+	enc, err := wire.AppendEncode(l.encBuf[:0], f)
 	if err != nil {
 		return fmt.Errorf("adhoc: encoding %s: %w", f.Type(), err)
 	}
+	l.encBuf = enc
+	return l.sendLocked(enc)
+}
+
+// SendEncoded seals and sends an already-encoded frame. The message
+// manager uses it to encode a frame once and fan the same bytes out to
+// several links (each link still seals with its own session). enc is only
+// read.
+func (l *Link) SendEncoded(enc []byte) error {
 	l.sendMu.Lock()
 	defer l.sendMu.Unlock()
-	sealed, err := l.sess.Seal(buf, nil)
+	return l.sendLocked(enc)
+}
+
+// sendLocked seals enc into the link's output scratch and hands it to the
+// medium (which clones). Callers hold sendMu.
+func (l *Link) sendLocked(enc []byte) error {
+	sealed, err := l.sess.AppendSeal(l.outBuf[:0], enc, nil)
 	if err != nil {
-		return fmt.Errorf("adhoc: sealing %s: %w", f.Type(), err)
+		return fmt.Errorf("adhoc: sealing frame: %w", err)
 	}
+	l.outBuf = sealed
 	if err := l.conn.Send(sealed); err != nil {
-		return fmt.Errorf("adhoc: sending %s: %w", f.Type(), err)
+		return fmt.Errorf("adhoc: sending frame: %w", err)
 	}
 	l.mgr.mu.Lock()
 	l.mgr.stats.FramesSent++

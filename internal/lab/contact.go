@@ -1,0 +1,151 @@
+// Contact-throughput measurement: how fast two nodes synchronize fresh
+// messages during a contact, as a function of how many authors their
+// stores have ever seen. This is the quantity the paper's §VI delivery
+// and delay curves are bounded by — short, battery-constrained contacts
+// must move the interesting messages before the link closes — and the
+// dimension the delta-sync plane is built to hold flat: with full-summary
+// exchange, per-contact airtime grows with the summary dictionary; with
+// deltas it grows with what changed.
+//
+// The harness runs two unmodified middleware stacks over an in-process
+// live medium, preloads both stores with the same N-author history (so
+// the initial exchange settles with nothing to transfer), then posts
+// fresh messages on one side and measures the full sync round trip —
+// advertise → request → verify → store → ack — to the other. Allocations
+// and bytes are read from runtime.MemStats across both nodes, which makes
+// them machine-independent enough to gate in CI; wall-clock throughput is
+// reported for humans and trend lines.
+
+package lab
+
+import (
+	"crypto/rand"
+	"fmt"
+	"runtime"
+	"time"
+
+	"sos/internal/cloud"
+	"sos/internal/core"
+	"sos/internal/id"
+	"sos/internal/mpc"
+	"sos/internal/msg"
+	"sos/internal/pki"
+	"sos/internal/store"
+)
+
+// ContactConfig parameterizes one contact-throughput measurement.
+type ContactConfig struct {
+	// Authors is the number of distinct authors preloaded into both
+	// stores — the summary-dictionary size the contact has to cope with.
+	Authors int
+	// Posts is the number of fresh messages synced across the contact;
+	// more posts amortize the handshake and improve the alloc averages.
+	Posts int
+}
+
+// ContactResult is one measured configuration. AllocsPerMsg and
+// BytesPerMsg count both nodes' heap activity per synced message and are
+// stable enough across machines to gate in CI; Seconds and MsgsPerSec
+// depend on the hardware and are informational.
+type ContactResult struct {
+	Authors      int     `json:"authors"`
+	Posts        int     `json:"posts"`
+	Seconds      float64 `json:"seconds"`
+	MsgsPerSec   float64 `json:"msgsPerSec"`
+	AllocsPerMsg float64 `json:"allocsPerMsg"`
+	BytesPerMsg  float64 `json:"bytesPerMsg"`
+}
+
+// RunContact measures one contact configuration.
+func RunContact(cfg ContactConfig) (ContactResult, error) {
+	if cfg.Authors <= 0 {
+		cfg.Authors = 1000
+	}
+	if cfg.Posts <= 0 {
+		cfg.Posts = 200
+	}
+	res := ContactResult{Authors: cfg.Authors, Posts: cfg.Posts}
+
+	ca, err := pki.NewCA("contact-bench-root")
+	if err != nil {
+		return res, err
+	}
+	svc := cloud.New(ca)
+	medium := mpc.NewMemMedium()
+
+	aliceCreds, err := cloud.Bootstrap(svc, "alice", rand.Reader)
+	if err != nil {
+		return res, err
+	}
+	bobCreds, err := cloud.Bootstrap(svc, "bob", rand.Reader)
+	if err != nil {
+		return res, err
+	}
+
+	// Identical N-author histories on both sides: the summary dictionaries
+	// carry cfg.Authors entries, but the initial exchange has nothing to
+	// transfer, so the measured loop is the steady-state sync path.
+	aliceStore := store.New(aliceCreds.Ident.User)
+	bobStore := store.New(bobCreds.Ident.User)
+	created := time.Unix(1491472800, 0).UTC()
+	for i := 0; i < cfg.Authors; i++ {
+		m := &msg.Message{
+			Author:  id.NewUserID(fmt.Sprintf("history-%07d", i)),
+			Seq:     1,
+			Kind:    msg.KindPost,
+			Created: created,
+		}
+		if _, err := aliceStore.Put(m); err != nil {
+			return res, err
+		}
+		if _, err := bobStore.Put(m); err != nil {
+			return res, err
+		}
+	}
+
+	delivered := make(chan msg.Ref, cfg.Posts)
+	alice, err := core.New(core.Config{Creds: aliceCreds, Medium: medium, Store: aliceStore})
+	if err != nil {
+		return res, err
+	}
+	defer alice.Close()
+	bob, err := core.New(core.Config{
+		Creds:  bobCreds,
+		Medium: medium,
+		Store:  bobStore,
+		OnReceive: func(m *msg.Message, _ id.UserID) {
+			delivered <- m.Ref()
+		},
+	})
+	if err != nil {
+		return res, err
+	}
+	defer bob.Close()
+
+	payload := make([]byte, 200)
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+
+	for i := 0; i < cfg.Posts; i++ {
+		if _, err := alice.Post(payload); err != nil {
+			return res, err
+		}
+		select {
+		case <-delivered:
+		case <-time.After(30 * time.Second):
+			return res, fmt.Errorf("lab: contact sync stalled after %d/%d posts", i, cfg.Posts)
+		}
+	}
+
+	elapsed := time.Since(start)
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	res.Seconds = elapsed.Seconds()
+	res.MsgsPerSec = float64(cfg.Posts) / elapsed.Seconds()
+	res.AllocsPerMsg = float64(after.Mallocs-before.Mallocs) / float64(cfg.Posts)
+	res.BytesPerMsg = float64(after.TotalAlloc-before.TotalAlloc) / float64(cfg.Posts)
+	return res, nil
+}

@@ -18,6 +18,22 @@
 //     chain and the author signature before storing (paper Fig. 3b).
 //  4. Stored messages are acknowledged; unacknowledged transfers are
 //     counted as aborted when the link drops.
+//
+// # Delta synchronization
+//
+// Summary exchange dominates contact airtime once buffers grow (every
+// author ever seen is one dictionary entry), so the manager keeps
+// per-peer sync state and sends deltas: after the initial full summary on
+// a link, every store change is pushed in-session as an Advertisement
+// carrying only the authors whose entry moved since the generation last
+// sent to that peer (store.Engine.Changes). The state survives LinkDown —
+// a reconnect within the same gathering greets with a delta instead of
+// re-sending the whole dictionary — and is dropped on PeerGone, so a peer
+// that left radio range (and may return restarted, with a reset
+// generation) is re-synced from a full summary. A receiver that cannot
+// apply a delta (generation gap) sends SummaryPull and gets a full
+// summary; a sender whose bounded change log no longer covers the
+// requested base falls back to a full summary on its own.
 package message
 
 import (
@@ -41,6 +57,18 @@ import (
 var (
 	ErrNotBound = errors.New("message: manager not bound to an ad hoc manager")
 )
+
+// MaxBeaconSummary bounds the summary dictionary a discovery beacon
+// carries. Beacons ride single UDP datagrams on the real-socket medium,
+// so a store with more authors than this advertises a digest — the most
+// recently changed authors first — and peers learn the rest through the
+// authenticated in-session exchange after connecting.
+const MaxBeaconSummary = 1024
+
+// maxPeerSync bounds the per-peer sync-state table. Entries without an
+// active link are evicted first; a peer evicted this way is simply
+// re-synced from a full summary at the next encounter.
+const maxPeerSync = 512
 
 // Config assembles a message manager.
 type Config struct {
@@ -74,13 +102,30 @@ type Stats struct {
 	AcksReceived      uint64
 	TransfersAborted  uint64
 	ConnectsAttempted uint64
+
+	// Sync-plane counters: full vs delta in-session advertisements sent,
+	// SummaryPull frames sent (we hit a generation gap) and served (a
+	// peer hit one against us).
+	AdsFullSent        uint64
+	AdsDeltaSent       uint64
+	SummaryPullsSent   uint64
+	SummaryPullsServed uint64
 }
 
-// linkState is an active link plus the peer's latest authenticated
-// in-session summary.
-type linkState struct {
-	link    *adhoc.Link
-	summary map[id.UserID]uint64
+// peerSync is everything the manager knows about one peer device: the
+// active link (nil while disconnected), the outbound sync cursor (the
+// generation of our summary the peer has last been sent), and the inbound
+// view (the peer's summary as accumulated from full and delta
+// advertisements, plus the peer generation it reflects).
+type peerSync struct {
+	link *adhoc.Link
+
+	sentValid bool
+	sentGen   uint64
+
+	recvValid bool
+	recvGen   uint64
+	summary   map[id.UserID]uint64
 }
 
 // Manager is the message manager for one node.
@@ -89,7 +134,7 @@ type Manager struct {
 
 	mu       sync.Mutex
 	adhocMgr *adhoc.Manager
-	links    map[mpc.PeerID]*linkState
+	peers    map[mpc.PeerID]*peerSync
 	// unacked tracks messages served per peer that have not been
 	// acknowledged; on disconnect these count as aborted transfers.
 	unacked map[mpc.PeerID]map[msg.Ref]bool
@@ -99,14 +144,28 @@ type Manager struct {
 	inflight map[msg.Ref]mpc.PeerID
 	stats    Stats
 
+	// advMu serializes the advertisement plane — beacon refresh plus the
+	// per-link summary pushes — so per-peer delta bases advance in the
+	// same order the frames are put on each link.
+	advMu sync.Mutex
 	// adValid/adGen/adScheme/adData remember the last published beacon:
 	// Advertise is a no-op while the store's summary generation and the
-	// scheme gossip are unchanged, so beacon refreshes cost O(1) instead
-	// of re-encoding the full summary dictionary.
+	// scheme gossip are unchanged, so beacon refreshes cost O(1).
 	adValid  bool
 	adGen    uint64
 	adScheme string
 	adData   []byte
+	// pad caches the non-recent portion of an oversize store's beacon
+	// digest (see beaconSummary). Guarded by advMu.
+	padValid bool
+	padGen   uint64
+	pad      []padEntry
+}
+
+// padEntry is one cached beacon-digest entry.
+type padEntry struct {
+	author id.UserID
+	seq    uint64
 }
 
 var _ adhoc.Handler = (*Manager)(nil)
@@ -122,7 +181,7 @@ func New(cfg Config) (*Manager, error) {
 	}
 	return &Manager{
 		cfg:      cfg,
-		links:    make(map[mpc.PeerID]*linkState),
+		peers:    make(map[mpc.PeerID]*peerSync),
 		unacked:  make(map[mpc.PeerID]map[msg.Ref]bool),
 		inflight: make(map[msg.Ref]mpc.PeerID),
 	}, nil
@@ -148,19 +207,21 @@ func (m *Manager) Stats() Stats {
 func (m *Manager) ActiveLinks() []id.UserID {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := make([]id.UserID, 0, len(m.links))
-	for _, ls := range m.links {
-		out = append(out, ls.link.User())
+	out := make([]id.UserID, 0, len(m.peers))
+	for _, ps := range m.peers {
+		if ps.link != nil {
+			out = append(out, ps.link.User())
+		}
 	}
 	return out
 }
 
 // Advertise publishes the current summary and scheme gossip as the
-// device's discovery beacon. Core calls it at startup and after every
-// change to the store. Expired relay cargo is swept first (the store's
-// TTL policy), and the beacon is re-published only when the summary
-// generation or the scheme gossip actually changed — the incremental
-// advertisement the storage engine's generation counter exists for.
+// device's discovery beacon and pushes per-peer delta advertisements on
+// every active link. Core calls it at startup and after every change to
+// the store. Expired relay cargo is swept first (the store's TTL policy),
+// and nothing is sent while the summary generation and the scheme gossip
+// are unchanged.
 func (m *Manager) Advertise() error {
 	m.mu.Lock()
 	a := m.adhocMgr
@@ -172,47 +233,173 @@ func (m *Manager) Advertise() error {
 	scheme := m.cfg.Routing.Current()
 	name := scheme.Name()
 	data := scheme.SchemeData()
+
+	m.advMu.Lock()
+	defer m.advMu.Unlock()
 	gen := m.cfg.Store.Generation()
+
 	m.mu.Lock()
-	unchanged := m.adValid && m.adGen == gen && m.adScheme == name && bytes.Equal(m.adData, data)
+	genMoved := !m.adValid || m.adGen != gen
+	schemeChanged := !m.adValid || m.adScheme != name || !bytes.Equal(m.adData, data)
 	m.mu.Unlock()
-	if unchanged {
+	if !genMoved && !schemeChanged {
 		return nil
 	}
-	if err := a.Advertise(m.cfg.Store.Summary(), data); err != nil {
+
+	if err := a.Advertise(&wire.Advertisement{
+		Peer:       string(a.Self()),
+		Gen:        gen,
+		Summary:    m.beaconSummary(gen),
+		SchemeData: data,
+	}); err != nil {
 		return err
 	}
 	m.mu.Lock()
 	m.adValid, m.adGen, m.adScheme = true, gen, name
 	m.adData = append(m.adData[:0], data...)
 	m.mu.Unlock()
+
+	m.pushSummaries(gen, data, schemeChanged)
 	return nil
 }
 
-// PeerDiscovered implements adhoc.Handler. A beacon from an unlinked peer
-// triggers a connection when the scheme wants something it offers; a
-// refreshed beacon from a linked peer triggers an incremental request on
-// the existing link.
-func (m *Manager) PeerDiscovered(peer mpc.PeerID, ad *wire.Advertisement) {
-	scheme := m.cfg.Routing.Current()
-	wants := scheme.Wants(ad.Summary)
-	if len(wants) == 0 {
-		return
+// beaconSummary builds the dictionary the beacon carries: the full
+// summary when it fits, otherwise a bounded digest — the most recently
+// changed authors (from the change log) padded with a cached sample of
+// the rest. The digest is a discovery hint; the in-session exchange
+// after connecting is authoritative. The pad is rebuilt only every
+// MaxBeaconSummary generations, so a beacon refresh never costs
+// O(authors): taking a fresh Summary snapshot per refresh would arm the
+// store's copy-on-write and re-clone the whole dictionary on every
+// subsequent Put. Callers hold advMu (which guards the pad cache).
+func (m *Manager) beaconSummary(gen uint64) map[id.UserID]uint64 {
+	if m.cfg.Store.SummarySize() <= MaxBeaconSummary {
+		return m.cfg.Store.Summary()
 	}
+	digest := make(map[id.UserID]uint64, MaxBeaconSummary)
+	since := uint64(0)
+	if gen > MaxBeaconSummary {
+		since = gen - MaxBeaconSummary
+	}
+	if recent, ok := m.cfg.Store.Changes(since); ok {
+		for author, seq := range recent {
+			if len(digest) >= MaxBeaconSummary {
+				break
+			}
+			digest[author] = seq
+		}
+	}
+	if !m.padValid || gen-m.padGen > MaxBeaconSummary {
+		m.pad = m.pad[:0]
+		for author, seq := range m.cfg.Store.Summary() {
+			if len(m.pad) >= MaxBeaconSummary {
+				break
+			}
+			m.pad = append(m.pad, padEntry{author: author, seq: seq})
+		}
+		m.padGen, m.padValid = gen, true
+	}
+	for _, e := range m.pad {
+		if len(digest) >= MaxBeaconSummary {
+			break
+		}
+		if _, have := digest[e.author]; !have {
+			// Pad seqs may lag a little between rebuilds; as a discovery
+			// hint that is harmless.
+			digest[e.author] = e.seq
+		}
+	}
+	return digest
+}
 
+// pushSummaries sends one in-session advertisement per active link,
+// grouped so every distinct frame is encoded exactly once and the bytes
+// fan out to all links that need it (links at the same delta base share
+// an encoding; each link still seals with its own session). Callers hold
+// advMu.
+func (m *Manager) pushSummaries(gen uint64, data []byte, schemeChanged bool) {
 	m.mu.Lock()
-	ls := m.links[peer]
-	a := m.adhocMgr
+	groups := make(map[uint64][]*adhoc.Link) // delta base → links; 0 = full
+	for _, ps := range m.peers {
+		if ps.link == nil {
+			continue
+		}
+		switch {
+		case !ps.sentValid || ps.sentGen == 0 || ps.sentGen > gen:
+			// No usable base: first contact on this link, state reset by
+			// PeerGone, or a base from a store this engine no longer is.
+			groups[0] = append(groups[0], ps.link)
+		case ps.sentGen == gen && !schemeChanged:
+			continue // peer is current
+		default:
+			groups[ps.sentGen] = append(groups[ps.sentGen], ps.link)
+		}
+		ps.sentValid, ps.sentGen = true, gen
+	}
+	peerName := string(m.adhocMgr.Self())
 	m.mu.Unlock()
 
-	if ls != nil {
-		// Already talking: treat the refreshed beacon as an (unverified)
-		// summary hint and re-run the pull planner. A forged beacon is
-		// harmless — the peer simply has nothing to serve.
-		m.mu.Lock()
-		ls.summary = ad.Summary
-		m.mu.Unlock()
-		m.pull()
+	var fullLinks []*adhoc.Link
+	for base, links := range groups {
+		if base == 0 {
+			fullLinks = append(fullLinks, links...)
+			continue
+		}
+		delta, ok := m.cfg.Store.Changes(base)
+		if !ok {
+			// The change log no longer reaches the peer's base: fall back
+			// to a full summary.
+			fullLinks = append(fullLinks, links...)
+			continue
+		}
+		m.fanOut(&wire.Advertisement{
+			Peer: peerName, Gen: gen, BaseGen: base, Summary: delta, SchemeData: data,
+		}, links)
+	}
+	if len(fullLinks) > 0 {
+		m.fanOut(&wire.Advertisement{
+			Peer: peerName, Gen: gen, Summary: m.cfg.Store.Summary(), SchemeData: data,
+		}, fullLinks)
+	}
+}
+
+// fanOut encodes one advertisement and sends the shared bytes to every
+// link (the slice is only read after encode).
+func (m *Manager) fanOut(ad *wire.Advertisement, links []*adhoc.Link) {
+	enc, err := wire.Encode(ad)
+	if err != nil {
+		return // oversized scheme data; nothing sane to send
+	}
+	for _, link := range links {
+		_ = link.SendEncoded(enc) // link failures surface via LinkDown
+	}
+	m.mu.Lock()
+	if ad.IsDelta() {
+		m.stats.AdsDeltaSent += uint64(len(links))
+	} else {
+		m.stats.AdsFullSent += uint64(len(links))
+	}
+	m.mu.Unlock()
+}
+
+// PeerDiscovered implements adhoc.Handler. A beacon from an unlinked peer
+// triggers a connection when the scheme wants something it offers. For
+// linked peers the beacon is ignored: the authenticated in-session delta
+// plane already pushes every summary change.
+func (m *Manager) PeerDiscovered(peer mpc.PeerID, ad *wire.Advertisement) {
+	if ad.IsDelta() {
+		return // beacons are full by contract; ignore anything else
+	}
+	m.mu.Lock()
+	ps := m.peers[peer]
+	linked := ps != nil && ps.link != nil
+	a := m.adhocMgr
+	m.mu.Unlock()
+	if linked {
+		return
+	}
+	scheme := m.cfg.Routing.Current()
+	if len(scheme.Wants(ad.Summary)) == 0 {
 		return
 	}
 	if !m.cfg.AutoConnect || a == nil {
@@ -225,14 +412,41 @@ func (m *Manager) PeerDiscovered(peer mpc.PeerID, ad *wire.Advertisement) {
 	_ = a.Connect(peer)
 }
 
-// PeerGone implements adhoc.Handler.
-func (m *Manager) PeerGone(_ mpc.PeerID) {}
+// PeerGone implements adhoc.Handler: the peer left radio range or
+// withdrew its beacon. Its per-peer sync state is cleared so a returning
+// peer — possibly restarted, with a reset store generation — is re-synced
+// from a full summary instead of a stale delta base.
+func (m *Manager) PeerGone(peer mpc.PeerID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ps := m.peers[peer]
+	if ps == nil {
+		return
+	}
+	if ps.link == nil {
+		delete(m.peers, peer)
+		return
+	}
+	// The session outlives the beacon (TCP can persist past beacon loss);
+	// reset the cursors in place so the next push is a full summary.
+	ps.sentValid, ps.sentGen = false, 0
+	ps.recvValid, ps.recvGen = false, 0
+	ps.summary = nil
+}
 
 // LinkUp implements adhoc.Handler: greet the authenticated peer with our
-// summary and scheme gossip.
+// summary and scheme gossip — a delta against the last generation synced
+// to this peer when that state survived (churn reconnect), else the full
+// summary.
 func (m *Manager) LinkUp(link *adhoc.Link) {
 	m.mu.Lock()
-	m.links[link.Peer()] = &linkState{link: link}
+	ps := m.peers[link.Peer()]
+	if ps == nil {
+		m.evictSyncLocked()
+		ps = &peerSync{}
+		m.peers[link.Peer()] = ps
+	}
+	ps.link = link
 	m.mu.Unlock()
 
 	scheme := m.cfg.Routing.Current()
@@ -241,12 +455,71 @@ func (m *Manager) LinkUp(link *adhoc.Link) {
 		m.cfg.OnPeerUp(link.User())
 	}
 
-	summary := &wire.Advertisement{
-		Peer:       string(link.Peer()),
-		Summary:    m.cfg.Store.Summary(),
-		SchemeData: scheme.SchemeData(),
+	m.sendAdTo(link, false)
+}
+
+// sendAdTo sends one in-session advertisement on a single link: a delta
+// from the peer's last-synced generation when allowed and possible, else
+// the full summary.
+func (m *Manager) sendAdTo(link *adhoc.Link, forceFull bool) {
+	scheme := m.cfg.Routing.Current()
+	data := scheme.SchemeData()
+
+	m.advMu.Lock()
+	defer m.advMu.Unlock()
+	gen := m.cfg.Store.Generation()
+
+	m.mu.Lock()
+	ps := m.peers[link.Peer()]
+	if ps == nil || ps.link != link {
+		m.mu.Unlock()
+		return // link raced away
 	}
-	_ = link.SendFrame(summary) // link failures surface via LinkDown
+	base := uint64(0)
+	if !forceFull && ps.sentValid && ps.sentGen > 0 && ps.sentGen <= gen {
+		base = ps.sentGen
+	}
+	ps.sentValid, ps.sentGen = true, gen
+	peerName := string(m.adhocMgr.Self())
+	m.mu.Unlock()
+
+	ad := &wire.Advertisement{Peer: peerName, Gen: gen, SchemeData: data}
+	if base != 0 {
+		if delta, ok := m.cfg.Store.Changes(base); ok {
+			ad.BaseGen, ad.Summary = base, delta
+		} else {
+			base = 0
+		}
+	}
+	if base == 0 {
+		ad.Summary = m.cfg.Store.Summary()
+	}
+	if err := link.SendFrame(ad); err != nil {
+		return // link failures surface via LinkDown
+	}
+	m.mu.Lock()
+	if ad.IsDelta() {
+		m.stats.AdsDeltaSent++
+	} else {
+		m.stats.AdsFullSent++
+	}
+	m.mu.Unlock()
+}
+
+// evictSyncLocked keeps the sync-state table bounded by dropping entries
+// without an active link. Callers hold m.mu.
+func (m *Manager) evictSyncLocked() {
+	if len(m.peers) < maxPeerSync {
+		return
+	}
+	for peer, ps := range m.peers {
+		if ps.link == nil {
+			delete(m.peers, peer)
+			if len(m.peers) < maxPeerSync {
+				return
+			}
+		}
+	}
 }
 
 // FrameIn implements adhoc.Handler: the in-session protocol.
@@ -254,6 +527,8 @@ func (m *Manager) FrameIn(link *adhoc.Link, f wire.Frame) {
 	switch fr := f.(type) {
 	case *wire.Advertisement:
 		m.onSummary(link, fr)
+	case *wire.SummaryPull:
+		m.onSummaryPull(link)
 	case *wire.Request:
 		m.onRequest(link, fr)
 	case *wire.Batch:
@@ -269,11 +544,13 @@ func (m *Manager) FrameIn(link *adhoc.Link, f wire.Frame) {
 // transfers, and drop per-link state. The store still holds everything,
 // so an aborted transfer is simply retried at the next encounter — this
 // is the "message manager knows what messages were not transferred"
-// behaviour from paper §III-C.
+// behaviour from paper §III-C. The sync cursors survive: if the peer
+// relinks before PeerGone fires, the greeting is a delta, not a full
+// re-summary.
 func (m *Manager) LinkDown(link *adhoc.Link, _ error) {
 	m.mu.Lock()
-	if ls := m.links[link.Peer()]; ls != nil && ls.link == link {
-		delete(m.links, link.Peer())
+	if ps := m.peers[link.Peer()]; ps != nil && ps.link == link {
+		ps.link = nil
 	}
 	if pending := m.unacked[link.Peer()]; len(pending) > 0 {
 		m.stats.TransfersAborted += uint64(len(pending))
@@ -300,62 +577,143 @@ func (m *Manager) LinkDown(link *adhoc.Link, _ error) {
 	}
 }
 
-// onSummary handles the peer's authenticated in-session advertisement.
+// onSummary handles the peer's authenticated in-session advertisement,
+// full or delta. A delta whose base does not match the cached view is a
+// generation gap: the cached view is discarded and a SummaryPull asks the
+// peer for a full summary.
 func (m *Manager) onSummary(link *adhoc.Link, ad *wire.Advertisement) {
 	scheme := m.cfg.Routing.Current()
 	if len(ad.SchemeData) > 0 {
 		scheme.OnPeerData(link.User(), ad.SchemeData)
 	}
 	m.mu.Lock()
-	if ls := m.links[link.Peer()]; ls != nil && ls.link == link {
-		ls.summary = ad.Summary
+	ps := m.peers[link.Peer()]
+	if ps == nil || ps.link != link {
+		m.mu.Unlock()
+		return
 	}
-	m.mu.Unlock()
-	m.pull()
+	switch {
+	case !ad.IsDelta():
+		// Full summary: replace the cached view. Decode allocated the map
+		// fresh, so taking ownership is safe.
+		ps.summary = ad.Summary
+		ps.recvGen, ps.recvValid = ad.Gen, true
+		m.mu.Unlock()
+		m.pull()
+	case ps.recvValid && ad.BaseGen == ps.recvGen:
+		if ps.summary == nil {
+			ps.summary = make(map[id.UserID]uint64, len(ad.Summary))
+		}
+		// Entries only ever raise (per-author sequence numbers are
+		// monotone), so applying is plain assignment.
+		for author, seq := range ad.Summary {
+			ps.summary[author] = seq
+		}
+		ps.recvGen = ad.Gen
+		m.mu.Unlock()
+		// Plan only over the entries that just changed: request planning
+		// on the delta hot path costs O(changed authors), not O(summary).
+		m.pullView(link, ad.Summary)
+	default:
+		// Generation gap (e.g. we restarted while the peer kept its sync
+		// state for us): our view is unusable, ask for a full summary.
+		ps.recvValid = false
+		ps.summary = nil
+		m.stats.SummaryPullsSent++
+		m.mu.Unlock()
+		_ = link.SendFrame(&wire.SummaryPull{})
+	}
 }
 
-// pull plans requests across all active links: for every message the
-// active scheme wants from any peer's summary, pick one link to pull it
-// from — preferring the verified author (the freshest source) when the
-// author is linked — and never request a message already in flight on
-// another link. This keeps gatherings of many mutually-connected peers
-// from transferring the same message k times.
+// onSummaryPull re-sends a full summary to a peer that could not apply
+// one of our deltas.
+func (m *Manager) onSummaryPull(link *adhoc.Link) {
+	m.mu.Lock()
+	m.stats.SummaryPullsServed++
+	m.mu.Unlock()
+	m.sendAdTo(link, true)
+}
+
+// outgoingPlan is one link's planned request batch.
+type outgoingPlan struct {
+	link  *adhoc.Link
+	wants []wire.Want
+}
+
+// pull re-plans requests across all active links from their cached
+// summaries. It runs when link state changes could invalidate earlier
+// plans (full summary replace, aborted transfers on LinkDown); the
+// per-change hot path is pullView.
 func (m *Manager) pull() {
+	m.mu.Lock()
+	views := make(map[*peerSync]map[id.UserID]uint64, len(m.peers))
+	for _, ps := range m.peers {
+		if ps.link != nil && len(ps.summary) > 0 {
+			views[ps] = ps.summary
+		}
+	}
+	sends := m.planLocked(views)
+	m.mu.Unlock()
+	m.sendPlans(sends)
+}
+
+// pullView plans requests against a single peer's just-applied delta
+// entries, so steady-state planning costs O(changed authors) instead of
+// O(total summary).
+func (m *Manager) pullView(link *adhoc.Link, view map[id.UserID]uint64) {
+	if len(view) == 0 {
+		return
+	}
+	m.mu.Lock()
+	ps := m.peers[link.Peer()]
+	if ps == nil || ps.link != link {
+		m.mu.Unlock()
+		return
+	}
+	sends := m.planLocked(map[*peerSync]map[id.UserID]uint64{ps: view})
+	m.mu.Unlock()
+	m.sendPlans(sends)
+}
+
+// planLocked builds request plans: for every message the active scheme
+// wants from a viewed summary, pick one link to pull it from — preferring
+// the verified author (the freshest source) when the author is linked —
+// and never request a message already in flight on another link. This
+// keeps gatherings of many mutually-connected peers from transferring the
+// same message k times. Callers hold m.mu.
+func (m *Manager) planLocked(views map[*peerSync]map[id.UserID]uint64) []outgoingPlan {
 	scheme := m.cfg.Routing.Current()
 
-	m.mu.Lock()
-	// Deterministic link order: sort by peer id.
-	peers := make([]mpc.PeerID, 0, len(m.links))
-	for peer := range m.links {
-		peers = append(peers, peer)
-	}
-	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
-	type planned struct {
-		ls    *linkState
-		wants map[id.UserID][]uint64
-	}
-	byUser := make(map[id.UserID]*linkState, len(m.links))
-	states := make([]*linkState, 0, len(peers))
-	for _, peer := range peers {
-		ls := m.links[peer]
-		states = append(states, ls)
-		byUser[ls.link.User()] = ls
-	}
-	plans := make(map[*linkState]*planned, len(states))
-	assign := func(ls *linkState, author id.UserID, seq uint64) {
-		p := plans[ls]
-		if p == nil {
-			p = &planned{ls: ls, wants: make(map[id.UserID][]uint64)}
-			plans[ls] = p
-		}
-		p.wants[author] = append(p.wants[author], seq)
-		m.inflight[msg.Ref{Author: author, Seq: seq}] = ls.link.Peer()
-	}
-	for _, ls := range states {
-		if len(ls.summary) == 0 {
+	// Deterministic order: sort viewed peers by peer id.
+	peers := make([]mpc.PeerID, 0, len(views))
+	byUser := make(map[id.UserID]*peerSync, len(m.peers))
+	for peer, ps := range m.peers {
+		if ps.link == nil {
 			continue
 		}
-		for _, want := range scheme.Wants(ls.summary) {
+		byUser[ps.link.User()] = ps
+		if _, viewed := views[ps]; viewed {
+			peers = append(peers, peer)
+		}
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+
+	type planned struct {
+		wants map[id.UserID][]uint64
+	}
+	plans := make(map[*peerSync]*planned, len(views))
+	assign := func(ps *peerSync, author id.UserID, seq uint64) {
+		p := plans[ps]
+		if p == nil {
+			p = &planned{wants: make(map[id.UserID][]uint64)}
+			plans[ps] = p
+		}
+		p.wants[author] = append(p.wants[author], seq)
+		m.inflight[msg.Ref{Author: author, Seq: seq}] = ps.link.Peer()
+	}
+	for _, peer := range peers {
+		ps := m.peers[peer]
+		for _, want := range scheme.Wants(views[ps]) {
 			for _, seq := range want.Seqs {
 				ref := msg.Ref{Author: want.Author, Seq: seq}
 				if _, pending := m.inflight[ref]; pending {
@@ -363,7 +721,7 @@ func (m *Manager) pull() {
 				}
 				// Source preference: pull an author's own messages from
 				// the author when they are linked and hold them.
-				target := ls
+				target := ps
 				if src, linked := byUser[want.Author]; linked && src.summary[want.Author] >= seq {
 					target = src
 				}
@@ -371,17 +729,9 @@ func (m *Manager) pull() {
 			}
 		}
 	}
-	// Snapshot the batches, then send outside the lock.
-	type outgoing struct {
-		ls    *linkState
-		wants []wire.Want
-	}
-	var sends []outgoing
-	for _, ls := range states {
-		p := plans[ls]
-		if p == nil {
-			continue
-		}
+	// Snapshot the plans for sending outside the lock.
+	var sends []outgoingPlan
+	for ps, p := range plans {
 		authors := make([]id.UserID, 0, len(p.wants))
 		for author := range p.wants {
 			authors = append(authors, author)
@@ -391,12 +741,15 @@ func (m *Manager) pull() {
 		for _, author := range authors {
 			wants = append(wants, wire.Want{Author: author, Seqs: p.wants[author]})
 		}
-		sends = append(sends, outgoing{ls: ls, wants: wants})
+		sends = append(sends, outgoingPlan{link: ps.link, wants: wants})
 	}
-	m.mu.Unlock()
+	return sends
+}
 
+// sendPlans dispatches planned requests.
+func (m *Manager) sendPlans(sends []outgoingPlan) {
 	for _, s := range sends {
-		m.sendRequest(s.ls.link, s.wants)
+		m.sendRequest(s.link, s.wants)
 	}
 }
 
@@ -463,6 +816,8 @@ func (m *Manager) onBatch(link *adhoc.Link, batch *wire.Batch) {
 			m.mu.Unlock()
 			continue
 		}
+		// Clone: batch messages alias the link's decode scratch (see
+		// adhoc.Handler) and the stored copy must own its memory.
 		incoming := mm.Clone()
 		incoming.Hops++ // one more device-to-device transfer
 		added, err := m.cfg.Store.Put(incoming)
@@ -492,9 +847,9 @@ func (m *Manager) onBatch(link *adhoc.Link, batch *wire.Batch) {
 		}
 	}
 	if newMessages {
-		// The summary changed; refresh the beacon so nearby browsers see
-		// the new high-water marks (this is how multi-hop forwarding
-		// propagates within a gathering).
+		// The summary changed; refresh the beacon and push deltas so both
+		// browsing and linked peers see the new high-water marks (this is
+		// how multi-hop forwarding propagates within a gathering).
 		_ = m.Advertise()
 	}
 }

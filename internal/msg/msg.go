@@ -192,19 +192,30 @@ func (m *Message) Clone() *Message {
 	return &cp
 }
 
+// EncodedSize returns the exact byte length Encode produces for m, for
+// pre-sizing encode buffers.
+func (m *Message) EncodedSize() int {
+	return id.UserIDLen + 8 + 1 + 8 + id.UserIDLen + 4 + len(m.Payload) + 2 + len(m.Sig) + 4 + len(m.CertDER) + 4
+}
+
 // Encode serializes the message to its binary wire/storage form.
 func (m *Message) Encode() ([]byte, error) {
+	return m.AppendEncode(make([]byte, 0, m.EncodedSize()))
+}
+
+// AppendEncode appends the message's binary form to buf and returns the
+// extended slice, allocating only when buf lacks capacity. The wire-layer
+// batch encoder uses it to serialize whole batches into one buffer.
+func (m *Message) AppendEncode(buf []byte) ([]byte, error) {
 	if err := m.Validate(); err != nil {
-		return nil, err
+		return buf, err
 	}
 	if len(m.Sig) > maxSig {
-		return nil, fmt.Errorf("%w: signature %d bytes", ErrOversize, len(m.Sig))
+		return buf, fmt.Errorf("%w: signature %d bytes", ErrOversize, len(m.Sig))
 	}
 	if len(m.CertDER) > maxCert {
-		return nil, fmt.Errorf("%w: certificate %d bytes", ErrOversize, len(m.CertDER))
+		return buf, fmt.Errorf("%w: certificate %d bytes", ErrOversize, len(m.CertDER))
 	}
-	size := id.UserIDLen + 8 + 1 + 8 + id.UserIDLen + 4 + len(m.Payload) + 2 + len(m.Sig) + 4 + len(m.CertDER) + 4
-	buf := make([]byte, 0, size)
 	buf = append(buf, m.Author[:]...)
 	buf = binary.BigEndian.AppendUint64(buf, m.Seq)
 	buf = append(buf, byte(m.Kind))
@@ -221,10 +232,24 @@ func (m *Message) Encode() ([]byte, error) {
 	return buf, nil
 }
 
-// Decode parses a message from its binary form.
+// Decode parses a message from its binary form. The returned message owns
+// its field slices; buf may be reused afterwards.
 func Decode(buf []byte) (*Message, error) {
+	return decode(buf, false)
+}
+
+// DecodeShared parses a message whose Payload, Sig, and CertDER alias
+// buf instead of being copied out. It exists for the wire batch decode
+// hot path, where the decoded messages live only until the receiving
+// frame callback returns (the store clones on insert); callers that
+// retain a shared message past buf's lifetime must Clone it.
+func DecodeShared(buf []byte) (*Message, error) {
+	return decode(buf, true)
+}
+
+func decode(buf []byte, share bool) (*Message, error) {
 	var m Message
-	r := reader{buf: buf}
+	r := reader{buf: buf, share: share}
 	r.userID(&m.Author)
 	m.Seq = r.uint64()
 	m.Kind = Kind(r.byte())
@@ -247,10 +272,12 @@ func Decode(buf []byte) (*Message, error) {
 	return &m, nil
 }
 
-// reader is a cursor over an encoded message with sticky errors.
+// reader is a cursor over an encoded message with sticky errors. With
+// share set, variable-length fields alias the input instead of copying.
 type reader struct {
-	buf []byte
-	err error
+	buf   []byte
+	share bool
+	err   error
 }
 
 func (r *reader) take(n int) []byte {
@@ -314,6 +341,9 @@ func (r *reader) bytes(n, limit int) []byte {
 	b := r.take(n)
 	if b == nil {
 		return nil
+	}
+	if r.share {
+		return b
 	}
 	out := make([]byte, n)
 	copy(out, b)

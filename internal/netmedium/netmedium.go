@@ -311,6 +311,11 @@ type Endpoint struct {
 	peers  map[mpc.PeerID]*peerState
 	conns  map[*netConn]struct{}
 	closed bool
+	// beaconCache is the encoded periodic beacon, rebuilt only when the
+	// advertisement changes: name, epoch, and ports are fixed for the
+	// endpoint's lifetime, so the per-interval datagram need not be
+	// re-encoded every tick.
+	beaconCache []byte
 
 	closing chan struct{}
 	wg      sync.WaitGroup
@@ -397,6 +402,7 @@ func (ep *Endpoint) SetAdvertisement(ad []byte) {
 		return
 	}
 	ep.ad = bytes.Clone(ad)
+	ep.beaconCache = nil
 	ep.mu.Unlock()
 	ep.sendBeacon(false)
 }
@@ -536,22 +542,32 @@ func (ep *Endpoint) Close() error {
 }
 
 // sendBeacon broadcasts the endpoint's current state to every target.
+// The steady-state (non-goodbye) datagram is encoded once per
+// advertisement change and cached.
 func (ep *Endpoint) sendBeacon(goodbye bool) {
 	ep.mu.Lock()
-	b := &beacon{
-		name:        ep.self,
-		epoch:       ep.epoch,
-		goodbye:     goodbye,
-		advertising: ep.ad != nil,
-		ports:       ep.ports,
-		ad:          ep.ad,
+	buf := ep.beaconCache
+	if goodbye || buf == nil {
+		b := &beacon{
+			name:        ep.self,
+			epoch:       ep.epoch,
+			goodbye:     goodbye,
+			advertising: ep.ad != nil,
+			ports:       ep.ports,
+			ad:          ep.ad,
+		}
+		var err error
+		buf, err = b.encode()
+		if err != nil {
+			ep.mu.Unlock()
+			ep.m.logf("netmedium: %s: beacon not sent: %v", ep.self, err)
+			return
+		}
+		if !goodbye {
+			ep.beaconCache = buf
+		}
 	}
 	ep.mu.Unlock()
-	buf, err := b.encode()
-	if err != nil {
-		ep.m.logf("netmedium: %s: beacon not sent: %v", ep.self, err)
-		return
-	}
 	for _, dst := range ep.m.beaconDestinations(ep.self) {
 		if _, err := ep.udp.WriteToUDP(buf, dst); err != nil {
 			ep.m.logf("netmedium: %s: beacon to %s: %v", ep.self, dst, err)

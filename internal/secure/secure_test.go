@@ -6,6 +6,7 @@ import (
 	"crypto/elliptic"
 	"crypto/rand"
 	"errors"
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -314,5 +315,55 @@ func TestConstantTimeEqual(t *testing.T) {
 	}
 	if ConstantTimeEqual([]byte("abc"), []byte("ab")) {
 		t.Error("different lengths compared equal")
+	}
+}
+
+func TestSessionAppendSealOpenShared(t *testing.T) {
+	sa, sb := newPair(t)
+	aad := []byte("frame-aad")
+	var out []byte
+	for i := 0; i < 10; i++ {
+		plain := []byte(fmt.Sprintf("frame %d", i))
+		var err error
+		out, err = sa.AppendSeal(out[:0], plain, aad)
+		if err != nil {
+			t.Fatalf("AppendSeal(%d): %v", i, err)
+		}
+		got, err := sb.OpenShared(out, aad)
+		if err != nil {
+			t.Fatalf("OpenShared(%d): %v", i, err)
+		}
+		if string(got) != string(plain) {
+			t.Errorf("OpenShared(%d) = %q, want %q", i, got, plain)
+		}
+	}
+}
+
+// TestSessionAppendSealAllocBudget pins the zero-alloc contract of the
+// per-frame AEAD path: with reused buffers, seal and open allocate
+// nothing in steady state.
+func TestSessionAppendSealAllocBudget(t *testing.T) {
+	sa, sb := newPair(t)
+	payload := make([]byte, 1024)
+	out := make([]byte, 0, len(payload)+sa.Overhead())
+	// Warm the direction-scratch buffers.
+	warm, err := sa.AppendSeal(out, payload, nil)
+	if err != nil {
+		t.Fatalf("AppendSeal: %v", err)
+	}
+	if _, err := sb.OpenShared(warm, nil); err != nil {
+		t.Fatalf("OpenShared: %v", err)
+	}
+	got := testing.AllocsPerRun(200, func() {
+		sealed, err := sa.AppendSeal(out[:0], payload, nil)
+		if err != nil {
+			t.Fatalf("AppendSeal: %v", err)
+		}
+		if _, err := sb.OpenShared(sealed, nil); err != nil {
+			t.Fatalf("OpenShared: %v", err)
+		}
+	})
+	if got > 0 {
+		t.Errorf("AppendSeal+OpenShared = %.1f allocs/op, budget 0", got)
 	}
 }

@@ -41,6 +41,12 @@ var (
 // connected peers. Each direction has its own AES-256-GCM key, and frames
 // carry strictly increasing sequence numbers, so replayed or reordered
 // frames are rejected.
+//
+// A session is not safe for concurrent use within one direction: callers
+// must serialize Seal/AppendSeal calls among themselves and Open/
+// OpenShared calls among themselves (the ad hoc manager does both — sends
+// under the link's send mutex, opens on the endpoint's serial callback
+// queue). The two directions may run concurrently with each other.
 type Session struct {
 	send     cipher.AEAD
 	recv     cipher.AEAD
@@ -48,6 +54,16 @@ type Session struct {
 	recvSeq  uint64
 	closed   bool
 	overhead int
+
+	// Per-direction scratch, reused across calls so the per-frame AEAD
+	// path allocates nothing in steady state. The nonces live here too:
+	// passing a stack array through the AEAD interface would force it to
+	// escape (one heap allocation per frame).
+	sealAAD   []byte
+	openAAD   []byte
+	openBuf   []byte
+	sealNonce [gcmNonce]byte
+	openNonce [gcmNonce]byte
 }
 
 // NewSession derives directional keys from an ECDH shared secret between
@@ -104,27 +120,49 @@ func NewSession(local *ecdsa.PrivateKey, remote *ecdsa.PublicKey, context []byte
 // Overhead returns the number of bytes Seal adds to a plaintext.
 func (s *Session) Overhead() int { return s.overhead }
 
-// Seal encrypts plaintext into a frame bound to aad. Frames must be
-// delivered to the peer in order.
+// Seal encrypts plaintext into a fresh frame bound to aad. Frames must be
+// delivered to the peer in order. Hot paths should prefer AppendSeal with
+// a reused buffer.
 func (s *Session) Seal(plaintext, aad []byte) ([]byte, error) {
+	return s.AppendSeal(nil, plaintext, aad)
+}
+
+// AppendSeal appends the sealed frame for plaintext to dst and returns
+// the extended slice; with a pre-grown dst it performs no allocations.
+func (s *Session) AppendSeal(dst, plaintext, aad []byte) ([]byte, error) {
 	if s.closed {
-		return nil, ErrSessionDone
+		return dst, ErrSessionDone
 	}
 	seq := s.sendSeq
 	s.sendSeq++
 
-	var nonce [gcmNonce]byte
-	binary.BigEndian.PutUint64(nonce[gcmNonce-seqLen:], seq)
-
-	frame := make([]byte, seqLen, seqLen+len(plaintext)+s.send.Overhead())
-	binary.BigEndian.PutUint64(frame, seq)
-	frame = s.send.Seal(frame, nonce[:], plaintext, withSeq(aad, seq))
-	return frame, nil
+	binary.BigEndian.PutUint64(s.sealNonce[gcmNonce-seqLen:], seq)
+	dst = binary.BigEndian.AppendUint64(dst, seq)
+	s.sealAAD = appendSeq(s.sealAAD[:0], aad, seq)
+	return s.send.Seal(dst, s.sealNonce[:], plaintext, s.sealAAD), nil
 }
 
 // Open authenticates and decrypts a frame produced by the peer's Seal.
-// The frame sequence must be exactly the next expected value.
+// The frame sequence must be exactly the next expected value. The
+// returned plaintext is freshly allocated; hot paths should prefer
+// OpenShared.
 func (s *Session) Open(frame, aad []byte) ([]byte, error) {
+	return s.open(frame, aad, nil)
+}
+
+// OpenShared is Open with the plaintext written into an internal scratch
+// buffer: the returned slice is valid only until the next OpenShared call
+// on this session, so callers that retain it must copy.
+func (s *Session) OpenShared(frame, aad []byte) ([]byte, error) {
+	plaintext, err := s.open(frame, aad, s.openBuf[:0])
+	if err != nil {
+		return nil, err
+	}
+	s.openBuf = plaintext
+	return plaintext, nil
+}
+
+func (s *Session) open(frame, aad, dst []byte) ([]byte, error) {
 	if s.closed {
 		return nil, ErrSessionDone
 	}
@@ -136,9 +174,9 @@ func (s *Session) Open(frame, aad []byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w: got %d, want %d", ErrReplay, seq, s.recvSeq)
 	}
 
-	var nonce [gcmNonce]byte
-	binary.BigEndian.PutUint64(nonce[gcmNonce-seqLen:], seq)
-	plaintext, err := s.recv.Open(nil, nonce[:], frame[seqLen:], withSeq(aad, seq))
+	binary.BigEndian.PutUint64(s.openNonce[gcmNonce-seqLen:], seq)
+	s.openAAD = appendSeq(s.openAAD[:0], aad, seq)
+	plaintext, err := s.recv.Open(dst, s.openNonce[:], frame[seqLen:], s.openAAD)
 	if err != nil {
 		return nil, fmt.Errorf("secure: opening frame %d: %w", seq, err)
 	}
@@ -162,14 +200,13 @@ func newGCM(key []byte) (cipher.AEAD, error) {
 	return aead, nil
 }
 
-// withSeq binds the frame sequence into the additional data so that a
+// appendSeq binds the frame sequence into the additional data so that a
 // frame cannot be re-authenticated at a different position even if the
-// caller supplies identical aad.
-func withSeq(aad []byte, seq uint64) []byte {
-	out := make([]byte, len(aad)+seqLen)
-	copy(out, aad)
-	binary.BigEndian.PutUint64(out[len(aad):], seq)
-	return out
+// caller supplies identical aad. It appends to dst (per-direction session
+// scratch) to keep the per-frame path allocation-free.
+func appendSeq(dst, aad []byte, seq uint64) []byte {
+	dst = append(dst, aad...)
+	return binary.BigEndian.AppendUint64(dst, seq)
 }
 
 // ConstantTimeEqual compares two byte strings without leaking timing.

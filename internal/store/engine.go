@@ -49,11 +49,25 @@ type Engine interface {
 	// MessageNumber, paper §V-A). The returned map is a shared immutable
 	// snapshot maintained incrementally — O(1) per Put, copy-on-write
 	// when the snapshot has been handed out — so beaconing it is cheap;
-	// callers must not modify it.
+	// callers must not modify it. Note the copy-on-write cost lands on
+	// the next mutation: callers that only need the dictionary's size
+	// must use SummarySize instead of taking a snapshot.
 	Summary() map[id.UserID]uint64
+	// SummarySize returns len(Summary()) without snapshotting it.
+	SummarySize() int
 	// Generation returns a counter that increments whenever the summary
 	// changes. The ad hoc layer re-advertises only when it moves.
 	Generation() uint64
+	// Changes returns the summary entries that changed in generations
+	// (sinceGen, Generation()] — author → latest seen MessageNumber — and
+	// ok=true when the engine retains enough change history to answer
+	// exactly. ok=false (sinceGen older than the bounded change log, or
+	// ahead of the current generation) means the caller must fall back to
+	// the full Summary. The returned map is owned by the caller. This is
+	// what delta advertisements are built from: steady-state sync traffic
+	// scales with what changed, not with how many authors the store has
+	// ever seen.
+	Changes(sinceGen uint64) (map[id.UserID]uint64, bool)
 
 	// Missing returns the sequence numbers in [1, upto] that the engine
 	// neither holds nor has deliberately evicted, in ascending order.

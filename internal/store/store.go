@@ -58,6 +58,11 @@ type Store struct {
 	gen        uint64
 	summary    map[id.UserID]uint64
 	summaryOut bool
+	// changes is the bounded log behind Changes: changes[i] records the
+	// summary update that produced generation changeFloor+i+1, so deltas
+	// since any generation ≥ changeFloor can be answered exactly.
+	changeFloor uint64
+	changes     []changeRec
 
 	bytes int
 	stats Stats
@@ -164,9 +169,21 @@ func (s *Store) Put(m *msg.Message) (bool, error) {
 	return true, nil
 }
 
+// changeRec is one summary update in the bounded change log.
+type changeRec struct {
+	author id.UserID
+	seq    uint64
+}
+
+// maxChangeLog bounds the change log: when it doubles the cap, the oldest
+// half is forgotten and Changes for generations older than the remainder
+// answers ok=false (full-summary fallback). 8192 records ≈ 300 KiB at the
+// doubled high-water mark.
+const maxChangeLog = 8192
+
 // bumpSummaryLocked applies one incremental summary update: clone the
 // snapshot first if it has been handed out (copy-on-write), then the O(1)
-// entry update and generation bump.
+// entry update, generation bump, and change-log append.
 func (s *Store) bumpSummaryLocked(author id.UserID, seq uint64) {
 	if s.summaryOut {
 		cp := make(map[id.UserID]uint64, len(s.summary)+1)
@@ -178,6 +195,33 @@ func (s *Store) bumpSummaryLocked(author id.UserID, seq uint64) {
 	}
 	s.summary[author] = seq
 	s.gen++
+	s.changes = append(s.changes, changeRec{author: author, seq: seq})
+	if len(s.changes) >= 2*maxChangeLog {
+		// Copy the tail into a fresh slice so the forgotten half's backing
+		// memory is actually released.
+		tail := make([]changeRec, maxChangeLog)
+		copy(tail, s.changes[len(s.changes)-maxChangeLog:])
+		s.changes = tail
+		s.changeFloor = s.gen - maxChangeLog
+	}
+}
+
+// Changes returns the summary entries that changed in (sinceGen, gen];
+// see Engine.Changes.
+func (s *Store) Changes(sinceGen uint64) (map[id.UserID]uint64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if sinceGen > s.gen || sinceGen < s.changeFloor {
+		return nil, false
+	}
+	recs := s.changes[sinceGen-s.changeFloor:]
+	out := make(map[id.UserID]uint64, min(len(recs), 64))
+	// Per-author sequence numbers are monotone (bumpSummaryLocked fires
+	// only on a new high-water mark), so later records simply overwrite.
+	for _, rec := range recs {
+		out[rec.author] = rec.seq
+	}
+	return out, true
 }
 
 // enforceQuotaLocked drops policy-selected victims until the buffer fits
@@ -379,6 +423,14 @@ func (s *Store) Summary() map[id.UserID]uint64 {
 	defer s.mu.Unlock()
 	s.summaryOut = true
 	return s.summary
+}
+
+// SummarySize returns the summary entry count without handing out (and
+// so without copy-on-write-arming) the snapshot.
+func (s *Store) SummarySize() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.summary)
 }
 
 // Generation returns the summary-change counter; see Engine.Generation.

@@ -539,3 +539,59 @@ func refsOf(ms []*msg.Message) []msg.Ref {
 	}
 	return out
 }
+
+// TestChangesLogBounded drives the change log past its cap and checks
+// that ancient bases become unanswerable (full-summary fallback) while
+// recent bases still produce exact deltas.
+func TestChangesLogBounded(t *testing.T) {
+	s := New(id.NewUserID("owner"))
+	author := id.NewUserID("busy")
+	var n uint64
+	for s.changeFloor == 0 {
+		n++
+		if _, err := s.Put(&msg.Message{
+			Author: author, Seq: n, Kind: msg.KindPost, Created: time.Unix(0, 0),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if n > 3*maxChangeLog {
+			t.Fatalf("log never compacted after %d changes", n)
+		}
+	}
+	if _, ok := s.Changes(0); ok {
+		t.Error("Changes(0) still answerable after log compaction")
+	}
+	recent := s.Generation() - 5
+	delta, ok := s.Changes(recent)
+	if !ok {
+		t.Fatalf("Changes(%d) unanswerable", recent)
+	}
+	if len(delta) != 1 || delta[author] != n {
+		t.Errorf("Changes(%d) = %v, want {%s: %d}", recent, delta, author, n)
+	}
+}
+
+// TestChangesDedupsAuthors checks that a delta names each author once at
+// its latest sequence even when many generations touched it.
+func TestChangesDedupsAuthors(t *testing.T) {
+	s := New(id.NewUserID("owner"))
+	a, b := id.NewUserID("a"), id.NewUserID("b")
+	base := s.Generation()
+	for seq := uint64(1); seq <= 50; seq++ {
+		for _, author := range []id.UserID{a, b} {
+			if _, err := s.Put(&msg.Message{
+				Author: author, Seq: seq, Kind: msg.KindPost, Created: time.Unix(0, 0),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	delta, ok := s.Changes(base)
+	if !ok {
+		t.Fatal("Changes unanswerable")
+	}
+	want := map[id.UserID]uint64{a: 50, b: 50}
+	if !reflect.DeepEqual(delta, want) {
+		t.Errorf("Changes = %v, want %v", delta, want)
+	}
+}

@@ -45,6 +45,7 @@ func Run(t *testing.T, mk func(t *testing.T) World) {
 	t.Run("DuplicatePuts", func(t *testing.T) { testDuplicates(t, mk(t)) })
 	t.Run("SummaryAndGeneration", func(t *testing.T) { testSummary(t, mk(t)) })
 	t.Run("MissingGapWalk", func(t *testing.T) { testMissing(t, mk(t)) })
+	t.Run("ChangesDelta", func(t *testing.T) { testChanges(t, mk(t)) })
 	t.Run("Subscriptions", func(t *testing.T) { testSubscriptions(t, mk(t)) })
 	t.Run("NextSeqResumes", func(t *testing.T) { testNextSeq(t, mk(t)) })
 	t.Run("QuotaEviction", func(t *testing.T) { testQuotaEviction(t, mk(t)) })
@@ -345,5 +346,66 @@ func testEvictionReload(t *testing.T, w World) {
 	}
 	if !re.Has(msg.Ref{Author: carol, Seq: 1}) {
 		t.Error("survivor lost across reload")
+	}
+}
+
+// testChanges checks the delta-advertisement contract: Changes(sinceGen)
+// returns exactly the summary entries that moved after sinceGen, answers
+// ok=false for unanswerable bases, and stays consistent across reloads.
+func testChanges(t *testing.T, w World) {
+	e := w.Open(t, store.Options{})
+	defer e.Close()
+
+	mustPut(t, e, post(bob, 1, "b1"))
+	mustPut(t, e, post(carol, 1, "c1"))
+	base := e.Generation()
+
+	// Nothing changed yet: the delta since base is empty but answerable.
+	delta, ok := e.Changes(base)
+	if !ok || len(delta) != 0 {
+		t.Fatalf("Changes(%d) = %v, %v; want empty, true", base, delta, ok)
+	}
+
+	mustPut(t, e, post(bob, 2, "b2"))
+	mustPut(t, e, post(bob, 3, "b3"))
+	delta, ok = e.Changes(base)
+	if !ok {
+		t.Fatalf("Changes(%d) not answerable after puts", base)
+	}
+	if want := map[id.UserID]uint64{bob: 3}; !reflect.DeepEqual(delta, want) {
+		t.Errorf("Changes(%d) = %v, want %v", base, delta, want)
+	}
+
+	// A delta from generation zero must match the full summary while the
+	// change log covers all history.
+	if delta, ok = e.Changes(0); ok {
+		if want := e.Summary(); !reflect.DeepEqual(delta, want) {
+			t.Errorf("Changes(0) = %v, want full summary %v", delta, want)
+		}
+	}
+
+	// Bases the engine cannot know about are unanswerable.
+	if _, ok := e.Changes(e.Generation() + 1); ok {
+		t.Error("Changes(future generation) answered ok")
+	}
+
+	if !w.Persistent() {
+		return
+	}
+	gen := e.Generation()
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	re := w.Open(t, store.Options{})
+	defer re.Close()
+	if got := re.Generation(); got != gen {
+		t.Fatalf("reloaded generation = %d, want %d", got, gen)
+	}
+	delta, ok = re.Changes(base)
+	if !ok {
+		t.Fatalf("reloaded Changes(%d) not answerable", base)
+	}
+	if want := map[id.UserID]uint64{bob: 3}; !reflect.DeepEqual(delta, want) {
+		t.Errorf("reloaded Changes(%d) = %v, want %v", base, delta, want)
 	}
 }

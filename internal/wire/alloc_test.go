@@ -1,0 +1,136 @@
+package wire
+
+import (
+	"testing"
+	"time"
+
+	"sos/internal/id"
+	"sos/internal/msg"
+)
+
+// Allocation budgets for the codec hot path. AppendEncode into a
+// pre-grown buffer must not allocate at all for any frame type except
+// Advertisement, whose deterministic encoding sorts its authors into a
+// scratch slice. Decode budgets are regression guards: they admit exactly
+// the allocations the decoded representation needs (frame struct, maps,
+// field copies, shared-alias batch messages) and nothing more.
+func allocFrames() map[string]Frame {
+	author := id.NewUserID("alloc-author")
+	other := id.NewUserID("alloc-other")
+	var nonce [NonceLen]byte
+	copy(nonce[:], "0123456789abcdef")
+	batch := &Batch{}
+	for seq := uint64(1); seq <= 16; seq++ {
+		batch.Msgs = append(batch.Msgs, &msg.Message{
+			Author: author, Seq: seq, Kind: msg.KindPost,
+			Created: time.Unix(1491472800, 0).UTC(), Payload: make([]byte, 200),
+			Sig: make([]byte, 70), CertDER: make([]byte, 500),
+		})
+	}
+	return map[string]Frame{
+		"advertisement": &Advertisement{
+			Peer: "alice-device", Gen: 12,
+			Summary:    map[id.UserID]uint64{author: 3, other: 9},
+			SchemeData: []byte("gossip"),
+		},
+		"advertisement-delta": &Advertisement{
+			Peer: "alice-device", Gen: 12, BaseGen: 10,
+			Summary: map[id.UserID]uint64{other: 9},
+		},
+		"hello":        &Hello{CertDER: make([]byte, 500), Nonce: nonce},
+		"hello-ack":    &HelloAck{CertDER: make([]byte, 500), Nonce: nonce, Sig: make([]byte, 70)},
+		"hello-fin":    &HelloFin{Sig: make([]byte, 70)},
+		"request":      &Request{Wants: []Want{{Author: author, Seqs: []uint64{1, 2, 3}}, {Author: other, Seqs: []uint64{9}}}},
+		"batch":        batch,
+		"ack":          &Ack{Refs: []msg.Ref{{Author: author, Seq: 3}, {Author: other, Seq: 9}}},
+		"bye":          &Bye{},
+		"summary-pull": &SummaryPull{},
+	}
+}
+
+func TestAppendEncodeAllocBudget(t *testing.T) {
+	budgets := map[string]float64{
+		"advertisement":       1, // authors sort scratch
+		"advertisement-delta": 1,
+	}
+	for name, frame := range allocFrames() {
+		t.Run(name, func(t *testing.T) {
+			buf := GetBuffer()
+			defer buf.Free()
+			// Warm the buffer so capacity growth is not billed to the loop.
+			enc, err := AppendEncode(buf.B[:0], frame)
+			if err != nil {
+				t.Fatalf("AppendEncode: %v", err)
+			}
+			buf.B = enc
+			got := testing.AllocsPerRun(200, func() {
+				var err error
+				buf.B, err = AppendEncode(buf.B[:0], frame)
+				if err != nil {
+					t.Fatalf("AppendEncode: %v", err)
+				}
+			})
+			if budget := budgets[name]; got > budget {
+				t.Errorf("AppendEncode(%s) = %.1f allocs/op, budget %.1f", name, got, budget)
+			}
+		})
+	}
+}
+
+func TestDecodeAllocBudget(t *testing.T) {
+	// What each decoded representation irreducibly needs:
+	//   advertisement: frame + peer-name string + summary map
+	//                  (+ scheme-data copy)
+	//   request:       frame + wants slice + per-want seq slices
+	//   batch:         frame + msgs slice + one struct per message
+	//                  (fields alias the input — the zero-copy win)
+	//   ack:           frame + refs slice
+	budgets := map[string]float64{
+		"advertisement":       5,
+		"advertisement-delta": 4,
+		"hello":               2,
+		"hello-ack":           3,
+		"hello-fin":           2,
+		"request":             5,
+		"batch":               18,
+		"ack":                 2,
+		"bye":                 1,
+		"summary-pull":        1,
+	}
+	for name, frame := range allocFrames() {
+		t.Run(name, func(t *testing.T) {
+			enc, err := Encode(frame)
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			got := testing.AllocsPerRun(200, func() {
+				if _, err := Decode(enc); err != nil {
+					t.Fatalf("Decode: %v", err)
+				}
+			})
+			if budget := budgets[name]; got > budget {
+				t.Errorf("Decode(%s) = %.1f allocs/op, budget %.1f", name, got, budget)
+			}
+		})
+	}
+}
+
+func TestWriteFrameAllocBudget(t *testing.T) {
+	frame := make([]byte, 4096)
+	// Warm the pool.
+	if err := WriteFrame(discard{}, frame); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	got := testing.AllocsPerRun(200, func() {
+		if err := WriteFrame(discard{}, frame); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	})
+	if got > 0 {
+		t.Errorf("WriteFrame = %.1f allocs/op, budget 0", got)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

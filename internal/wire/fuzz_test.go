@@ -30,14 +30,19 @@ func FuzzDecodeFrame(f *testing.F) {
 	}
 
 	seeds := []Frame{
-		&Advertisement{Peer: "alice-device", Summary: map[id.UserID]uint64{alice: 3, bob: 9}, SchemeData: []byte("prophet")},
+		&Advertisement{Peer: "alice-device", Gen: 42, Summary: map[id.UserID]uint64{alice: 3, bob: 9}, SchemeData: []byte("prophet")},
+		// Delta advertisement: only the authors changed since BaseGen.
+		&Advertisement{Peer: "alice-device", Gen: 42, BaseGen: 40, Summary: map[id.UserID]uint64{bob: 9}},
+		// Empty delta: pure scheme-gossip refresh (BaseGen == Gen).
+		&Advertisement{Peer: "alice-device", Gen: 42, BaseGen: 42, Summary: map[id.UserID]uint64{}, SchemeData: []byte("prophet")},
 		&Hello{CertDER: []byte{0x30, 0x03, 0x02, 0x01, 0x01}, Nonce: nonce},
 		&HelloAck{CertDER: []byte{0x30, 0x03, 0x02, 0x01, 0x02}, Nonce: nonce, Sig: []byte{1, 2, 3}},
 		&HelloFin{Sig: []byte{4, 5, 6}},
-		&Request{Wants: []Want{{Author: alice, Seqs: []uint64{1, 2, 3}}, {Author: bob}}},
+		&Request{Wants: []Want{{Author: alice, Seqs: []uint64{1, 2, 3}}, {Author: bob, Seqs: []uint64{4}}}},
 		&Batch{Msgs: []*msg.Message{seedMsg}},
 		&Ack{Refs: []msg.Ref{{Author: alice, Seq: 7}}},
 		&Bye{},
+		&SummaryPull{},
 	}
 	for _, fr := range seeds {
 		enc, err := Encode(fr)

@@ -20,16 +20,19 @@ var ErrFrameTooLarge = errors.New("wire: stream frame exceeds limit")
 // transports use to carry the same byte frames MemMedium and SimMedium
 // deliver whole; the payload is typically an Encode()d (and, post
 // handshake, sealed) SOS frame, but WriteFrame treats it as opaque.
+// The staging buffer that joins prefix and payload is pooled, so a
+// steady stream of frames writes without per-frame allocations.
 func WriteFrame(w io.Writer, frame []byte) error {
 	if len(frame) > MaxStreamFrame {
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(frame))
 	}
-	buf := make([]byte, 4+len(frame))
-	binary.BigEndian.PutUint32(buf, uint32(len(frame)))
-	copy(buf[4:], frame)
+	b := GetBuffer()
+	defer b.Free()
+	b.B = binary.BigEndian.AppendUint32(b.B[:0], uint32(len(frame)))
+	b.B = append(b.B, frame...)
 	// A single Write keeps the prefix and payload in one syscall so
 	// concurrent writers interleave at frame granularity at worst.
-	if _, err := w.Write(buf); err != nil {
+	if _, err := w.Write(b.B); err != nil {
 		return fmt.Errorf("wire: writing frame: %w", err)
 	}
 	return nil

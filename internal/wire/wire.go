@@ -6,13 +6,21 @@
 // between the routing manager and ad hoc manager in a common format for
 // both layers to interpret" (paper §III-C); this package is that common
 // format.
+//
+// Encoding is append-oriented: AppendEncode writes a frame into a
+// caller-supplied buffer so the contact hot path (advertise → request →
+// batch → ack, hundreds of frames per encounter) runs without per-frame
+// allocations. Encode remains the convenience wrapper that allocates, and
+// Buffer/GetBuffer provide a pool for callers that encode in a loop.
 package wire
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 
 	"sos/internal/id"
 	"sos/internal/msg"
@@ -32,6 +40,7 @@ const (
 	TypeBatch
 	TypeAck
 	TypeBye
+	TypeSummaryPull
 )
 
 // String names the frame type for logs.
@@ -53,14 +62,20 @@ func (t Type) String() string {
 		return "ack"
 	case TypeBye:
 		return "bye"
+	case TypeSummaryPull:
+		return "summary-pull"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
 }
 
-// Codec limits keep a single frame bounded.
+// Codec limits keep a single frame bounded. MaxSummaryEntries sizes the
+// in-session summary exchange, where frames ride TCP streams bounded by
+// MaxStreamFrame; UDP discovery beacons are bounded much tighter by the
+// transport (netmedium.MaxBeaconAd), so beacon builders must cap the
+// summaries they advertise themselves.
 const (
-	MaxSummaryEntries = 4096
+	MaxSummaryEntries = 1 << 17
 	MaxWants          = 4096
 	MaxSeqsPerWant    = 65535
 	MaxBatchMessages  = 1024
@@ -77,6 +92,8 @@ var (
 	ErrOversize  = errors.New("wire: field exceeds limit")
 	ErrBadType   = errors.New("wire: unknown frame type")
 	ErrTrailing  = errors.New("wire: trailing bytes")
+	ErrEmptyWant = errors.New("wire: request carries no sequence numbers")
+	ErrBadDelta  = errors.New("wire: delta advertisement base not before generation")
 )
 
 // Frame is any decodable SOS frame.
@@ -84,20 +101,41 @@ type Frame interface {
 	Type() Type
 }
 
-// Advertisement is the plain-text discovery beacon: the advertising peer's
-// display name and its summary dictionary mapping each known author's
-// UserID to the latest MessageNumber held (paper §V-A). SchemeData is an
-// opaque blob the active routing scheme may piggyback (PRoPHET gossips its
-// delivery-predictability table this way); epidemic and interest-based
-// routing leave it empty.
+// Advertisement is the summary advertisement (paper §V-A): the
+// advertising peer's display name and a dictionary mapping author UserIDs
+// to the latest MessageNumber held. It travels in two places — as the
+// plain-text discovery beacon, and inside established sessions as the
+// authenticated summary exchange.
+//
+// Gen is the sender's summary generation at the time the advertisement
+// was built. BaseGen selects between the two encodings of the dictionary:
+//
+//   - BaseGen == 0: Summary is the complete dictionary at Gen (a "full"
+//     advertisement). Discovery beacons are always full.
+//   - BaseGen > 0: Summary is a delta — only the authors whose entry
+//     changed in generations (BaseGen, Gen], to be applied on top of the
+//     receiver's cached view at BaseGen. BaseGen == Gen is the empty
+//     delta, a pure scheme-gossip refresh. A receiver whose cached view
+//     is not at exactly BaseGen must discard the delta and ask for a
+//     full summary (SummaryPull).
+//
+// SchemeData is an opaque blob the active routing scheme may piggyback
+// (PRoPHET gossips its delivery-predictability table this way); epidemic
+// and interest-based routing leave it empty.
 type Advertisement struct {
 	Peer       string
+	Gen        uint64
+	BaseGen    uint64
 	Summary    map[id.UserID]uint64
 	SchemeData []byte
 }
 
 // Type implements Frame.
 func (*Advertisement) Type() Type { return TypeAdvertisement }
+
+// IsDelta reports whether the advertisement is a delta against an earlier
+// generation rather than a complete summary.
+func (a *Advertisement) IsDelta() bool { return a.BaseGen != 0 }
 
 // Hello opens the connection handshake: the initiator's certificate plus a
 // fresh nonce.
@@ -130,7 +168,9 @@ type HelloFin struct {
 // Type implements Frame.
 func (*HelloFin) Type() Type { return TypeHelloFin }
 
-// Want asks for specific messages by one author.
+// Want asks for specific messages by one author. A Want must carry at
+// least one sequence number; the codec rejects empty want lists on both
+// encode and decode so a peer can never be made to plan against them.
 type Want struct {
 	Author id.UserID
 	Seqs   []uint64
@@ -170,36 +210,87 @@ type Bye struct{}
 // Type implements Frame.
 func (*Bye) Type() Type { return TypeBye }
 
-// Encode serializes any frame as a type byte followed by its body.
+// SummaryPull asks the peer to re-send a full (non-delta) summary
+// advertisement. A receiver sends it when a delta advertisement arrives
+// whose BaseGen does not match its cached view — a generation gap, e.g.
+// after the receiver restarted while the sender kept its per-peer sync
+// state.
+type SummaryPull struct{}
+
+// Type implements Frame.
+func (*SummaryPull) Type() Type { return TypeSummaryPull }
+
+// Buffer is a pooled encode buffer. The contact hot path encodes and
+// seals hundreds of frames per encounter; pooling the backing arrays
+// keeps that path allocation-free in steady state.
+type Buffer struct {
+	B []byte
+}
+
+// maxPooledBuffer bounds what Free returns to the pool, so one giant
+// batch does not pin megabytes forever.
+const maxPooledBuffer = 1 << 20
+
+var bufPool = sync.Pool{New: func() any { return &Buffer{B: make([]byte, 0, 1024)} }}
+
+// GetBuffer takes a buffer from the pool. Call Free when done.
+func GetBuffer() *Buffer { return bufPool.Get().(*Buffer) }
+
+// Free resets the buffer and returns it to the pool. The caller must not
+// touch b.B afterwards.
+func (b *Buffer) Free() {
+	if cap(b.B) > maxPooledBuffer {
+		return
+	}
+	b.B = b.B[:0]
+	bufPool.Put(b)
+}
+
+// Encode serializes any frame as a type byte followed by its body into a
+// fresh slice. Hot paths should prefer AppendEncode with a reused buffer.
 func Encode(f Frame) ([]byte, error) {
+	return AppendEncode(nil, f)
+}
+
+// AppendEncode appends the frame's encoding to dst and returns the
+// extended slice. With a pre-grown dst it performs no allocations for any
+// frame type except Advertisement (which allocates its sort scratch).
+func AppendEncode(dst []byte, f Frame) ([]byte, error) {
 	switch fr := f.(type) {
 	case *Advertisement:
-		return encodeAdvertisement(fr)
+		return appendAdvertisement(dst, fr)
 	case *Hello:
-		return encodeHello(fr)
+		return appendHello(dst, fr)
 	case *HelloAck:
-		return encodeHelloAck(fr)
+		return appendHelloAck(dst, fr)
 	case *HelloFin:
 		if len(fr.Sig) > maxSig {
-			return nil, fmt.Errorf("%w: signature %d bytes", ErrOversize, len(fr.Sig))
+			return dst, fmt.Errorf("%w: signature %d bytes", ErrOversize, len(fr.Sig))
 		}
-		out := []byte{byte(TypeHelloFin)}
-		out = appendBytes16(out, fr.Sig)
-		return out, nil
+		dst = append(dst, byte(TypeHelloFin))
+		return appendBytes16(dst, fr.Sig), nil
 	case *Request:
-		return encodeRequest(fr)
+		return appendRequest(dst, fr)
 	case *Batch:
-		return encodeBatch(fr)
+		return appendBatch(dst, fr)
 	case *Ack:
-		return encodeAck(fr)
+		return appendAck(dst, fr)
 	case *Bye:
-		return []byte{byte(TypeBye)}, nil
+		return append(dst, byte(TypeBye)), nil
+	case *SummaryPull:
+		return append(dst, byte(TypeSummaryPull)), nil
 	default:
-		return nil, fmt.Errorf("%w: %T", ErrBadType, f)
+		return dst, fmt.Errorf("%w: %T", ErrBadType, f)
 	}
 }
 
 // Decode parses a frame produced by Encode.
+//
+// Decode copies every variable-length field out of buf with one
+// exception: the messages of a Batch alias buf (see msg.DecodeShared), so
+// a caller that retains them past buf's lifetime must Clone them first.
+// The SOS stack stores only clones (store.Put clones on insert), so the
+// alias never escapes a frame callback.
 func Decode(buf []byte) (Frame, error) {
 	if len(buf) == 0 {
 		return nil, fmt.Errorf("%w: empty", ErrTruncated)
@@ -227,48 +318,63 @@ func Decode(buf []byte) (Frame, error) {
 			return nil, ErrTrailing
 		}
 		return &Bye{}, nil
+	case TypeSummaryPull:
+		if len(body) != 0 {
+			return nil, ErrTrailing
+		}
+		return &SummaryPull{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadType, typ)
 	}
 }
 
-func encodeAdvertisement(a *Advertisement) ([]byte, error) {
+func appendAdvertisement(dst []byte, a *Advertisement) ([]byte, error) {
 	if len(a.Peer) > maxName {
-		return nil, fmt.Errorf("%w: peer name %d bytes", ErrOversize, len(a.Peer))
+		return dst, fmt.Errorf("%w: peer name %d bytes", ErrOversize, len(a.Peer))
 	}
 	if len(a.Summary) > MaxSummaryEntries {
-		return nil, fmt.Errorf("%w: %d summary entries", ErrOversize, len(a.Summary))
+		return dst, fmt.Errorf("%w: %d summary entries", ErrOversize, len(a.Summary))
 	}
 	if len(a.SchemeData) > MaxSchemeData {
-		return nil, fmt.Errorf("%w: %d scheme-data bytes", ErrOversize, len(a.SchemeData))
+		return dst, fmt.Errorf("%w: %d scheme-data bytes", ErrOversize, len(a.SchemeData))
+	}
+	if a.BaseGen > a.Gen {
+		return dst, fmt.Errorf("%w: base %d, generation %d", ErrBadDelta, a.BaseGen, a.Gen)
 	}
 	// Sort authors so the encoding is deterministic.
 	authors := make([]id.UserID, 0, len(a.Summary))
 	for u := range a.Summary {
 		authors = append(authors, u)
 	}
-	sort.Slice(authors, func(i, j int) bool { return authors[i].String() < authors[j].String() })
+	slices.SortFunc(authors, func(x, y id.UserID) int { return bytes.Compare(x[:], y[:]) })
 
-	out := []byte{byte(TypeAdvertisement), byte(len(a.Peer))}
-	out = append(out, a.Peer...)
-	out = binary.BigEndian.AppendUint32(out, uint32(len(authors)))
+	dst = append(dst, byte(TypeAdvertisement), byte(len(a.Peer)))
+	dst = append(dst, a.Peer...)
+	dst = binary.BigEndian.AppendUint64(dst, a.Gen)
+	dst = binary.BigEndian.AppendUint64(dst, a.BaseGen)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(authors)))
 	for _, u := range authors {
-		out = append(out, u[:]...)
-		out = binary.BigEndian.AppendUint64(out, a.Summary[u])
+		dst = append(dst, u[:]...)
+		dst = binary.BigEndian.AppendUint64(dst, a.Summary[u])
 	}
-	out = appendBytes16(out, a.SchemeData)
-	return out, nil
+	return appendBytes16(dst, a.SchemeData), nil
 }
 
 func decodeAdvertisement(body []byte) (Frame, error) {
 	r := &reader{buf: body}
 	nameLen := int(r.byte())
 	name := r.raw(nameLen)
+	a := &Advertisement{Peer: string(name)}
+	a.Gen = r.uint64()
+	a.BaseGen = r.uint64()
+	if r.err == nil && a.BaseGen > a.Gen {
+		return nil, fmt.Errorf("%w: base %d, generation %d", ErrBadDelta, a.BaseGen, a.Gen)
+	}
 	n := int(r.uint32())
 	if r.err == nil && n > MaxSummaryEntries {
 		return nil, fmt.Errorf("%w: %d summary entries", ErrOversize, n)
 	}
-	a := &Advertisement{Peer: string(name), Summary: make(map[id.UserID]uint64, n)}
+	a.Summary = make(map[id.UserID]uint64, boundedCap(n))
 	for i := 0; i < n && r.err == nil; i++ {
 		var u id.UserID
 		r.userID(&u)
@@ -278,14 +384,13 @@ func decodeAdvertisement(body []byte) (Frame, error) {
 	return finish(a, r)
 }
 
-func encodeHello(h *Hello) ([]byte, error) {
+func appendHello(dst []byte, h *Hello) ([]byte, error) {
 	if len(h.CertDER) > MaxCert {
-		return nil, fmt.Errorf("%w: certificate %d bytes", ErrOversize, len(h.CertDER))
+		return dst, fmt.Errorf("%w: certificate %d bytes", ErrOversize, len(h.CertDER))
 	}
-	out := []byte{byte(TypeHello)}
-	out = appendBytes32(out, h.CertDER)
-	out = append(out, h.Nonce[:]...)
-	return out, nil
+	dst = append(dst, byte(TypeHello))
+	dst = appendBytes32(dst, h.CertDER)
+	return append(dst, h.Nonce[:]...), nil
 }
 
 func decodeHello(body []byte) (Frame, error) {
@@ -295,18 +400,17 @@ func decodeHello(body []byte) (Frame, error) {
 	return finish(h, r)
 }
 
-func encodeHelloAck(h *HelloAck) ([]byte, error) {
+func appendHelloAck(dst []byte, h *HelloAck) ([]byte, error) {
 	if len(h.CertDER) > MaxCert {
-		return nil, fmt.Errorf("%w: certificate %d bytes", ErrOversize, len(h.CertDER))
+		return dst, fmt.Errorf("%w: certificate %d bytes", ErrOversize, len(h.CertDER))
 	}
 	if len(h.Sig) > maxSig {
-		return nil, fmt.Errorf("%w: signature %d bytes", ErrOversize, len(h.Sig))
+		return dst, fmt.Errorf("%w: signature %d bytes", ErrOversize, len(h.Sig))
 	}
-	out := []byte{byte(TypeHelloAck)}
-	out = appendBytes32(out, h.CertDER)
-	out = append(out, h.Nonce[:]...)
-	out = appendBytes16(out, h.Sig)
-	return out, nil
+	dst = append(dst, byte(TypeHelloAck))
+	dst = appendBytes32(dst, h.CertDER)
+	dst = append(dst, h.Nonce[:]...)
+	return appendBytes16(dst, h.Sig), nil
 }
 
 func decodeHelloAck(body []byte) (Frame, error) {
@@ -317,23 +421,26 @@ func decodeHelloAck(body []byte) (Frame, error) {
 	return finish(h, r)
 }
 
-func encodeRequest(q *Request) ([]byte, error) {
+func appendRequest(dst []byte, q *Request) ([]byte, error) {
 	if len(q.Wants) > MaxWants {
-		return nil, fmt.Errorf("%w: %d wants", ErrOversize, len(q.Wants))
+		return dst, fmt.Errorf("%w: %d wants", ErrOversize, len(q.Wants))
 	}
-	out := []byte{byte(TypeRequest)}
-	out = binary.BigEndian.AppendUint32(out, uint32(len(q.Wants)))
+	dst = append(dst, byte(TypeRequest))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(q.Wants)))
 	for _, w := range q.Wants {
-		if len(w.Seqs) > MaxSeqsPerWant {
-			return nil, fmt.Errorf("%w: %d seqs for %s", ErrOversize, len(w.Seqs), w.Author)
+		if len(w.Seqs) == 0 {
+			return dst, fmt.Errorf("%w: want for %s", ErrEmptyWant, w.Author)
 		}
-		out = append(out, w.Author[:]...)
-		out = binary.BigEndian.AppendUint32(out, uint32(len(w.Seqs)))
+		if len(w.Seqs) > MaxSeqsPerWant {
+			return dst, fmt.Errorf("%w: %d seqs for %s", ErrOversize, len(w.Seqs), w.Author)
+		}
+		dst = append(dst, w.Author[:]...)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(w.Seqs)))
 		for _, seq := range w.Seqs {
-			out = binary.BigEndian.AppendUint64(out, seq)
+			dst = binary.BigEndian.AppendUint64(dst, seq)
 		}
 	}
-	return out, nil
+	return dst, nil
 }
 
 func decodeRequest(body []byte) (Frame, error) {
@@ -342,7 +449,7 @@ func decodeRequest(body []byte) (Frame, error) {
 	if r.err == nil && n > MaxWants {
 		return nil, fmt.Errorf("%w: %d wants", ErrOversize, n)
 	}
-	q := &Request{Wants: make([]Want, 0, min(n, 64))}
+	q := &Request{Wants: make([]Want, 0, boundedCap(n))}
 	for i := 0; i < n && r.err == nil; i++ {
 		var w Want
 		r.userID(&w.Author)
@@ -350,6 +457,12 @@ func decodeRequest(body []byte) (Frame, error) {
 		if r.err == nil && seqCount > MaxSeqsPerWant {
 			return nil, fmt.Errorf("%w: %d seqs", ErrOversize, seqCount)
 		}
+		// Reject empty want lists before planning ever sees them; a want
+		// that asks for nothing is either a broken or hostile encoder.
+		if r.err == nil && seqCount == 0 {
+			return nil, fmt.Errorf("%w: want %d for %s", ErrEmptyWant, i, w.Author)
+		}
+		w.Seqs = make([]uint64, 0, boundedCap(seqCount))
 		for j := 0; j < seqCount && r.err == nil; j++ {
 			w.Seqs = append(w.Seqs, r.uint64())
 		}
@@ -358,21 +471,25 @@ func decodeRequest(body []byte) (Frame, error) {
 	return finish(q, r)
 }
 
-func encodeBatch(b *Batch) ([]byte, error) {
+func appendBatch(dst []byte, b *Batch) ([]byte, error) {
 	if len(b.Msgs) > MaxBatchMessages {
-		return nil, fmt.Errorf("%w: %d messages in batch", ErrOversize, len(b.Msgs))
+		return dst, fmt.Errorf("%w: %d messages in batch", ErrOversize, len(b.Msgs))
 	}
-	out := []byte{byte(TypeBatch)}
-	out = binary.BigEndian.AppendUint32(out, uint32(len(b.Msgs)))
+	dst = append(dst, byte(TypeBatch))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(b.Msgs)))
 	for _, m := range b.Msgs {
-		enc, err := m.Encode()
+		// Reserve the length prefix, append the message in place, then
+		// backfill — no per-message intermediate buffer.
+		lenAt := len(dst)
+		dst = append(dst, 0, 0, 0, 0)
+		var err error
+		dst, err = m.AppendEncode(dst)
 		if err != nil {
-			return nil, fmt.Errorf("wire: encoding batch message: %w", err)
+			return dst, fmt.Errorf("wire: encoding batch message: %w", err)
 		}
-		out = binary.BigEndian.AppendUint32(out, uint32(len(enc)))
-		out = append(out, enc...)
+		binary.BigEndian.PutUint32(dst[lenAt:], uint32(len(dst)-lenAt-4))
 	}
-	return out, nil
+	return dst, nil
 }
 
 func decodeBatch(body []byte) (Frame, error) {
@@ -381,14 +498,16 @@ func decodeBatch(body []byte) (Frame, error) {
 	if r.err == nil && n > MaxBatchMessages {
 		return nil, fmt.Errorf("%w: %d messages in batch", ErrOversize, n)
 	}
-	b := &Batch{Msgs: make([]*msg.Message, 0, min(n, 64))}
+	b := &Batch{Msgs: make([]*msg.Message, 0, boundedCap(n))}
 	for i := 0; i < n && r.err == nil; i++ {
 		size := int(r.uint32())
 		raw := r.raw(size)
 		if r.err != nil {
 			break
 		}
-		m, err := msg.Decode(raw)
+		// DecodeShared: the message fields alias the frame buffer (see the
+		// Decode doc comment); the store clones on insert.
+		m, err := msg.DecodeShared(raw)
 		if err != nil {
 			return nil, fmt.Errorf("wire: decoding batch message %d: %w", i, err)
 		}
@@ -397,17 +516,17 @@ func decodeBatch(body []byte) (Frame, error) {
 	return finish(b, r)
 }
 
-func encodeAck(a *Ack) ([]byte, error) {
+func appendAck(dst []byte, a *Ack) ([]byte, error) {
 	if len(a.Refs) > MaxBatchMessages {
-		return nil, fmt.Errorf("%w: %d acked refs", ErrOversize, len(a.Refs))
+		return dst, fmt.Errorf("%w: %d acked refs", ErrOversize, len(a.Refs))
 	}
-	out := []byte{byte(TypeAck)}
-	out = binary.BigEndian.AppendUint32(out, uint32(len(a.Refs)))
+	dst = append(dst, byte(TypeAck))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(a.Refs)))
 	for _, ref := range a.Refs {
-		out = append(out, ref.Author[:]...)
-		out = binary.BigEndian.AppendUint64(out, ref.Seq)
+		dst = append(dst, ref.Author[:]...)
+		dst = binary.BigEndian.AppendUint64(dst, ref.Seq)
 	}
-	return out, nil
+	return dst, nil
 }
 
 func decodeAck(body []byte) (Frame, error) {
@@ -416,7 +535,7 @@ func decodeAck(body []byte) (Frame, error) {
 	if r.err == nil && n > MaxBatchMessages {
 		return nil, fmt.Errorf("%w: %d acked refs", ErrOversize, n)
 	}
-	a := &Ack{Refs: make([]msg.Ref, 0, min(n, 64))}
+	a := &Ack{Refs: make([]msg.Ref, 0, boundedCap(n))}
 	for i := 0; i < n && r.err == nil; i++ {
 		var ref msg.Ref
 		r.userID(&ref.Author)
@@ -435,6 +554,14 @@ func finish[F Frame](f F, r *reader) (Frame, error) {
 		return nil, fmt.Errorf("%w: %d bytes", ErrTrailing, len(r.buf))
 	}
 	return f, nil
+}
+
+// boundedCap caps pre-allocation driven by attacker-supplied element
+// counts: collections grow on demand past it, so a hostile count claim
+// costs the attacker frame bytes, not our memory. All decode paths with
+// variable-length collections share it.
+func boundedCap(n int) int {
+	return min(n, 64)
 }
 
 // appendBytes16 appends a 2-byte length prefix plus the bytes.
@@ -521,6 +648,8 @@ func (r *reader) bytes32(limit int) []byte {
 	return r.sized(n, limit)
 }
 
+// sized reads an n-byte field, copying it out so decoded frames (other
+// than Batch messages) never alias the input buffer.
 func (r *reader) sized(n, limit int) []byte {
 	if r.err != nil {
 		return nil

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"encoding/binary"
 	"reflect"
 	"testing"
 	"testing/quick"
@@ -86,6 +87,74 @@ func TestAdvertisementDeterministicEncoding(t *testing.T) {
 		if !reflect.DeepEqual(first, again) {
 			t.Fatal("advertisement encoding is not deterministic")
 		}
+	}
+}
+
+func TestAdvertisementDeltaRoundTrip(t *testing.T) {
+	give := &Advertisement{
+		Peer:    "bobs-iphone",
+		Gen:     120,
+		BaseGen: 117,
+		Summary: map[id.UserID]uint64{alice: 12},
+	}
+	got := roundTrip(t, give).(*Advertisement)
+	if !reflect.DeepEqual(got, give) {
+		t.Errorf("round trip = %+v, want %+v", got, give)
+	}
+	if !got.IsDelta() {
+		t.Error("IsDelta() = false for a delta advertisement")
+	}
+}
+
+func TestAdvertisementEmptyDeltaRoundTrip(t *testing.T) {
+	// BaseGen == Gen is the empty delta: a pure scheme-gossip refresh.
+	give := &Advertisement{Peer: "p", Gen: 9, BaseGen: 9, Summary: map[id.UserID]uint64{}, SchemeData: []byte("x")}
+	got := roundTrip(t, give).(*Advertisement)
+	if got.Gen != 9 || got.BaseGen != 9 || len(got.Summary) != 0 || string(got.SchemeData) != "x" {
+		t.Errorf("round trip = %+v, want %+v", got, give)
+	}
+}
+
+func TestAdvertisementRejectsBadDelta(t *testing.T) {
+	// A base ahead of the generation is nonsense on both codec sides.
+	bad := &Advertisement{Peer: "p", Gen: 3, BaseGen: 7}
+	if _, err := Encode(bad); err == nil {
+		t.Error("encode accepted BaseGen > Gen")
+	}
+	good, err := Encode(&Advertisement{Peer: "p", Gen: 7, BaseGen: 3})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	// Swap the gen/base fields in the raw encoding (offsets 3 and 11 for
+	// the one-byte peer name) so the frame claims base 7 over gen 3.
+	binary.BigEndian.PutUint64(good[3:], 3)
+	binary.BigEndian.PutUint64(good[11:], 7)
+	if _, err := Decode(good); err == nil {
+		t.Error("decode accepted BaseGen > Gen")
+	}
+}
+
+func TestSummaryPullRoundTrip(t *testing.T) {
+	got := roundTrip(t, &SummaryPull{})
+	if _, ok := got.(*SummaryPull); !ok {
+		t.Errorf("round trip = %T, want *SummaryPull", got)
+	}
+	if _, err := Decode([]byte{byte(TypeSummaryPull), 0}); err == nil {
+		t.Error("summary-pull with trailing bytes accepted")
+	}
+}
+
+func TestRequestRejectsEmptyWant(t *testing.T) {
+	give := &Request{Wants: []Want{{Author: alice}}}
+	if _, err := Encode(give); err == nil {
+		t.Error("encode accepted a want with no seqs")
+	}
+	// Hand-build the rejected encoding: one want, zero seqs.
+	buf := []byte{byte(TypeRequest), 0, 0, 0, 1}
+	buf = append(buf, alice[:]...)
+	buf = append(buf, 0, 0, 0, 0)
+	if _, err := Decode(buf); err == nil {
+		t.Error("decode accepted a want with no seqs")
 	}
 }
 
@@ -244,6 +313,10 @@ func TestRequestRoundTripProperty(t *testing.T) {
 		}
 		give := &Request{Wants: []Want{{Author: alice, Seqs: seqsA}, {Author: bob, Seqs: seqsB}}}
 		buf, err := Encode(give)
+		if len(seqsA) == 0 || len(seqsB) == 0 {
+			// Wants that ask for nothing must be rejected at encode.
+			return err != nil
+		}
 		if err != nil {
 			return false
 		}
