@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	sosbench [-days 2] [-posts 80] [-seeds 3] [-sweep scheme|density|ttl|contact] [-json]
+//	sosbench [-days 2] [-posts 80] [-seeds 3] [-sweep scheme|density|ttl|contact|simcontact] [-json]
 //	         [-cpuprofile f] [-memprofile f] [-baseline BENCH_baseline.json] [-gate 0.20]
 //
 // -json emits the sweep as a machine-readable array instead of the
@@ -19,6 +19,12 @@
 // exits nonzero when any regresses by more than -gate (default 20%) —
 // the CI perf gate. Wall-clock throughput is reported but never gated:
 // it measures the runner, not the code.
+//
+// -sweep simcontact measures the simulator's per-tick contact detection
+// (the spatial grid index) at 100/1k/5k-node fleets. Its gated metrics
+// are candidate-pair checks per tick — fully deterministic under the
+// seeded fleet, so any regression is an algorithmic one — and steady-
+// state allocations per tick.
 //
 // -cpuprofile/-memprofile write pprof profiles covering the sweep.
 package main
@@ -42,7 +48,7 @@ func main() {
 		days       = flag.Int("days", 2, "study length per run")
 		posts      = flag.Int("posts", 80, "posts per run")
 		seeds      = flag.Int("seeds", 3, "seeds to average over")
-		sweep      = flag.String("sweep", "scheme", "sweep dimension: scheme|density|ttl|contact")
+		sweep      = flag.String("sweep", "scheme", "sweep dimension: scheme|density|ttl|contact|simcontact")
 		jsonMode   = flag.Bool("json", false, "emit results as JSON instead of a table")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering the sweep")
 		memProfile = flag.String("memprofile", "", "write a heap profile after the sweep")
@@ -73,9 +79,12 @@ func main() {
 	}
 
 	var err error
-	if *sweep == "contact" {
+	switch *sweep {
+	case "contact":
 		err = runContact(*jsonMode, *baseline, *gate)
-	} else {
+	case "simcontact":
+		err = runSimContact(*jsonMode, *baseline, *gate)
+	default:
 		err = run(*days, *posts, *seeds, *sweep, *jsonMode)
 	}
 
@@ -136,20 +145,41 @@ func runContact(jsonMode bool, baselinePath string, gate float64) error {
 	if baselinePath == "" {
 		return nil
 	}
-	return gateAgainst(baselinePath, gate, results)
+	base, err := loadBaseline(baselinePath)
+	if err != nil {
+		return err
+	}
+	return gateContact(baselinePath, base.Contact, gate, results)
 }
 
-// gateAgainst fails when a machine-independent metric regresses past the
-// allowed fraction relative to the committed baseline.
-func gateAgainst(path string, gate float64, results []lab.ContactResult) error {
+// baselineFile is the committed perf trajectory, one section per gated
+// sweep. (Earlier revisions committed a bare array of contact rows;
+// loadBaseline still reads that form.)
+type baselineFile struct {
+	Contact     []lab.ContactResult `json:"contact"`
+	SimContacts []simContactResult  `json:"simContacts"`
+}
+
+// loadBaseline reads BENCH_baseline.json in either schema.
+func loadBaseline(path string) (*baselineFile, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return fmt.Errorf("reading baseline: %w", err)
+		return nil, fmt.Errorf("reading baseline: %w", err)
 	}
-	var base []lab.ContactResult
-	if err := json.Unmarshal(raw, &base); err != nil {
-		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	var bf baselineFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		var legacy []lab.ContactResult
+		if lerr := json.Unmarshal(raw, &legacy); lerr != nil {
+			return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+		}
+		bf.Contact = legacy
 	}
+	return &bf, nil
+}
+
+// gateContact fails when a machine-independent contact-sweep metric
+// regresses past the allowed fraction relative to the committed baseline.
+func gateContact(path string, base []lab.ContactResult, gate float64, results []lab.ContactResult) error {
 	byAuthors := make(map[int]lab.ContactResult, len(base))
 	for _, b := range base {
 		byAuthors[b.Authors] = b
@@ -189,6 +219,140 @@ func gateAgainst(path string, gate float64, results []lab.ContactResult) error {
 		return fmt.Errorf("%d perf regression(s) past the %.0f%% gate", len(failures), 100*gate)
 	}
 	fmt.Fprintf(os.Stderr, "sosbench: perf gate passed (%d configurations within %.0f%% of baseline)\n",
+		len(results), 100*gate)
+	return nil
+}
+
+// simContactResult is one fleet size's contact-detection measurements.
+// ChecksPerTick is exactly reproducible (the fleet is seeded), and
+// AllocsPerTick is steady-state heap activity — both machine-independent
+// and therefore gated. NsPerTick measures the runner and is
+// informational only.
+type simContactResult struct {
+	Nodes         int     `json:"nodes"`
+	Ticks         int     `json:"ticks"`
+	ChecksPerTick float64 `json:"checksPerTick"`
+	PairsPerTick  float64 `json:"pairsPerTick"`
+	CellsPerTick  float64 `json:"cellsPerTick"`
+	AllocsPerTick float64 `json:"allocsPerTick"`
+	NsPerTick     float64 `json:"nsPerTick"`
+}
+
+// simContactNodes are the fleet sizes the sweep measures; they must
+// match the committed baseline's rows (and BenchmarkSimContacts).
+var simContactNodes = []int{100, 1_000, 5_000}
+
+// measureSimContact runs the grid sweep over one seeded fleet.
+func measureSimContact(nodes int) simContactResult {
+	const samples = 32
+	const rounds = 2
+	fleet := sim.ContactBenchFleet(nodes, samples, 1)
+	ix := sim.NewContactIndex(fleet.RangeM)
+	// Warm-up rotation: the index sizes its storage, so the measured
+	// rounds see the steady state the simulator runs in.
+	for t := 0; t < samples; t++ {
+		ix.Sweep(fleet.Positions[t], fleet.Active[t], func(_, _ int32) {})
+	}
+	res := simContactResult{Nodes: nodes, Ticks: samples * rounds}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	startT := time.Now()
+	checks, pairs, cells := 0, 0, 0
+	for i := 0; i < res.Ticks; i++ {
+		t := i % samples
+		ix.Sweep(fleet.Positions[t], fleet.Active[t], func(_, _ int32) {})
+		st := ix.Stats()
+		checks += st.Checks
+		pairs += st.Pairs
+		cells += st.OccupiedCells
+	}
+	elapsed := time.Since(startT)
+	runtime.ReadMemStats(&after)
+	n := float64(res.Ticks)
+	res.ChecksPerTick = float64(checks) / n
+	res.PairsPerTick = float64(pairs) / n
+	res.CellsPerTick = float64(cells) / n
+	res.AllocsPerTick = float64(after.Mallocs-before.Mallocs) / n
+	res.NsPerTick = float64(elapsed.Nanoseconds()) / n
+	return res
+}
+
+// runSimContact measures the simulator's contact-detection sweep and
+// optionally gates it against the committed baseline.
+func runSimContact(jsonMode bool, baselinePath string, gate float64) error {
+	if !jsonMode {
+		fmt.Printf("sweep=simcontact gate=%.0f%% baseline=%s\n\n", 100*gate, baselinePath)
+		fmt.Printf("%-16s %14s %14s %14s %14s %14s\n",
+			"variant", "checks/tick", "pairs/tick", "cells/tick", "allocs/tick", "ns/tick")
+	}
+	results := make([]simContactResult, 0, len(simContactNodes))
+	for _, nodes := range simContactNodes {
+		res := measureSimContact(nodes)
+		results = append(results, res)
+		if !jsonMode {
+			fmt.Printf("%-16s %14.1f %14.1f %14.1f %14.2f %14.0f\n",
+				fmt.Sprintf("nodes=%d", res.Nodes), res.ChecksPerTick, res.PairsPerTick,
+				res.CellsPerTick, res.AllocsPerTick, res.NsPerTick)
+		}
+	}
+	if jsonMode {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			return err
+		}
+	}
+	if baselinePath == "" {
+		return nil
+	}
+	base, err := loadBaseline(baselinePath)
+	if err != nil {
+		return err
+	}
+	return gateSimContact(baselinePath, base.SimContacts, gate, results)
+}
+
+// gateSimContact fails when the grid's work per tick regresses past the
+// gate. AllocsPerTick gets a small absolute floor on top of the
+// fractional gate: near-zero baselines would otherwise turn GC noise
+// into CI failures.
+func gateSimContact(path string, base []simContactResult, gate float64, results []simContactResult) error {
+	byNodes := make(map[int]simContactResult, len(base))
+	for _, b := range base {
+		byNodes[b.Nodes] = b
+	}
+	var failures []string
+	if len(base) != len(results) {
+		failures = append(failures, fmt.Sprintf(
+			"baseline has %d simContacts rows, sweep measured %d — re-run `sosbench -sweep simcontact -json` and update %s",
+			len(base), len(results), path))
+	}
+	for _, res := range results {
+		b, ok := byNodes[res.Nodes]
+		if !ok {
+			failures = append(failures, fmt.Sprintf(
+				"no baseline row for nodes=%d — update %s", res.Nodes, path))
+			continue
+		}
+		if b.ChecksPerTick > 0 && res.ChecksPerTick > b.ChecksPerTick*(1+gate) {
+			failures = append(failures, fmt.Sprintf(
+				"nodes=%d checks/tick: %.1f vs baseline %.1f (+%.0f%%, gate %.0f%%)",
+				res.Nodes, res.ChecksPerTick, b.ChecksPerTick,
+				100*(res.ChecksPerTick/b.ChecksPerTick-1), 100*gate))
+		}
+		if allowed := b.AllocsPerTick*(1+gate) + 16; res.AllocsPerTick > allowed {
+			failures = append(failures, fmt.Sprintf(
+				"nodes=%d allocs/tick: %.2f vs baseline %.2f (allowed %.2f)",
+				res.Nodes, res.AllocsPerTick, b.AllocsPerTick, allowed))
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "sosbench: REGRESSION:", f)
+		}
+		return fmt.Errorf("%d sim-contact regression(s) past the %.0f%% gate", len(failures), 100*gate)
+	}
+	fmt.Fprintf(os.Stderr, "sosbench: sim-contact gate passed (%d fleet sizes within %.0f%% of baseline)\n",
 		len(results), 100*gate)
 	return nil
 }

@@ -7,12 +7,18 @@
 //
 //	soslab -spec examples/soslab-fleet/fleet.json
 //	soslab -spec fleet.json -mode process -sosd ./sosd -out report.json -csv delays.csv
+//	soslab -spec examples/sim-1k/interest-1k.json -mode sim -out report.json
 //
 // The spec declares the fleet (size, social graph, routing scheme,
 // storage engine and quotas), the post workload, and a churn schedule of
 // nodes sleeping and waking. Mode "inprocess" (default) runs every node
 // inside soslab over loopback NetMedium sockets; mode "process" spawns
-// one real sosd child process per node.
+// one real sosd child process per node; mode "sim" runs the fleet
+// through the discrete-event simulator at virtual time — the mode that
+// scales to thousands of nodes and the only one that honors the spec's
+// "mobility" (synthetic model) and "trace" (recorded contact replay)
+// fields. See docs/SCENARIOS.md for the complete spec and trace-format
+// reference.
 package main
 
 import (
@@ -37,7 +43,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("soslab", flag.ExitOnError)
 	specPath := fs.String("spec", "", "experiment spec file (JSON; required)")
-	mode := fs.String("mode", lab.ModeInProcess, "fleet shape: inprocess (one process, loopback sockets) or process (sosd children)")
+	mode := fs.String("mode", lab.ModeInProcess, "fleet shape: inprocess (one process, loopback sockets), process (sosd children), or sim (virtual-time simulator; takes spec mobility/trace)")
 	sosd := fs.String("sosd", "sosd", "sosd binary for -mode process")
 	out := fs.String("out", "", "write the JSON report here (\"-\" for stdout)")
 	csv := fs.String("csv", "", "write the delay CDF as CSV here")
@@ -70,9 +76,10 @@ func run(args []string) error {
 	}
 
 	// Live progress: count events as the aggregator ingests them and
-	// print a ticker line while the experiment runs.
+	// print a ticker line while the experiment runs. Sim mode has no
+	// telemetry stream (virtual time outruns any ticker anyway).
 	var created, disseminated, delivered, contacts atomic.Uint64
-	if !*quiet {
+	if !*quiet && *mode != lab.ModeSim {
 		opts.OnEvent = func(ev telemetry.Event) {
 			switch ev.Type {
 			case telemetry.EventCreated:

@@ -28,6 +28,11 @@ const (
 	// ModeProcess runs the fleet as N real sosd child processes wired
 	// together over loopback — the full in-vivo deployment shape.
 	ModeProcess = "process"
+	// ModeSim runs the fleet through the discrete-event simulator at
+	// virtual time: same spec, same report, but contacts come from
+	// synthetic mobility (spec.Mobility) or a recorded contact trace
+	// (spec.Trace), and a thousand-node day finishes in CI minutes.
+	ModeSim = "sim"
 )
 
 // Options tunes a run beyond what the spec declares.
@@ -65,12 +70,21 @@ func Run(spec *Spec, opts Options) (*Report, error) {
 		return nil, err
 	}
 	switch opts.Mode {
-	case "", ModeInProcess:
+	case "", ModeInProcess, ModeProcess:
+		// The live modes have no geometry: a spec carrying sim-only
+		// scenario fields is almost certainly meant for ModeSim, so
+		// running it live would silently drop the scenario.
+		if spec.Trace != "" || spec.Mobility != nil {
+			return nil, fmt.Errorf("lab: spec has sim-only fields (trace/mobility); run with mode %q", ModeSim)
+		}
+		if opts.Mode == ModeProcess {
+			return runProcess(spec, opts)
+		}
 		return runInProcess(spec, opts)
-	case ModeProcess:
-		return runProcess(spec, opts)
+	case ModeSim:
+		return runSim(spec, opts)
 	default:
-		return nil, fmt.Errorf("lab: unknown mode %q (want %q or %q)", opts.Mode, ModeInProcess, ModeProcess)
+		return nil, fmt.Errorf("lab: unknown mode %q (want %q, %q, or %q)", opts.Mode, ModeInProcess, ModeProcess, ModeSim)
 	}
 }
 
@@ -306,7 +320,7 @@ func runInProcess(spec *Spec, opts Options) (*Report, error) {
 	}
 
 	return buildReport(spec, ModeInProcess, startedAt, elapsed,
-		agg, spec.Subscriptions(users), reports, executed, skipped), nil
+		agg.Collector(), agg.Stats(), spec.Subscriptions(users), reports, executed, skipped), nil
 }
 
 // buildEngine constructs one node's storage engine per the spec.

@@ -191,7 +191,7 @@ func runProcess(spec *Spec, opts Options) (*Report, error) {
 	}
 
 	return buildReport(spec, ModeProcess, startedAt, elapsed,
-		agg, spec.Subscriptions(users), reports, executed, skipped), nil
+		agg.Collector(), agg.Stats(), spec.Subscriptions(users), reports, executed, skipped), nil
 }
 
 // startChild spawns one sosd process wired to the rest of the fleet.

@@ -89,12 +89,13 @@ type Report struct {
 // Collector returns the aggregated collector behind the report.
 func (r *Report) Collector() *metrics.Collector { return r.col }
 
-// buildReport computes every series from the aggregated collector.
+// buildReport computes every series from a collector — aggregated from
+// live telemetry streams in the real-socket modes, or filled directly by
+// the in-silico engine in ModeSim.
 func buildReport(spec *Spec, mode string, startedAt time.Time, elapsed time.Duration,
-	agg *telemetry.Aggregator, subs []metrics.Subscription,
+	col *metrics.Collector, tstats telemetry.AggregatorStats, subs []metrics.Subscription,
 	nodes []NodeReport, executed, skipped int) *Report {
 
-	col := agg.Collector()
 	all := col.Deliveries(metrics.AllHops)
 	delays := make([]float64, 0, len(all))
 	for _, d := range all {
@@ -137,7 +138,7 @@ func buildReport(spec *Spec, mode string, startedAt time.Time, elapsed time.Dura
 		},
 		Evictions:        col.Evictions(),
 		TrackedEvictions: col.TrackedEvictions(),
-		Telemetry:        agg.Stats(),
+		Telemetry:        tstats,
 		Nodes:            nodes,
 		Spec:             spec,
 		col:              col,

@@ -1,0 +1,226 @@
+package lab
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"sos/internal/id"
+	"sos/internal/mobility"
+	"sos/internal/sim"
+	"sos/internal/telemetry"
+)
+
+// simMidnight anchors every ModeSim run at the paper's Monday, so
+// day-structured mobility models (diurnal, working-day) cover a school
+// week in the same phase as the field study.
+var simMidnight = time.Date(2017, 4, 3, 0, 0, 0, 0, time.UTC)
+
+// simDayStart offsets short experiments into the waking day: a
+// two-hour run should sample commuters at work, not a sleeping city.
+const simDayStart = 9 * time.Hour
+
+// runSim executes the experiment in silico: the same declarative spec,
+// run at virtual time through the discrete-event simulator instead of
+// wall time through real sockets. This is the mode that scales — a
+// thousand-node fleet with a full day of virtual mobility finishes in
+// CI — and the only mode that takes a Mobility model or a contact
+// Trace, since the live modes have no geometry.
+func runSim(spec *Spec, opts Options) (*Report, error) {
+	if spec.storeEngine(ModeSim) != "mem" {
+		return nil, fmt.Errorf("lab: %s mode runs the in-memory engine; spec asks for %q", ModeSim, spec.Store.Engine)
+	}
+	if opts.ExtraObserver != nil || opts.OnEvent != nil {
+		// The in-silico engine feeds the collector directly; there is no
+		// telemetry stream to observe. Harmless for OnEvent (it would
+		// just never fire), but an ExtraObserver caller expects
+		// cross-checkable events, so fail loudly for both.
+		return nil, fmt.Errorf("lab: %s mode has no telemetry stream for OnEvent/ExtraObserver", ModeSim)
+	}
+
+	start := simMidnight.Add(simDayStart)
+	cfg := sim.Config{
+		Start:           start,
+		Duration:        spec.Duration.D(),
+		Scheme:          spec.Scheme,
+		Seed:            spec.Seed,
+		RelayTTL:        spec.Store.RelayTTL.D(),
+		StoreQuota:      spec.Store.Quota,
+		StoreQuotaBytes: spec.Store.QuotaBytes,
+		StorePolicy:     spec.Store.Policy,
+	}
+	mob := spec.Mobility
+	if mob == nil {
+		mob = &MobilitySpec{}
+	}
+	cfg.Range = mob.Range
+	cfg.Tick = mob.Tick.D()
+
+	// Churn maps to app activity: a node churned down is a device whose
+	// app left the foreground, so its radio drops out of every contact
+	// (the same §VI reality the live modes model with SetReachable).
+	activity, err := churnActivity(spec, start)
+	if err != nil {
+		return nil, err
+	}
+
+	// The fleet: per-node seeded mobility, or none when a contact trace
+	// drives the links directly.
+	var contacts []sim.ContactEvent
+	nodes := make([]sim.NodeSpec, spec.Nodes)
+	for i, handle := range spec.Handles {
+		nodes[i] = sim.NodeSpec{Handle: handle, Activity: activity[handle]}
+	}
+	if spec.Trace != "" {
+		events, traceHandles, err := sim.LoadContactTrace(spec.TracePath(), start)
+		if err != nil {
+			return nil, err
+		}
+		known := make(map[string]bool, spec.Nodes)
+		for _, h := range spec.Handles {
+			known[h] = true
+		}
+		for _, h := range traceHandles {
+			if !known[h] {
+				return nil, fmt.Errorf("lab: trace names node %q not in the spec's handles", h)
+			}
+		}
+		contacts = events
+		opts.logf("lab: trace %s: %d link transitions across %d nodes", spec.TracePath(), len(events), len(traceHandles))
+	} else {
+		master := rand.New(rand.NewSource(spec.Seed))
+		days := int(math.Ceil((simDayStart + spec.Duration.D()).Hours() / 24))
+		for i := range nodes {
+			model, err := buildMobility(mob, simMidnight, days, spec.Duration.D(),
+				rand.New(rand.NewSource(master.Int63())))
+			if err != nil {
+				return nil, err
+			}
+			nodes[i].Mobility = model
+		}
+	}
+
+	// Social graph: pre-seeded quiet subscriptions, as in the live modes.
+	for _, e := range spec.FollowEdges() {
+		nodes[e[0]].Follows = append(nodes[e[0]].Follows, spec.Handles[e[1]])
+	}
+
+	// Workload: the same deterministic post schedule, at virtual time.
+	// Posts by churned-down authors are skipped under the live-mode rule:
+	// a backgrounded app has no user in front of it.
+	skipped := 0
+	for _, p := range spec.postSchedule() {
+		at := start.Add(p.at)
+		if act := activity[spec.Handles[p.author]]; act != nil && !act(at) {
+			skipped++
+			continue
+		}
+		cfg.Workload = append(cfg.Workload, sim.Event{
+			At: at, Handle: spec.Handles[p.author], Action: sim.ActionPost, Payload: []byte(p.body),
+		})
+	}
+	cfg.Nodes = nodes
+	cfg.Contacts = contacts
+
+	opts.logf("lab: sim fleet of %d nodes, %s virtual, tick %s", spec.Nodes, spec.Duration, cfg.Tick)
+	startedAt := time.Now()
+	s, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Run()
+	if err != nil {
+		return nil, err
+	}
+	opts.logf("lab: sim ran %s virtual in %s wall", spec.Duration, time.Since(startedAt).Truncate(time.Millisecond))
+
+	users := make(map[string]id.UserID, spec.Nodes)
+	reports := make([]NodeReport, 0, spec.Nodes)
+	for _, n := range s.Nodes() {
+		users[n.Handle] = n.User
+		stats := res.NodeStats[n.Handle]
+		reports = append(reports, NodeReport{Handle: n.Handle, User: n.User.String(), Stats: &stats})
+	}
+	executed := res.Posts
+
+	// Virtual elapsed time: the report describes the experiment, not the
+	// host that happened to run it.
+	return buildReport(spec, ModeSim, startedAt, spec.Duration.D(),
+		res.Collector, telemetry.AggregatorStats{}, spec.Subscriptions(users),
+		reports, executed, skipped), nil
+}
+
+// buildMobility constructs one node's model per the spec.
+func buildMobility(mob *MobilitySpec, midnight time.Time, days int, dur time.Duration, rng *rand.Rand) (mobility.Model, error) {
+	area := mobility.Area{W: mob.AreaW, H: mob.AreaH}
+	switch mob.Model {
+	case "", MobilityRandomWaypoint:
+		if area == (mobility.Area{}) {
+			area = mobility.Area{W: 3000, H: 3000}
+		}
+		return mobility.NewRandomWaypoint(mobility.RandomWaypointConfig{
+			Area: area, Start: midnight, Duration: simDayStart + dur,
+			SpeedMin: mob.SpeedMin, SpeedMax: mob.SpeedMax,
+		}, rng)
+	case MobilityDiurnal:
+		return mobility.NewDiurnal(mobility.DiurnalConfig{
+			Area: area, Start: midnight, Days: days,
+		}, rng)
+	case MobilityWorkingDay:
+		return mobility.NewWorkingDay(mobility.WorkingDayConfig{
+			Area: area, Start: midnight, Days: days,
+		}, rng)
+	default:
+		return nil, fmt.Errorf("lab: unknown mobility model %q", mob.Model)
+	}
+}
+
+// churnActivity compiles the churn schedule into per-node activity
+// functions: active except between a down and the next up. Nodes without
+// churn events get a nil function (always active, zero per-tick cost).
+func churnActivity(spec *Spec, start time.Time) (map[string]func(time.Time) bool, error) {
+	byNode := make(map[string][]ChurnEvent)
+	for _, c := range spec.Churn {
+		byNode[c.Node] = append(byNode[c.Node], c)
+	}
+	out := make(map[string]func(time.Time) bool, len(byNode))
+	for node, evs := range byNode {
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+		type window struct{ from, to time.Time }
+		var downs []window
+		var openFrom *time.Time
+		for _, ev := range evs {
+			at := start.Add(ev.At.D())
+			switch ev.Op {
+			case OpDown:
+				if openFrom == nil {
+					t := at
+					openFrom = &t
+				}
+			case OpUp:
+				if openFrom != nil {
+					downs = append(downs, window{from: *openFrom, to: at})
+					openFrom = nil
+				}
+			}
+		}
+		if openFrom != nil {
+			downs = append(downs, window{from: *openFrom, to: start.Add(spec.Duration.D()).Add(time.Hour)})
+		}
+		if len(downs) == 0 {
+			continue
+		}
+		ws := downs
+		out[node] = func(at time.Time) bool {
+			for _, w := range ws {
+				if !at.Before(w.from) && at.Before(w.to) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	return out, nil
+}

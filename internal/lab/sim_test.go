@@ -1,0 +1,206 @@
+package lab
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// simSpec is a dense 24-node random-waypoint experiment small enough for
+// the unit suite: a few virtual hours, a random social graph, churn on
+// one node.
+const simSpec = `{
+	"name": "sim-unit",
+	"nodes": 24,
+	"scheme": "epidemic",
+	"graph": "random",
+	"degree": 3,
+	"posts": 12,
+	"duration": "2h",
+	"postWindow": "80m",
+	"seed": 99,
+	"mobility": {"model": "random-waypoint", "areaW": 400, "areaH": 400, "tick": "30s", "speedMin": 1, "speedMax": 3},
+	"churn": [
+		{"at": "10m", "node": "n7", "op": "down"},
+		{"at": "60m", "node": "n7", "op": "up"}
+	]
+}`
+
+func TestSimModeEndToEnd(t *testing.T) {
+	run := func() *Report {
+		spec, err := ParseSpec([]byte(simSpec))
+		if err != nil {
+			t.Fatalf("ParseSpec: %v", err)
+		}
+		rep, err := Run(spec, Options{Mode: ModeSim, Logf: t.Logf})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return rep
+	}
+	rep := run()
+	if rep.Mode != ModeSim {
+		t.Errorf("mode = %q", rep.Mode)
+	}
+	if rep.Created == 0 || rep.PostsExecuted == 0 {
+		t.Fatalf("no posts executed: %+v", rep)
+	}
+	if rep.Deliveries == 0 {
+		t.Error("dense 2h fleet delivered nothing")
+	}
+	if rep.Ratio.Subscriptions == 0 {
+		t.Error("no delivery-ratio series")
+	}
+	if rep.Delay.Count == 0 || len(rep.DelayCDF) == 0 {
+		t.Error("no delay series")
+	}
+	if len(rep.Nodes) != 24 {
+		t.Errorf("node reports = %d", len(rep.Nodes))
+	}
+	for _, n := range rep.Nodes {
+		if n.Stats == nil {
+			t.Fatalf("node %s missing middleware stats", n.Handle)
+		}
+	}
+
+	// The whole point of virtual time: identical seeds replay the exact
+	// series, host-independently.
+	rep2 := run()
+	if rep.Deliveries != rep2.Deliveries || rep.Disseminations != rep2.Disseminations ||
+		rep.Ratio.Mean != rep2.Ratio.Mean {
+		t.Errorf("sim mode is not deterministic: %d/%d/%f vs %d/%d/%f",
+			rep.Deliveries, rep.Disseminations, rep.Ratio.Mean,
+			rep2.Deliveries, rep2.Disseminations, rep2.Ratio.Mean)
+	}
+}
+
+// TestSimModeChurnSkipsPosts: a post scheduled while its author is
+// churned down does not happen (the live-mode rule, at virtual time).
+func TestSimModeChurnSkipsPosts(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{
+		"name": "churny", "nodes": 2, "duration": "1h", "posts": 4, "postWindow": "30m",
+		"seed": 5, "graph": "full",
+		"mobility": {"areaW": 50, "areaH": 50},
+		"churn": [{"at": "0s", "node": "n1", "op": "down"}]
+	}`))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	rep, err := Run(spec, Options{Mode: ModeSim})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// n1 authors posts 1 and 3 (round-robin) but is down the whole run.
+	if rep.PostsSkipped != 2 {
+		t.Errorf("postsSkipped = %d, want 2", rep.PostsSkipped)
+	}
+	if rep.PostsExecuted != 2 {
+		t.Errorf("postsExecuted = %d, want 2", rep.PostsExecuted)
+	}
+}
+
+func TestSimModeTraceReplay(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "contacts.csv")
+	data := "node,peer,op,at\n" +
+		"n1,n2,up,60\n" +
+		"n1,n2,down,600\n" +
+		"n2,n3,up,1200\n" +
+		"n2,n3,down,1800\n"
+	if err := os.WriteFile(trace, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ParseSpec([]byte(fmt.Sprintf(`{
+		"name": "trace-unit", "nodes": 3, "scheme": "epidemic",
+		"edges": [[3,1]], "posts": 1, "duration": "40m", "postWindow": "1m",
+		"seed": 31, "trace": %q
+	}`, trace)))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	rep, err := Run(spec, Options{Mode: ModeSim, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// n1 posts at t≈0; the scripted contacts carry it n1→n2 then n2→n3,
+	// and n3 follows n1: exactly one two-hop delivery.
+	if rep.Deliveries != 1 {
+		t.Fatalf("deliveries = %d, want 1", rep.Deliveries)
+	}
+	if rep.OneHopDeliveries != 0 {
+		t.Errorf("one-hop deliveries = %d, want 0 (trace forces two hops)", rep.OneHopDeliveries)
+	}
+}
+
+func TestSimOnlyFieldsRejectedInLiveModes(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{
+		"nodes": 2, "duration": "1s",
+		"mobility": {"model": "working-day"}
+	}`))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if _, err := Run(spec, Options{Mode: ModeInProcess}); err == nil {
+		t.Error("in-process run accepted a sim-only spec")
+	}
+	if _, err := Run(spec, Options{Mode: ModeProcess}); err == nil {
+		t.Error("process run accepted a sim-only spec")
+	}
+}
+
+func TestSimModeRejectsDiskEngine(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{
+		"nodes": 2, "duration": "1m", "store": {"engine": "disk"},
+		"mobility": {"areaW": 50, "areaH": 50}
+	}`))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if _, err := Run(spec, Options{Mode: ModeSim}); err == nil {
+		t.Error("sim mode accepted the disk engine")
+	}
+}
+
+func TestSpecValidationSimFields(t *testing.T) {
+	for name, raw := range map[string]string{
+		"bad-model":  `{"nodes": 2, "duration": "1m", "mobility": {"model": "teleport"}}`,
+		"bad-speeds": `{"nodes": 2, "duration": "1m", "mobility": {"speedMin": 3, "speedMax": 1}}`,
+		"bad-degree": `{"nodes": 3, "duration": "1m", "graph": "random", "degree": -1}`,
+	} {
+		if _, err := ParseSpec([]byte(raw)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestRandomGraphPreset: deterministic under the seed, honors the
+// degree, no self-loops.
+func TestRandomGraphPreset(t *testing.T) {
+	parse := func() *Spec {
+		spec, err := ParseSpec([]byte(`{"nodes": 40, "duration": "1m", "graph": "random", "degree": 5, "seed": 7}`))
+		if err != nil {
+			t.Fatalf("ParseSpec: %v", err)
+		}
+		return spec
+	}
+	a, b := parse().FollowEdges(), parse().FollowEdges()
+	if len(a) != 40*5 {
+		t.Errorf("edges = %d, want 200", len(a))
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Error("random graph differs across identical seeds")
+	}
+	perNode := make(map[int]int)
+	for _, e := range a {
+		if e[0] == e[1] {
+			t.Fatalf("self-loop %v", e)
+		}
+		perNode[e[0]]++
+	}
+	for node, deg := range perNode {
+		if deg != 5 {
+			t.Errorf("node %d degree %d, want 5", node, deg)
+		}
+	}
+}

@@ -14,7 +14,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -73,6 +75,33 @@ type StoreSpec struct {
 	RelayTTL Duration `json:"relayTTL,omitempty"`
 }
 
+// MobilitySpec selects and tunes the synthetic mobility model for
+// ModeSim runs (ignored — and rejected — in the live modes, which have
+// no geometry).
+type MobilitySpec struct {
+	// Model is "random-waypoint" (default), "diurnal", or "working-day".
+	Model string `json:"model,omitempty"`
+	// AreaW/AreaH bound the plane in meters (defaults 3000×3000 for
+	// random-waypoint; the models' own defaults otherwise).
+	AreaW float64 `json:"areaW,omitempty"`
+	AreaH float64 `json:"areaH,omitempty"`
+	// Range is the radio contact radius in meters (default 35, the
+	// paper's MPC range).
+	Range float64 `json:"range,omitempty"`
+	// Tick is the contact-detection sampling period (default 30s).
+	Tick Duration `json:"tick,omitempty"`
+	// SpeedMin/SpeedMax bound random-waypoint leg speed in m/s.
+	SpeedMin float64 `json:"speedMin,omitempty"`
+	SpeedMax float64 `json:"speedMax,omitempty"`
+}
+
+// Mobility model names.
+const (
+	MobilityRandomWaypoint = "random-waypoint"
+	MobilityDiurnal        = "diurnal"
+	MobilityWorkingDay     = "working-day"
+)
+
 // Churn operations.
 const (
 	OpDown = "down"
@@ -102,8 +131,14 @@ type Spec struct {
 	Scheme string `json:"scheme,omitempty"`
 	// Graph picks a social-graph preset — "ring" (i follows i+1),
 	// "star" (everyone follows the first node), "full" (everyone
-	// follows everyone) — or "" to use Edges alone.
+	// follows everyone), "random" (each node follows Degree random
+	// others, deterministic under Seed — the preset that scales to
+	// thousand-node fleets where full would mean N² subscriptions) —
+	// or "" to use Edges alone.
 	Graph string `json:"graph,omitempty"`
+	// Degree is the per-node follow count for the "random" preset
+	// (default 4).
+	Degree int `json:"degree,omitempty"`
 	// Edges adds explicit 1-based [follower, followee] pairs.
 	Edges [][2]int `json:"edges,omitempty"`
 	// Store configures every node's storage engine.
@@ -124,17 +159,45 @@ type Spec struct {
 	// Churn is the sleep/wake schedule.
 	Churn []ChurnEvent `json:"churn,omitempty"`
 	// Seed fixes credential generation (and hence user ids) for
-	// reproducible reports.
+	// reproducible reports. In ModeSim it additionally fixes mobility
+	// itineraries and the whole virtual-time schedule.
 	Seed int64 `json:"seed,omitempty"`
+
+	// Mobility configures the synthetic mobility model for ModeSim runs
+	// (nil selects random-waypoint defaults). Sim-only.
+	Mobility *MobilitySpec `json:"mobility,omitempty"`
+	// Trace is a contact-trace file (CSV or JSONL; see docs/SCENARIOS.md)
+	// replayed verbatim instead of synthesizing mobility. Its node names
+	// must be covered by Handles. Relative paths resolve against the
+	// spec file's directory. Sim-only; overrides Mobility.
+	Trace string `json:"trace,omitempty"`
+
+	// baseDir is where the spec file lives, for resolving Trace;
+	// empty for specs parsed from memory.
+	baseDir string
 }
 
-// LoadSpec reads and validates a spec file.
+// LoadSpec reads and validates a spec file. Relative Trace paths
+// resolve against the spec file's directory.
 func LoadSpec(path string) (*Spec, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("lab: reading spec: %w", err)
 	}
-	return ParseSpec(raw)
+	s, err := ParseSpec(raw)
+	if err != nil {
+		return nil, err
+	}
+	s.baseDir = filepath.Dir(path)
+	return s, nil
+}
+
+// TracePath resolves the spec's contact-trace file path.
+func (s *Spec) TracePath() string {
+	if s.Trace == "" || filepath.IsAbs(s.Trace) || s.baseDir == "" {
+		return s.Trace
+	}
+	return filepath.Join(s.baseDir, s.Trace)
 }
 
 // ParseSpec parses and validates a JSON spec.
@@ -218,9 +281,29 @@ func (s *Spec) Validate() error {
 		s.LossTimeout = s.BeaconInterval * 7 / 2
 	}
 	switch s.Graph {
-	case "", "ring", "star", "full":
+	case "", "ring", "star", "full", "random":
 	default:
-		return fmt.Errorf("lab: unknown graph preset %q (want ring, star, or full)", s.Graph)
+		return fmt.Errorf("lab: unknown graph preset %q (want ring, star, full, or random)", s.Graph)
+	}
+	if s.Degree < 0 {
+		return fmt.Errorf("lab: negative degree")
+	}
+	if s.Degree == 0 {
+		s.Degree = 4
+	}
+	if s.Degree >= s.Nodes {
+		s.Degree = s.Nodes - 1
+	}
+	if s.Mobility != nil {
+		switch s.Mobility.Model {
+		case "", MobilityRandomWaypoint, MobilityDiurnal, MobilityWorkingDay:
+		default:
+			return fmt.Errorf("lab: unknown mobility model %q (want %s, %s, or %s)",
+				s.Mobility.Model, MobilityRandomWaypoint, MobilityDiurnal, MobilityWorkingDay)
+		}
+		if s.Mobility.SpeedMax < s.Mobility.SpeedMin {
+			return fmt.Errorf("lab: mobility speed range [%f, %f]", s.Mobility.SpeedMin, s.Mobility.SpeedMax)
+		}
 	}
 	for _, e := range s.Edges {
 		if e[0] < 1 || e[0] > s.Nodes || e[1] < 1 || e[1] > s.Nodes {
@@ -272,6 +355,20 @@ func (s *Spec) FollowEdges() [][2]int {
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
 				add(i, j)
+			}
+		}
+	case "random":
+		// Deterministic under the spec seed, so the social graph — and
+		// hence the delivery-ratio series — replays across hosts.
+		rng := rand.New(rand.NewSource(s.Seed ^ 0x536f534772617068)) // "SoSGraph"
+		for i := 0; i < n; i++ {
+			for picked := 0; picked < s.Degree; {
+				j := rng.Intn(n)
+				if j == i || set[[2]int{i, j}] {
+					continue
+				}
+				add(i, j)
+				picked++
 			}
 		}
 	}

@@ -312,6 +312,139 @@ func NewRandomWaypoint(cfg RandomWaypointConfig, rng *rand.Rand) (Model, error) 
 	return &itinerary{segs: b.segs}, nil
 }
 
+// WorkingDayConfig parameterizes the working-day commuter model (after
+// Ekman et al.'s working day movement model, the standard urban-commuter
+// workload for DTN evaluation): sleep at home, commute to a fixed
+// office, a midday lunch outing near the office, commute home, and an
+// occasional evening activity at a shared venue. Unlike Diurnal — which
+// reproduces the paper's student cohort clustered on one campus —
+// working-day nodes commute to their own offices, so contacts
+// concentrate at lunch spots, evening venues, and shared commute
+// corridors: the city-scale workload the scaled-up engine targets.
+type WorkingDayConfig struct {
+	// Area bounds the plane; zero selects Gainesville.
+	Area Area
+	// Home is the node's residence; zero draws one at random.
+	Home Point
+	// Office is the node's workplace; zero draws one inside the central
+	// business district (the middle ~25% of the area), so distinct
+	// commuters still share corridors and lunch geography.
+	Office Point
+	// EveningSpots are shared venues for after-work outings; empty
+	// generates three near the district center.
+	EveningSpots []Point
+	// Start is the itinerary's first midnight; Days its length.
+	Start time.Time
+	Days  int
+	// WorkStartHour is the mean arrival hour (default 9; jittered ±45 min).
+	WorkStartHour float64
+	// WorkHours is the mean office-day length (default 8, jittered ±1 h).
+	WorkHours float64
+	// LunchOutProb is the chance of a midday lunch outing near the
+	// office (default 0.70).
+	LunchOutProb float64
+	// EveningOutProb is the chance of an after-work venue visit
+	// (default 0.30).
+	EveningOutProb float64
+}
+
+// NewWorkingDay precomputes a commuter's itinerary from cfg and rng.
+// Weekdays: home → office (lunch outing near the office) → home, with
+// an occasional evening venue; weekends are spent at home. Like every
+// model here the itinerary is fixed at construction, so Position is a
+// pure function of time and replays bit-identically.
+func NewWorkingDay(cfg WorkingDayConfig, rng *rand.Rand) (Model, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("mobility: nil RNG")
+	}
+	if cfg.Days <= 0 {
+		return nil, fmt.Errorf("mobility: %d days", cfg.Days)
+	}
+	if cfg.Area == (Area{}) {
+		cfg.Area = Gainesville
+	}
+	if cfg.Home == (Point{}) {
+		cfg.Home = cfg.Area.RandomPoint(rng)
+	}
+	district := Point{X: cfg.Area.W * 0.5, Y: cfg.Area.H * 0.5}
+	districtR := math.Min(cfg.Area.W, cfg.Area.H) * 0.25
+	if cfg.Office == (Point{}) {
+		cfg.Office = jitter(district, districtR, rng)
+	}
+	if cfg.WorkStartHour == 0 {
+		cfg.WorkStartHour = 9
+	}
+	if cfg.WorkHours == 0 {
+		cfg.WorkHours = 8
+	}
+	if cfg.LunchOutProb == 0 {
+		cfg.LunchOutProb = 0.70
+	}
+	if cfg.EveningOutProb == 0 {
+		cfg.EveningOutProb = 0.30
+	}
+	if len(cfg.EveningSpots) == 0 {
+		cfg.EveningSpots = make([]Point, 3)
+		for i := range cfg.EveningSpots {
+			cfg.EveningSpots[i] = jitter(district, districtR, rng)
+		}
+	}
+	// The commuter's own lunch spot, shared geography with office
+	// neighbours (a food court within walking distance).
+	lunchSpot := jitter(cfg.Office, 150, rng)
+
+	b := &builder{at: cfg.Start, pos: cfg.Home}
+	for day := 0; day < cfg.Days; day++ {
+		midnight := cfg.Start.Add(time.Duration(day) * 24 * time.Hour)
+		weekday := midnight.Weekday()
+		if weekday == time.Saturday || weekday == time.Sunday {
+			// Weekend: home (the paper's §VI-B stationary periods).
+			continue
+		}
+		// Arrive at the office around WorkStartHour ± 45 min; leave home
+		// early enough to make it.
+		arrive := midnight.Add(time.Duration((cfg.WorkStartHour+(rng.Float64()-0.5)*1.5)*3600) * time.Second)
+		commute := commuteDuration(cfg.Home, cfg.Office)
+		b.stay(arrive.Add(-commute))
+		b.move(cfg.Office)
+
+		// Morning at the desk, then lunch most days (12:00–13:00 start).
+		if rng.Float64() < cfg.LunchOutProb {
+			lunch := midnight.Add(time.Duration(12*3600+rng.Float64()*3600) * time.Second)
+			if lunch.After(b.at) {
+				b.stay(lunch)
+				b.move(jitter(lunchSpot, 5, rng))
+				b.stay(b.at.Add(time.Duration(1800+rng.Float64()*1800) * time.Second))
+				b.move(cfg.Office)
+			}
+		}
+		// Afternoon at the desk until quitting time.
+		quit := arrive.Add(time.Duration((cfg.WorkHours + (rng.Float64()-0.5)*2) * float64(time.Hour)))
+		b.stay(quit)
+
+		// Occasional after-work outing at a shared venue, else straight
+		// home.
+		if rng.Float64() < cfg.EveningOutProb {
+			b.move(jitter(cfg.EveningSpots[rng.Intn(len(cfg.EveningSpots))], 6, rng))
+			b.stay(b.at.Add(time.Duration(3600+rng.Float64()*5400) * time.Second))
+		}
+		b.move(cfg.Home)
+	}
+	b.stay(cfg.Start.Add(time.Duration(cfg.Days) * 24 * time.Hour))
+	return &itinerary{segs: b.segs}, nil
+}
+
+// commuteDuration estimates travel time with the same speed policy as
+// builder.move, so the departure back-off lands the arrival on schedule.
+func commuteDuration(from, to Point) time.Duration {
+	dist := from.DistanceTo(to)
+	speed := walkSpeed
+	if dist > driveThreshold {
+		speed = driveSpeed
+	}
+	return time.Duration(dist / speed * float64(time.Second))
+}
+
 // Waypoint is one timed position sample for trace playback.
 type Waypoint struct {
 	At  time.Time

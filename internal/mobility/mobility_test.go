@@ -164,6 +164,118 @@ func TestRandomWaypointValidation(t *testing.T) {
 	}
 }
 
+// TestGoldenDeterminism is the bit-identity gate for every synthetic
+// model: the same seed must yield the same itinerary, down to the last
+// float bit, across independent constructions — the property every
+// seeded replay (and the committed experiment numbers) depends on.
+func TestGoldenDeterminism(t *testing.T) {
+	models := map[string]func(seed int64) (Model, error){
+		"diurnal": func(seed int64) (Model, error) {
+			return NewDiurnal(DiurnalConfig{Start: start, Days: 7}, rand.New(rand.NewSource(seed)))
+		},
+		"random-waypoint": func(seed int64) (Model, error) {
+			return NewRandomWaypoint(RandomWaypointConfig{
+				Area: Area{W: 3000, H: 3000}, Start: start, Duration: 7 * 24 * time.Hour,
+			}, rand.New(rand.NewSource(seed)))
+		},
+		"working-day": func(seed int64) (Model, error) {
+			return NewWorkingDay(WorkingDayConfig{Start: start, Days: 7}, rand.New(rand.NewSource(seed)))
+		},
+	}
+	for name, build := range models {
+		t.Run(name, func(t *testing.T) {
+			m1, err := build(41)
+			if err != nil {
+				t.Fatalf("first build: %v", err)
+			}
+			m2, err := build(41)
+			if err != nil {
+				t.Fatalf("second build: %v", err)
+			}
+			for minute := 0; minute < 7*24*60; minute += 11 {
+				at := start.Add(time.Duration(minute) * time.Minute)
+				p1, p2 := m1.Position(at), m2.Position(at)
+				if math.Float64bits(p1.X) != math.Float64bits(p2.X) ||
+					math.Float64bits(p1.Y) != math.Float64bits(p2.Y) {
+					t.Fatalf("same seed diverged at %v: %v vs %v", at, p1, p2)
+				}
+			}
+			// A different seed must actually move the itinerary.
+			m3, err := build(42)
+			if err != nil {
+				t.Fatalf("third build: %v", err)
+			}
+			same := true
+			for minute := 0; minute < 7*24*60; minute += 11 {
+				at := start.Add(time.Duration(minute) * time.Minute)
+				if m1.Position(at) != m3.Position(at) {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Error("different seeds produced an identical itinerary")
+			}
+		})
+	}
+}
+
+func TestWorkingDayAtOfficeMidday(t *testing.T) {
+	office := Point{X: 6000, Y: 4000}
+	m, err := NewWorkingDay(WorkingDayConfig{
+		Start: start, Days: 5, Office: office, LunchOutProb: 0.0001,
+	}, rand.New(rand.NewSource(19)))
+	if err != nil {
+		t.Fatalf("NewWorkingDay: %v", err)
+	}
+	// Mid-morning and mid-afternoon of every weekday the commuter is at
+	// (or within lunch-walking distance of) the office.
+	for day := 0; day < 5; day++ {
+		for _, h := range []int{11, 15} {
+			at := start.Add(time.Duration(day)*24*time.Hour + time.Duration(h)*time.Hour)
+			if d := m.Position(at).DistanceTo(office); d > 300 {
+				t.Errorf("day %d %02d:00: %f m from office", day, h, d)
+			}
+		}
+	}
+}
+
+func TestWorkingDaySleepsAtHomeAndStaysHomeWeekends(t *testing.T) {
+	home := Point{X: 1500, Y: 6000}
+	m, err := NewWorkingDay(WorkingDayConfig{
+		Start: start, Days: 7, Home: home,
+	}, rand.New(rand.NewSource(29)))
+	if err != nil {
+		t.Fatalf("NewWorkingDay: %v", err)
+	}
+	// 3 AM every night: asleep at home.
+	for day := 0; day < 7; day++ {
+		at := start.Add(time.Duration(day)*24*time.Hour + 3*time.Hour)
+		if got := m.Position(at); got.DistanceTo(home) > 1 {
+			t.Errorf("day %d, 3AM: position %v, want home %v", day, got, home)
+		}
+	}
+	// Saturday and Sunday (days 5 and 6 from the Monday start): home all
+	// day.
+	for day := 5; day < 7; day++ {
+		for h := 0; h < 24; h += 2 {
+			at := start.Add(time.Duration(day)*24*time.Hour + time.Duration(h)*time.Hour)
+			if got := m.Position(at); got.DistanceTo(home) > 1 {
+				t.Errorf("weekend day %d %02d:00: position %v, want home", day, h, got)
+			}
+		}
+	}
+}
+
+func TestWorkingDayValidation(t *testing.T) {
+	if _, err := NewWorkingDay(WorkingDayConfig{Start: start, Days: 0}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero days accepted")
+	}
+	if _, err := NewWorkingDay(WorkingDayConfig{Start: start, Days: 1}, nil); err == nil {
+		t.Error("nil RNG accepted")
+	}
+}
+
 func TestTracePlayback(t *testing.T) {
 	points := []Waypoint{
 		{At: start, Pos: Point{X: 0, Y: 0}},

@@ -100,6 +100,12 @@ type Config struct {
 	Nodes []NodeSpec
 	// Workload is the scheduled action list (sorted internally).
 	Workload []Event
+	// Contacts, when non-empty, switches the run to trace-driven
+	// contacts: the listed link up/down events are replayed verbatim
+	// (Haggle/CRAWDAD-style encounter dumps parsed by ParseContactTrace)
+	// and position-based contact detection is bypassed entirely. Nodes
+	// may then omit their mobility model.
+	Contacts []ContactEvent
 }
 
 // Node is one running simulated device.
@@ -110,6 +116,7 @@ type Node struct {
 	Model    mobility.Model
 	activity func(at time.Time) bool
 	peer     mpc.PeerID
+	idx      int
 }
 
 // Active reports whether the node's app is foregrounded at the instant.
@@ -117,8 +124,12 @@ func (n *Node) Active(at time.Time) bool {
 	return n.activity == nil || n.activity(at)
 }
 
-// Position returns the node's current position.
+// Position returns the node's current position. Trace-driven nodes
+// without a mobility model sit at the origin.
 func (n *Node) Position(at time.Time) mobility.Point {
+	if n.Model == nil {
+		return mobility.Point{}
+	}
 	return n.Model.Position(at)
 }
 
@@ -144,8 +155,22 @@ type Sim struct {
 
 	collector *metrics.Collector
 	recorder  *trace.Recorder
-	linked    map[[2]int]bool
+	linked    map[[2]int32]bool
 	workload  []Event
+	contacts  []ContactEvent
+	// desired is the trace's current wish per pair: scripted up, not yet
+	// scripted down. The effective link additionally requires both apps
+	// active, so linked ⊆ desired at all times in trace mode.
+	desired map[[2]int32]bool
+
+	// Contact-detection state, reused across ticks so the hot loop does
+	// not allocate.
+	index     *ContactIndex
+	positions []mobility.Point
+	active    []bool
+	curr      [][2]int32
+	currSet   map[[2]int32]bool
+	cuts      [][2]int32
 }
 
 // New builds a simulation: CA, cloud, bootstrap of every node, and the
@@ -194,11 +219,11 @@ func New(cfg Config) (*Sim, error) {
 		byHandle:  make(map[string]*Node, len(cfg.Nodes)),
 		collector: collector,
 		recorder:  recorder,
-		linked:    make(map[[2]int]bool),
+		linked:    make(map[[2]int32]bool),
 	}
 
 	for _, spec := range cfg.Nodes {
-		if spec.Mobility == nil {
+		if spec.Mobility == nil && len(cfg.Contacts) == 0 {
 			return nil, fmt.Errorf("sim: node %q has no mobility model", spec.Handle)
 		}
 		if _, dup := s.byHandle[spec.Handle]; dup {
@@ -250,6 +275,7 @@ func New(cfg Config) (*Sim, error) {
 			return nil, fmt.Errorf("sim: starting middleware for %q: %w", spec.Handle, err)
 		}
 		n.MW = mw
+		n.idx = len(s.nodes)
 		s.nodes = append(s.nodes, n)
 		s.byHandle[spec.Handle] = n
 	}
@@ -269,6 +295,30 @@ func New(cfg Config) (*Sim, error) {
 	s.workload = make([]Event, len(cfg.Workload))
 	copy(s.workload, cfg.Workload)
 	sort.SliceStable(s.workload, func(i, j int) bool { return s.workload[i].At.Before(s.workload[j].At) })
+
+	// Trace-driven contacts: validate the handles once, then replay in
+	// chronological order.
+	s.contacts = make([]ContactEvent, len(cfg.Contacts))
+	copy(s.contacts, cfg.Contacts)
+	sort.SliceStable(s.contacts, func(i, j int) bool { return s.contacts[i].At.Before(s.contacts[j].At) })
+	for _, ev := range s.contacts {
+		if _, ok := s.byHandle[ev.A]; !ok {
+			return nil, fmt.Errorf("sim: contact trace names unknown handle %q", ev.A)
+		}
+		if _, ok := s.byHandle[ev.B]; !ok {
+			return nil, fmt.Errorf("sim: contact trace names unknown handle %q", ev.B)
+		}
+		if ev.A == ev.B {
+			return nil, fmt.Errorf("sim: contact trace links %q to itself", ev.A)
+		}
+	}
+
+	// Contact-detection scratch, sized once for the fleet.
+	s.index = NewContactIndex(cfg.Range)
+	s.positions = make([]mobility.Point, len(s.nodes))
+	s.active = make([]bool, len(s.nodes))
+	s.currSet = make(map[[2]int32]bool)
+	s.desired = make(map[[2]int32]bool)
 	return s, nil
 }
 
@@ -287,7 +337,7 @@ func (s *Sim) NodeByHandle(handle string) (*Node, bool) {
 func (s *Sim) onReceive(n *Node, m *msg.Message) {
 	now := s.clk.Now()
 	ref := m.Ref()
-	s.recorder.RecordPassed(ref, n.User, now, n.Model.Position(now))
+	s.recorder.RecordPassed(ref, n.User, now, n.Position(now))
 	s.collector.Disseminated(ref)
 	if n.MW.Store().IsSubscribed(m.Author) {
 		s.collector.Delivered(ref, n.User, now, m.Hops)
@@ -300,16 +350,32 @@ func (s *Sim) Run() (*Result, error) {
 	posts, follows := 0, 0
 	wi := 0
 
-	for tick := s.cfg.Start; !tick.After(end); tick = tick.Add(s.cfg.Tick) {
-		// Execute workload actions due before this tick, in order, with
-		// the medium drained up to each action's instant.
-		for wi < len(s.workload) && !s.workload[wi].At.After(tick) {
+	ci := 0
+	// drain executes workload actions and trace contact events due at or
+	// before `upto`, merged in time order (contacts first on ties, so a
+	// link that comes up at t carries a post made at t), with the medium
+	// run up to each event's instant.
+	drain := func(upto time.Time) error {
+		for {
+			wDue := wi < len(s.workload) && !s.workload[wi].At.After(upto)
+			cDue := ci < len(s.contacts) && !s.contacts[ci].At.After(upto)
+			if !wDue && !cDue {
+				return nil
+			}
+			if cDue && (!wDue || !s.workload[wi].At.Before(s.contacts[ci].At)) {
+				ev := s.contacts[ci]
+				ci++
+				s.medium.RunUntil(ev.At)
+				s.clk.Set(ev.At)
+				s.applyContact(ev)
+				continue
+			}
 			ev := s.workload[wi]
 			wi++
 			s.medium.RunUntil(ev.At)
 			s.clk.Set(ev.At)
 			if err := s.execute(ev); err != nil {
-				return nil, err
+				return err
 			}
 			switch ev.Action {
 			case ActionPost:
@@ -318,9 +384,26 @@ func (s *Sim) Run() (*Result, error) {
 				follows++
 			}
 		}
+	}
+	for tick := s.cfg.Start; !tick.After(end); tick = tick.Add(s.cfg.Tick) {
+		if err := drain(tick); err != nil {
+			return nil, err
+		}
 		s.medium.RunUntil(tick)
 		s.clk.Set(tick)
-		s.updateContacts(tick)
+		if len(s.contacts) == 0 {
+			// Position-driven detection; a contact trace replaces it.
+			s.updateContacts(tick)
+		} else {
+			// Activity (churn) is resampled each tick in trace mode too:
+			// a scripted contact only holds while both apps are up.
+			s.reconcileTraceLinks(tick)
+		}
+	}
+	// The duration need not be a multiple of the tick: events scheduled
+	// in the partial tail still happen.
+	if err := drain(end); err != nil {
+		return nil, err
 	}
 	s.medium.RunUntil(end)
 	s.clk.Set(end)
@@ -353,7 +436,7 @@ func (s *Sim) execute(ev Event) error {
 			return fmt.Errorf("sim: %s posting: %w", ev.Handle, err)
 		}
 		s.collector.MessageCreated(m.Ref(), m.Created)
-		s.recorder.RecordCreated(m.Ref(), n.User, m.Created, n.Model.Position(m.Created))
+		s.recorder.RecordCreated(m.Ref(), n.User, m.Created, n.Position(m.Created))
 	case ActionFollow:
 		target, ok := s.byHandle[ev.Target]
 		if !ok {
@@ -376,29 +459,113 @@ func (s *Sim) execute(ev Event) error {
 	return nil
 }
 
-// updateContacts samples all node positions and app activity, then
-// reconciles radio links: a contact requires proximity and both apps in
-// the foreground (the MPC constraint).
-func (s *Sim) updateContacts(at time.Time) {
-	positions := make([]mobility.Point, len(s.nodes))
-	active := make([]bool, len(s.nodes))
-	for i, n := range s.nodes {
-		positions[i] = n.Model.Position(at)
-		active[i] = n.Active(at)
+// applyContact records one trace-driven link transition and applies its
+// effective state. The trace says what the radios scripted; activity
+// (churn, app foregrounding) still gates the actual link, matching the
+// live modes where a sleeping device drops out of every contact.
+func (s *Sim) applyContact(ev ContactEvent) {
+	a, b := s.byHandle[ev.A], s.byHandle[ev.B]
+	key := pairKeyOf(a.idx, b.idx)
+	if ev.Up {
+		s.desired[key] = true
+	} else {
+		delete(s.desired, key)
 	}
-	for i := 0; i < len(s.nodes); i++ {
-		for j := i + 1; j < len(s.nodes); j++ {
-			key := [2]int{i, j}
-			inRange := active[i] && active[j] &&
-				positions[i].DistanceTo(positions[j]) <= s.cfg.Range
-			switch {
-			case inRange && !s.linked[key]:
-				s.medium.SetLink(s.nodes[i].peer, s.nodes[j].peer, s.cfg.Tech)
-				s.linked[key] = true
-			case !inRange && s.linked[key]:
-				s.medium.CutLink(s.nodes[i].peer, s.nodes[j].peer)
-				delete(s.linked, key)
+	s.reconcilePair(key, s.clk.Now())
+}
+
+// pairKeyOf orders two node indices into a link key.
+func pairKeyOf(i, j int) [2]int32 {
+	if i > j {
+		i, j = j, i
+	}
+	return [2]int32{int32(i), int32(j)}
+}
+
+// reconcilePair applies the effective state of one scripted pair: linked
+// iff the trace wants it up and both apps are in the foreground.
+func (s *Sim) reconcilePair(key [2]int32, at time.Time) {
+	a, b := s.nodes[key[0]], s.nodes[key[1]]
+	up := s.desired[key] && a.Active(at) && b.Active(at)
+	switch {
+	case up && !s.linked[key]:
+		s.medium.SetLink(a.peer, b.peer, s.cfg.Tech)
+		s.linked[key] = true
+	case !up && s.linked[key]:
+		s.medium.CutLink(a.peer, b.peer)
+		delete(s.linked, key)
+	}
+}
+
+// reconcileTraceLinks resamples activity for every scripted-up pair each
+// tick — cutting links whose endpoint slept, restoring links whose
+// endpoints woke while still scripted together — in sorted order for
+// deterministic replay. linked ⊆ desired, so iterating desired covers
+// every link that could need cutting.
+func (s *Sim) reconcileTraceLinks(at time.Time) {
+	if len(s.desired) == 0 {
+		return
+	}
+	s.cuts = s.cuts[:0] // scratch: unused by the grid path in trace mode
+	for key := range s.desired {
+		s.cuts = append(s.cuts, key)
+	}
+	sort.Slice(s.cuts, func(i, j int) bool {
+		if s.cuts[i][0] != s.cuts[j][0] {
+			return s.cuts[i][0] < s.cuts[j][0]
+		}
+		return s.cuts[i][1] < s.cuts[j][1]
+	})
+	for _, key := range s.cuts {
+		s.reconcilePair(key, at)
+	}
+}
+
+// updateContacts samples all node positions and app activity (sharded
+// across CPUs), finds the in-range pairs through the spatial grid index,
+// and reconciles radio links against the previous tick: a contact
+// requires proximity and both apps in the foreground (the MPC
+// constraint). Sleeping nodes are skipped entirely — they are never
+// inserted into the grid, and any link they held is cut by the diff.
+// Every per-tick structure is reused, so the pass allocates nothing in
+// steady state, and both the sweep order and the sorted cut order are
+// deterministic for bit-identical replays.
+func (s *Sim) updateContacts(at time.Time) {
+	s.samplePositions(at)
+
+	s.curr = s.curr[:0]
+	s.index.Sweep(s.positions, s.active, func(i, j int32) {
+		s.curr = append(s.curr, [2]int32{i, j})
+	})
+
+	clear(s.currSet)
+	for _, key := range s.curr {
+		s.currSet[key] = true
+		if !s.linked[key] {
+			s.medium.SetLink(s.nodes[key[0]].peer, s.nodes[key[1]].peer, s.cfg.Tech)
+			s.linked[key] = true
+		}
+	}
+	// Every current pair is in linked by now, so linked ⊇ currSet and a
+	// size mismatch is exactly "some link must be cut".
+	if len(s.linked) > len(s.currSet) {
+		s.cuts = s.cuts[:0]
+		for key := range s.linked {
+			if !s.currSet[key] {
+				s.cuts = append(s.cuts, key)
 			}
+		}
+		// Map iteration order is random; sort so CutLink event order (and
+		// hence the whole event-queue schedule) replays identically.
+		sort.Slice(s.cuts, func(i, j int) bool {
+			if s.cuts[i][0] != s.cuts[j][0] {
+				return s.cuts[i][0] < s.cuts[j][0]
+			}
+			return s.cuts[i][1] < s.cuts[j][1]
+		})
+		for _, key := range s.cuts {
+			s.medium.CutLink(s.nodes[key[0]].peer, s.nodes[key[1]].peer)
+			delete(s.linked, key)
 		}
 	}
 }
