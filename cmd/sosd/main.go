@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"sos"
+	"sos/internal/obs"
 	"sos/internal/telemetry"
 )
 
@@ -126,9 +127,19 @@ func run(args []string) error {
 	evict := fs.String("evict", "", "eviction policy: drop-oldest, ttl, size-quota, subscription-priority (default: drop-oldest, or ttl when -relay-ttl is set)")
 	relayTTL := fs.Duration("relay-ttl", 0, "lifetime of other users' messages in the buffer (0 = forever)")
 	telemetryAddr := fs.String("telemetry", "", "stream lifecycle events to a collector at this TCP address (e.g. a soslab run)")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /healthz, and /debug/pprof on this TCP address (e.g. 127.0.0.1:9090)")
+	logLevel := fs.String("log-level", "info", "operational log level: debug, info, warn, error")
+	logJSON := fs.Bool("log-json", false, "emit operational logs as JSON instead of text")
 	fs.Parse(args)
 	if *credsPath == "" {
 		return fmt.Errorf("run requires -creds (generate one with 'sosd provision')")
+	}
+
+	// Operational logging goes to stderr via slog, leveled and optionally
+	// structured; stdout stays the interactive REPL surface.
+	log, err := obs.NewLogger(os.Stderr, *logLevel, *logJSON)
+	if err != nil {
+		return err
 	}
 
 	creds, err := sos.LoadCredentials(*credsPath)
@@ -163,8 +174,7 @@ func run(args []string) error {
 			return err
 		}
 		if n := disk.Len(); n > 0 {
-			fmt.Printf("sosd: resumed %d messages and %d subscriptions from %s\n",
-				n, len(disk.Subscriptions()), dir)
+			log.Info("resumed disk store", "messages", n, "subscriptions", len(disk.Subscriptions()), "dir", dir)
 		}
 		engine = disk
 	default:
@@ -189,11 +199,12 @@ func run(args []string) error {
 	// delivered, evicted, contact up/down) streams to the collector so
 	// a soslab experiment measures this node without touching it.
 	var observer sos.Observer
+	var exporter *telemetry.Exporter
 	if *telemetryAddr != "" {
-		exporter := telemetry.NewExporter(*telemetryAddr, telemetry.ExporterOptions{})
+		exporter = telemetry.NewExporter(*telemetryAddr, telemetry.ExporterOptions{Logf: obs.Logf(log)})
 		defer exporter.Close() // after node.Close below: final events still flush
 		observer = telemetry.NewObserver(creds.Ident.User, nil, exporter)
-		fmt.Printf("sosd: telemetry → %s\n", *telemetryAddr)
+		log.Info("telemetry streaming", "collector", *telemetryAddr)
 	}
 
 	node, err := sos.NewNode(sos.NodeConfig{
@@ -220,8 +231,48 @@ func run(args []string) error {
 	}
 	defer node.Close()
 
-	fmt.Printf("sosd: %s (user %s) on %s via %s routing\n",
-		node.Peer(), node.User(), strings.Join(medium.BeaconAddrs(), ","), node.Scheme())
+	// The debug surface: /metrics (Prometheus text), /healthz (JSON
+	// liveness), /debug/pprof/* — every layer's counters bridged at
+	// scrape time, costing the hot paths nothing.
+	if *debugAddr != "" {
+		reg := obs.NewRegistry()
+		obs.RegisterNodeMetrics(reg, obs.NodeMetrics{
+			Middleware: node,
+			Medium:     medium,
+			Exporter:   exporter,
+		})
+		dbg, err := obs.NewServer(obs.ServerConfig{
+			Addr:     *debugAddr,
+			Registry: reg,
+			Log:      log,
+			Health: func() map[string]any {
+				s := node.Stats()
+				doc := map[string]any{
+					"peer":          string(node.Peer()),
+					"user":          node.User().String(),
+					"scheme":        node.Scheme(),
+					"activeLinks":   len(node.ActiveLinks()),
+					"storeMessages": s.Store.Messages,
+					"storeBytes":    s.Store.Bytes,
+				}
+				if exporter != nil {
+					es := exporter.Stats()
+					doc["telemetryDropped"] = es.Dropped
+					doc["telemetryReconnects"] = es.Reconnects
+					doc["telemetryQueueDepth"] = exporter.QueueDepth()
+				}
+				return doc
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+	}
+
+	log.Info("node up",
+		"peer", string(node.Peer()), "user", node.User().String(),
+		"beacons", strings.Join(medium.BeaconAddrs(), ","), "scheme", node.Scheme())
 
 	for _, target := range strings.Split(*follow, ",") {
 		target = strings.TrimSpace(target)
@@ -254,13 +305,13 @@ func run(args []string) error {
 	for {
 		select {
 		case <-sigs:
-			fmt.Println("sosd: shutting down")
+			log.Info("shutting down", "reason", "signal")
 			return nil
 		case line, ok := <-lines:
 			if !ok {
 				return nil
 			}
-			if quit := command(node, line); quit {
+			if quit := command(node, exporter, line); quit {
 				return nil
 			}
 		}
@@ -268,7 +319,7 @@ func run(args []string) error {
 }
 
 // command dispatches one REPL line; it reports whether to quit.
-func command(node *sos.Node, line string) bool {
+func command(node *sos.Node, exporter *telemetry.Exporter, line string) bool {
 	verb, rest, _ := strings.Cut(strings.TrimSpace(line), " ")
 	rest = strings.TrimSpace(rest)
 	switch verb {
@@ -303,6 +354,13 @@ func command(node *sos.Node, line string) bool {
 		fmt.Printf("         %d puts, %d duplicates, %d evictions, %d expirations, %d bytes evicted\n",
 			s.Store.Puts, s.Store.Duplicates, s.Store.Evictions, s.Store.Expirations, s.Store.EvictedBytes)
 		fmt.Printf("adhoc:   %+v\nmessage: %+v\n", s.Adhoc, s.Message)
+		peers, links, entries := node.SyncState()
+		fmt.Printf("sync:    %d peers known, %d linked, %d summary entries cached\n", peers, links, entries)
+		if exporter != nil {
+			es := exporter.Stats()
+			fmt.Printf("telemetry: %d recorded, %d sent, %d dropped, %d reconnects, %d queued\n",
+				es.Recorded, es.Sent, es.Dropped, es.Reconnects, exporter.QueueDepth())
+		}
 	case "quit", "exit":
 		return true
 	default:

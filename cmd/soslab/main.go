@@ -26,10 +26,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"sos/internal/lab"
+	"sos/internal/obs"
 	"sos/internal/telemetry"
 )
 
@@ -50,7 +52,9 @@ func run(args []string) error {
 	workDir := fs.String("workdir", "", "credentials/store directory (default: a temporary one)")
 	quiet := fs.Bool("q", false, "suppress live progress")
 	verbose := fs.Bool("v", false, "log node-level detail (child output, churn, posts)")
+	logJSON := fs.Bool("log-json", false, "emit -v detail as structured JSON log lines")
 	minDeliveries := fs.Int("min-deliveries", 0, "exit nonzero unless at least this many deliveries occurred (CI smoke)")
+	checkObs := fs.Bool("check-obs", false, "exit nonzero on observability invariant violations (exporter drops, missing nodes)")
 	fs.Parse(args)
 	if *specPath == "" {
 		fs.Usage()
@@ -70,9 +74,13 @@ func run(args []string) error {
 		WorkDir:  *workDir,
 	}
 	if *verbose {
-		opts.Logf = func(format string, args ...any) {
-			fmt.Printf("  "+format+"\n", args...)
+		// Node-level detail rides the shared leveled handler: plain text
+		// for a terminal, JSON when a log pipeline is the consumer.
+		log, err := obs.NewLogger(os.Stderr, "debug", *logJSON)
+		if err != nil {
+			return err
 		}
+		opts.Logf = obs.Logf(log)
 	}
 
 	// Live progress: count events as the aggregator ingests them and
@@ -136,6 +144,11 @@ func run(args []string) error {
 	}
 	if report.Deliveries < *minDeliveries {
 		return fmt.Errorf("only %d deliveries, want at least %d", report.Deliveries, *minDeliveries)
+	}
+	if *checkObs {
+		if v := report.ObservabilityViolations(); len(v) > 0 {
+			return fmt.Errorf("observability invariants violated:\n  %s", strings.Join(v, "\n  "))
+		}
 	}
 	return nil
 }

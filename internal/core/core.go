@@ -438,6 +438,16 @@ func (mw *Middleware) Stats() Stats {
 	}
 }
 
+// ActiveLinks returns the users currently linked to this node.
+func (mw *Middleware) ActiveLinks() []id.UserID { return mw.msgMgr.ActiveLinks() }
+
+// SyncState reports the size of the contact-sync plane: peers with
+// cached sync state, currently active links, and total inbound summary
+// entries held.
+func (mw *Middleware) SyncState() (peers, links, summaryEntries int) {
+	return mw.msgMgr.SyncState()
+}
+
 // Advertise refreshes the discovery beacon (summary + scheme gossip).
 func (mw *Middleware) Advertise() error { return mw.msgMgr.Advertise() }
 

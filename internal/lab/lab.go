@@ -13,6 +13,7 @@ import (
 	"sos/internal/id"
 	"sos/internal/mpc"
 	"sos/internal/netmedium"
+	"sos/internal/obs"
 	"sos/internal/pki"
 	"sos/internal/routing"
 	"sos/internal/store"
@@ -123,6 +124,7 @@ type inNode struct {
 	peer     mpc.PeerID
 	mw       *core.Middleware
 	exporter *telemetry.Exporter
+	registry *obs.Registry
 	down     bool
 }
 
@@ -142,6 +144,7 @@ func runInProcess(spec *Spec, opts Options) (*Report, error) {
 	}
 
 	agg := telemetry.NewAggregator()
+	agg.TracePaths()
 	if opts.OnEvent != nil {
 		agg.OnEvent(opts.OnEvent)
 	}
@@ -201,9 +204,9 @@ func runInProcess(spec *Spec, opts Options) (*Report, error) {
 		// Registered before the fallible steps below, so the deferred
 		// cleanup stops this exporter even when construction fails.
 		nodes = append(nodes, n)
-		obs := core.Observer(telemetry.NewObserver(n.user, nil, n.exporter))
+		observer := core.Observer(telemetry.NewObserver(n.user, nil, n.exporter))
 		if opts.ExtraObserver != nil {
-			obs = core.CombineObservers(obs, opts.ExtraObserver(handle, n.user))
+			observer = core.CombineObservers(observer, opts.ExtraObserver(handle, n.user))
 		}
 		engine, err := buildEngine(spec, ModeInProcess, workDir, handle, creds.Ident.User, policy)
 		if err != nil {
@@ -216,13 +219,21 @@ func runInProcess(spec *Spec, opts Options) (*Report, error) {
 			Scheme:   spec.Scheme,
 			Routing:  routing.Options{RelayTTL: spec.Store.RelayTTL.D()},
 			Store:    engine,
-			Observer: obs,
+			Observer: observer,
 		})
 		if err != nil {
 			engine.Close() // core.New takes ownership only on success
 			return nil, fmt.Errorf("lab: starting %q: %w", handle, err)
 		}
 		n.mw = mw
+		// The same metric bridge a sosd daemon serves over HTTP, here
+		// snapshotted directly into the node's report slice at teardown.
+		n.registry = obs.NewRegistry()
+		obs.RegisterNodeMetrics(n.registry, obs.NodeMetrics{
+			Middleware: mw,
+			Medium:     medium,
+			Exporter:   n.exporter,
+		})
 		byHandle[handle] = n
 		users[handle] = n.user
 	}
@@ -313,14 +324,20 @@ func runInProcess(spec *Spec, opts Options) (*Report, error) {
 			TelemetrySent:       es.Sent,
 			TelemetryDropped:    es.Dropped,
 			TelemetryReconnects: es.Reconnects,
+			// Snapshot after exporter.Close so the export counters are
+			// final; the bridges read mutex-guarded stats, safe after
+			// middleware shutdown.
+			Metrics: n.registry.Snapshot(),
 		})
 	}
 	if err := srv.Close(10 * time.Second); err != nil {
 		opts.logf("lab: closing collector: %v", err)
 	}
 
-	return buildReport(spec, ModeInProcess, startedAt, elapsed,
-		agg.Collector(), agg.Stats(), spec.Subscriptions(users), reports, executed, skipped), nil
+	report := buildReport(spec, ModeInProcess, startedAt, elapsed,
+		agg.Collector(), agg.Stats(), spec.Subscriptions(users), reports, executed, skipped)
+	attachPaths(report, agg)
+	return report, nil
 }
 
 // buildEngine constructs one node's storage engine per the spec.

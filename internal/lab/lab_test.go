@@ -174,6 +174,29 @@ func TestInProcessEndToEnd(t *testing.T) {
 		if n.Stats == nil {
 			t.Fatalf("node %s missing middleware stats", n.Handle)
 		}
+		if len(n.Metrics) == 0 {
+			t.Fatalf("node %s missing /metrics snapshot", n.Handle)
+		}
+		if n.Metrics["sos_telemetry_recorded_total"] == 0 {
+			t.Fatalf("node %s snapshot shows no telemetry recorded: %v", n.Handle, n.Metrics)
+		}
+	}
+	if v := report.ObservabilityViolations(); len(v) != 0 {
+		t.Fatalf("observability violations: %v", v)
+	}
+	if len(report.Paths) == 0 {
+		t.Fatal("no hop-by-hop paths traced")
+	}
+	if len(report.Paths) != report.Deliveries {
+		t.Fatalf("traced %d paths for %d deliveries", len(report.Paths), report.Deliveries)
+	}
+	for _, p := range report.Paths {
+		if len(p.Hops) == 0 {
+			t.Fatalf("path %s→%s has no hops", p.Ref, p.Dest)
+		}
+		if p.Hops[len(p.Hops)-1].To != p.Dest {
+			t.Fatalf("path %s does not end at its destination %s: %+v", p.Ref, p.Dest, p.Hops)
+		}
 	}
 
 	// The live-aggregated series must equal the directly observed ones.
@@ -285,5 +308,26 @@ func TestProcessEndToEnd(t *testing.T) {
 	}
 	if !restarted {
 		t.Fatalf("n2 restart not recorded: %+v", report.Nodes)
+	}
+	if v := report.ObservabilityViolations(); len(v) != 0 {
+		t.Fatalf("observability violations: %v", v)
+	}
+	// Every running child was scraped over HTTP before teardown; the
+	// survivors must expose live transport counters.
+	scraped := 0
+	for _, n := range report.Nodes {
+		if len(n.Metrics) == 0 {
+			continue
+		}
+		scraped++
+		if n.Metrics[`sos_net_beacons_total{dir="sent"}`] == 0 {
+			t.Errorf("node %s scrape shows no beacons sent", n.Handle)
+		}
+	}
+	if scraped < report.NodeCount-1 {
+		t.Fatalf("scraped %d of %d child /metrics endpoints", scraped, report.NodeCount)
+	}
+	if len(report.Paths) == 0 {
+		t.Fatal("no hop-by-hop paths traced across the process fleet")
 	}
 }

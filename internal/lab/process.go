@@ -14,6 +14,7 @@ import (
 
 	"sos/internal/cloud"
 	"sos/internal/id"
+	"sos/internal/obs"
 	"sos/internal/pki"
 	"sos/internal/telemetry"
 )
@@ -25,6 +26,7 @@ type childProc struct {
 	credsPath  string
 	storeDir   string
 	beaconAddr string
+	debugAddr  string
 	follows    []string
 	restarts   int
 
@@ -66,6 +68,7 @@ func runProcess(spec *Spec, opts Options) (*Report, error) {
 	}
 
 	agg := telemetry.NewAggregator()
+	agg.TracePaths()
 	if opts.OnEvent != nil {
 		agg.OnEvent(opts.OnEvent)
 	}
@@ -102,12 +105,17 @@ func runProcess(spec *Spec, opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		debugPort, err := freeTCPPort()
+		if err != nil {
+			return nil, err
+		}
 		p := &childProc{
 			handle:     handle,
 			user:       creds.Ident.User,
 			credsPath:  credsPath,
 			storeDir:   filepath.Join(workDir, handle+".store"),
 			beaconAddr: fmt.Sprintf("127.0.0.1:%d", port),
+			debugAddr:  fmt.Sprintf("127.0.0.1:%d", debugPort),
 		}
 		procs = append(procs, p)
 		byHandle[handle] = p
@@ -173,6 +181,22 @@ func runProcess(spec *Spec, opts Options) (*Report, error) {
 	}
 	elapsed := time.Since(startedAt)
 
+	// Final observability sweep: scrape each live child's /metrics over
+	// HTTP — the same surface an operator's Prometheus would hit —
+	// before asking it to quit.
+	scraped := make(map[string]map[string]float64, len(procs))
+	for _, p := range procs {
+		if !p.running() {
+			continue
+		}
+		m, err := obs.ScrapeProm(nil, "http://"+p.debugAddr)
+		if err != nil {
+			opts.logf("lab: scraping %s metrics: %v", p.handle, err)
+			continue
+		}
+		scraped[p.handle] = m
+	}
+
 	// Graceful teardown: "quit" lets each sosd close its node and flush
 	// its telemetry exporter before the collector stops reading.
 	reports := make([]NodeReport, 0, len(procs))
@@ -180,18 +204,27 @@ func runProcess(spec *Spec, opts Options) (*Report, error) {
 		if p.running() {
 			stopChild(p, opts, 10*time.Second)
 		}
-		reports = append(reports, NodeReport{
+		nr := NodeReport{
 			Handle:   p.handle,
 			User:     p.user.String(),
 			Restarts: p.restarts,
-		})
+			Metrics:  scraped[p.handle],
+		}
+		if m := nr.Metrics; m != nil {
+			nr.TelemetrySent = uint64(m["sos_telemetry_sent_total"])
+			nr.TelemetryDropped = uint64(m["sos_telemetry_dropped_total"])
+			nr.TelemetryReconnects = uint64(m["sos_telemetry_reconnects_total"])
+		}
+		reports = append(reports, nr)
 	}
 	if err := srv.Close(10 * time.Second); err != nil {
 		opts.logf("lab: closing collector: %v", err)
 	}
 
-	return buildReport(spec, ModeProcess, startedAt, elapsed,
-		agg.Collector(), agg.Stats(), spec.Subscriptions(users), reports, executed, skipped), nil
+	report := buildReport(spec, ModeProcess, startedAt, elapsed,
+		agg.Collector(), agg.Stats(), spec.Subscriptions(users), reports, executed, skipped)
+	attachPaths(report, agg)
+	return report, nil
 }
 
 // startChild spawns one sosd process wired to the rest of the fleet.
@@ -213,6 +246,7 @@ func startChild(spec *Spec, opts Options, sosd, telemetryAddr string, p *childPr
 		"-beacon-interval", spec.BeaconInterval.D().String(),
 		"-loss-timeout", spec.LossTimeout.D().String(),
 		"-telemetry", telemetryAddr,
+		"-debug-addr", p.debugAddr,
 		"-store", spec.storeEngine(ModeProcess),
 		"-store-dir", p.storeDir,
 	}
@@ -302,5 +336,20 @@ func freeUDPPort() (int, error) {
 	}
 	port := conn.LocalAddr().(*net.UDPAddr).Port
 	conn.Close()
+	return port, nil
+}
+
+// freeTCPPort reserves an ephemeral loopback TCP port for a child's
+// debug server, same race caveat as freeUDPPort. Reserving up front
+// (instead of parsing the child's log for an ephemeral bind) keeps the
+// address stable across churn restarts, so the scraper needs no
+// re-discovery.
+func freeTCPPort() (int, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, fmt.Errorf("lab: reserving debug port: %w", err)
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	ln.Close()
 	return port, nil
 }

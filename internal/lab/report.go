@@ -26,6 +26,28 @@ type NodeReport struct {
 	TelemetrySent       uint64 `json:"telemetrySent,omitempty"`
 	TelemetryDropped    uint64 `json:"telemetryDropped,omitempty"`
 	TelemetryReconnects uint64 `json:"telemetryReconnects,omitempty"`
+	// Metrics is the node's final /metrics exposition flattened to
+	// series → value: snapshotted from the node's registry in-process,
+	// scraped over HTTP from child daemons in process mode.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// PathHop is one edge of a reconstructed dissemination path.
+type PathHop struct {
+	From string    `json:"from"`
+	To   string    `json:"to"`
+	At   time.Time `json:"at"`
+	Hops uint16    `json:"hops"`
+}
+
+// MessagePath is one delivered message's hop-by-hop relay chain, author
+// outward — the per-message timeline behind the paper's dissemination
+// maps (Fig. 4), reconstructed by the aggregator from delivery and
+// dissemination events.
+type MessagePath struct {
+	Ref  string    `json:"ref"`
+	Dest string    `json:"dest"`
+	Hops []PathHop `json:"hops"`
 }
 
 // DelayStats summarizes the delivery-delay distribution in seconds.
@@ -78,6 +100,9 @@ type Report struct {
 
 	Telemetry telemetry.AggregatorStats `json:"telemetry"`
 	Nodes     []NodeReport              `json:"nodes"`
+	// Paths holds one relay chain per delivery, when the run traced
+	// message paths (live modes).
+	Paths []MessagePath `json:"paths,omitempty"`
 
 	Spec *Spec `json:"spec"`
 
@@ -151,6 +176,56 @@ func buildReport(spec *Spec, mode string, startedAt time.Time, elapsed time.Dura
 	return r
 }
 
+// attachPaths reconstructs one relay chain per delivery from the
+// aggregator's receipt index and stores them on the report.
+func attachPaths(r *Report, agg *telemetry.Aggregator) {
+	for _, d := range r.col.Deliveries(metrics.AllHops) {
+		p, ok := agg.PathTo(d.Ref, d.To)
+		if !ok {
+			continue
+		}
+		mp := MessagePath{Ref: p.Ref.String(), Dest: p.Dest.String()}
+		for _, h := range p.Hops {
+			mp.Hops = append(mp.Hops, PathHop{
+				From: h.From.String(),
+				To:   h.To.String(),
+				At:   h.At,
+				Hops: h.Hops,
+			})
+		}
+		r.Paths = append(r.Paths, mp)
+	}
+}
+
+// ObservabilityViolations checks the invariants a healthy run upholds —
+// the e2e suites assert it returns nothing:
+//
+//   - no node's exporter dropped an event (the aggregate is complete)
+//   - the aggregator heard from every node in the fleet
+//   - every ingested event is accounted for by a type counter
+//
+// Each violation is one human-readable line.
+func (r *Report) ObservabilityViolations() []string {
+	var out []string
+	for _, n := range r.Nodes {
+		if n.TelemetryDropped > 0 {
+			out = append(out, fmt.Sprintf("node %s dropped %d telemetry events", n.Handle, n.TelemetryDropped))
+		}
+		if v, ok := n.Metrics["sos_telemetry_dropped_total"]; ok && v > 0 {
+			out = append(out, fmt.Sprintf("node %s reports %v dropped telemetry events in /metrics", n.Handle, v))
+		}
+	}
+	if r.Telemetry.Events > 0 && r.Telemetry.Nodes < r.NodeCount {
+		out = append(out, fmt.Sprintf("aggregator heard %d of %d nodes", r.Telemetry.Nodes, r.NodeCount))
+	}
+	accounted := r.Telemetry.Created + r.Telemetry.Disseminated + r.Telemetry.Delivered +
+		r.Telemetry.Evicted + r.Telemetry.Contacts + r.Telemetry.Duplicates
+	if accounted != r.Telemetry.Events {
+		out = append(out, fmt.Sprintf("aggregator type counters sum to %d, ingested %d", accounted, r.Telemetry.Events))
+	}
+	return out
+}
+
 // WriteJSON writes the report as indented JSON.
 func (r *Report) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
@@ -194,5 +269,21 @@ func (r *Report) Summary() string {
 	fmt.Fprintf(&b, "  evictions:       %d (%d workload)\n", r.Evictions, r.TrackedEvictions)
 	fmt.Fprintf(&b, "  telemetry:       %d events from %d nodes (%d retransmits discarded)\n",
 		r.Telemetry.Events, r.Telemetry.Nodes, r.Telemetry.Duplicates)
+	var dropped uint64
+	for _, n := range r.Nodes {
+		dropped += n.TelemetryDropped
+	}
+	if dropped > 0 {
+		fmt.Fprintf(&b, "  exporter drops:  %d events lost before aggregation\n", dropped)
+	}
+	if len(r.Paths) > 0 {
+		fmt.Fprintf(&b, "  paths:           %d delivery chains traced hop-by-hop\n", len(r.Paths))
+	}
+	if v := r.ObservabilityViolations(); len(v) > 0 {
+		fmt.Fprintf(&b, "  OBSERVABILITY VIOLATIONS:\n")
+		for _, line := range v {
+			fmt.Fprintf(&b, "    - %s\n", line)
+		}
+	}
 	return b.String()
 }

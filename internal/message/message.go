@@ -216,6 +216,24 @@ func (m *Manager) ActiveLinks() []id.UserID {
 	return out
 }
 
+// SyncState reports the size of the contact-sync plane: how many peers
+// have per-peer sync state cached, how many of those are currently
+// linked, and the total number of inbound summary entries held across
+// all peers — the memory the delta-sync protocol trades for avoiding
+// full summary exchanges.
+func (m *Manager) SyncState() (peers, links, summaryEntries int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	peers = len(m.peers)
+	for _, ps := range m.peers {
+		if ps.link != nil {
+			links++
+		}
+		summaryEntries += len(ps.summary)
+	}
+	return peers, links, summaryEntries
+}
+
 // Advertise publishes the current summary and scheme gossip as the
 // device's discovery beacon and pushes per-peer delta advertisements on
 // every active link. Core calls it at startup and after every change to

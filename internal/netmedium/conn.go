@@ -86,6 +86,7 @@ func (c *netConn) teardown(reason error) {
 		c.mu.Unlock()
 
 		c.sock.Close()
+		c.ep.m.stats.sessionsClosed.Add(1)
 		c.ep.dropConn(c)
 		c.ep.queue.Post(func() { c.ep.events.Disconnected(c, reason) })
 	})
@@ -106,6 +107,8 @@ func (c *netConn) readLoop() {
 			}
 			return
 		}
+		c.ep.m.stats.framesReceived.Add(1)
+		c.ep.m.stats.frameBytesReceived.Add(uint64(len(frame)))
 		c.ep.queue.Post(func() { c.ep.events.Received(c, frame) })
 	}
 }
@@ -130,5 +133,7 @@ func (c *netConn) writeLoop() {
 			c.teardown(mpc.ErrPeerGone)
 			return
 		}
+		c.ep.m.stats.framesSent.Add(1)
+		c.ep.m.stats.frameBytesSent.Add(uint64(len(frame)))
 	}
 }

@@ -118,6 +118,8 @@ type Medium struct {
 	endpoints map[mpc.PeerID]*Endpoint
 	blocked   map[mpc.PairKey]bool
 	targets   []*net.UDPAddr
+
+	stats mediumStats
 }
 
 var _ mpc.Medium = (*Medium)(nil)
@@ -410,6 +412,16 @@ func (ep *Endpoint) SetAdvertisement(ad []byte) {
 // Connect implements mpc.Endpoint: dial the fastest technology the peer
 // advertises and exchange names.
 func (ep *Endpoint) Connect(peer mpc.PeerID) (mpc.Conn, error) {
+	conn, err := ep.dialSession(peer)
+	if err != nil {
+		ep.m.stats.dialFailures.Add(1)
+		return nil, err
+	}
+	ep.m.stats.sessionsDialed.Add(1)
+	return conn, nil
+}
+
+func (ep *Endpoint) dialSession(peer mpc.PeerID) (mpc.Conn, error) {
 	if peer == ep.self {
 		return nil, mpc.ErrSelfConnect
 	}
@@ -571,7 +583,9 @@ func (ep *Endpoint) sendBeacon(goodbye bool) {
 	for _, dst := range ep.m.beaconDestinations(ep.self) {
 		if _, err := ep.udp.WriteToUDP(buf, dst); err != nil {
 			ep.m.logf("netmedium: %s: beacon to %s: %v", ep.self, dst, err)
+			continue
 		}
+		ep.m.stats.beaconsSent.Add(1)
 	}
 }
 
@@ -604,6 +618,7 @@ func (ep *Endpoint) recvLoop() {
 		if err != nil {
 			continue // stray traffic on the beacon port
 		}
+		ep.m.stats.beaconsReceived.Add(1)
 		ep.handleBeacon(b, src)
 	}
 }
@@ -774,6 +789,7 @@ func (ep *Endpoint) admit(tech mpc.Technology, sock net.Conn) {
 		sock.Close()
 		return
 	}
+	ep.m.stats.sessionsAccepted.Add(1)
 	conn.startPumps()
 }
 

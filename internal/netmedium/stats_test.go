@@ -1,0 +1,97 @@
+package netmedium
+
+import (
+	"bytes"
+	"testing"
+
+	"sos/internal/mpc"
+)
+
+// frameSink records received frames for the stats test.
+type frameSink struct {
+	collector
+	frames chan []byte
+}
+
+func (s *frameSink) Received(_ mpc.Conn, frame []byte) {
+	s.frames <- bytes.Clone(frame)
+}
+
+// TestMediumStats drives discovery, one dialed session, a frame exchange,
+// and teardown across a single Medium instance, then checks every
+// transport counter moved the way the traffic did.
+func TestMediumStats(t *testing.T) {
+	m, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := m.Stats(); s != (Stats{}) {
+		t.Fatalf("fresh medium has nonzero stats: %+v", s)
+	}
+
+	recA := newCollector()
+	recB := &frameSink{collector: *newCollector(), frames: make(chan []byte, 16)}
+	epA, err := m.Join("alice", recA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer epA.Close()
+	epB, err := m.Join("bob", recB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer epB.Close()
+
+	epA.SetAdvertisement([]byte("a"))
+	epB.SetAdvertisement([]byte("b"))
+	waitCond(t, "mutual discovery", func() bool {
+		return recA.adOf("bob") != nil && recB.adOf("alice") != nil
+	})
+	if s := m.Stats(); s.BeaconsSent == 0 || s.BeaconsReceived == 0 {
+		t.Errorf("no beacon counters after discovery: %+v", s)
+	}
+
+	conn, err := epA.Connect("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("counted-frame")
+	if err := conn.Send(payload); err != nil {
+		t.Fatal(err)
+	}
+	got := <-recB.frames
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("frame mismatch: %q", got)
+	}
+	waitCond(t, "frame counters to settle", func() bool {
+		s := m.Stats()
+		return s.FramesSent >= 1 && s.FramesReceived >= 1
+	})
+	s := m.Stats()
+	if s.SessionsDialed != 1 {
+		t.Errorf("sessionsDialed = %d, want 1", s.SessionsDialed)
+	}
+	if s.SessionsAccepted != 1 {
+		t.Errorf("sessionsAccepted = %d, want 1", s.SessionsAccepted)
+	}
+	if s.FrameBytesSent < uint64(len(payload)) || s.FrameBytesReceived < uint64(len(payload)) {
+		t.Errorf("frame byte counters below payload size: %+v", s)
+	}
+	if s.DialFailures != 0 {
+		t.Errorf("dialFailures = %d, want 0", s.DialFailures)
+	}
+
+	conn.Close()
+	waitCond(t, "session close to be counted", func() bool {
+		// Both sides tear down: the dialer by Close, the acceptor by EOF.
+		return m.Stats().SessionsClosed >= 2
+	})
+
+	// A dial to a peer nobody advertises fails and is counted.
+	if _, err := epA.Connect("nobody"); err == nil {
+		t.Fatal("Connect to unknown peer succeeded")
+	}
+	if got := m.Stats().DialFailures; got != 1 {
+		t.Errorf("dialFailures = %d, want 1", got)
+	}
+}

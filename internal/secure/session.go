@@ -131,6 +131,7 @@ func (s *Session) Seal(plaintext, aad []byte) ([]byte, error) {
 // the extended slice; with a pre-grown dst it performs no allocations.
 func (s *Session) AppendSeal(dst, plaintext, aad []byte) ([]byte, error) {
 	if s.closed {
+		stats.sealFailures.Add(1)
 		return dst, ErrSessionDone
 	}
 	seq := s.sendSeq
@@ -139,6 +140,7 @@ func (s *Session) AppendSeal(dst, plaintext, aad []byte) ([]byte, error) {
 	binary.BigEndian.PutUint64(s.sealNonce[gcmNonce-seqLen:], seq)
 	dst = binary.BigEndian.AppendUint64(dst, seq)
 	s.sealAAD = appendSeq(s.sealAAD[:0], aad, seq)
+	stats.seals.Add(1)
 	return s.send.Seal(dst, s.sealNonce[:], plaintext, s.sealAAD), nil
 }
 
@@ -164,13 +166,16 @@ func (s *Session) OpenShared(frame, aad []byte) ([]byte, error) {
 
 func (s *Session) open(frame, aad, dst []byte) ([]byte, error) {
 	if s.closed {
+		stats.openFailures.Add(1)
 		return nil, ErrSessionDone
 	}
 	if len(frame) < seqLen {
+		stats.openFailures.Add(1)
 		return nil, fmt.Errorf("%w: %d bytes", ErrFrameShort, len(frame))
 	}
 	seq := binary.BigEndian.Uint64(frame[:seqLen])
 	if seq != s.recvSeq {
+		stats.openFailures.Add(1)
 		return nil, fmt.Errorf("%w: got %d, want %d", ErrReplay, seq, s.recvSeq)
 	}
 
@@ -178,9 +183,11 @@ func (s *Session) open(frame, aad, dst []byte) ([]byte, error) {
 	s.openAAD = appendSeq(s.openAAD[:0], aad, seq)
 	plaintext, err := s.recv.Open(dst, s.openNonce[:], frame[seqLen:], s.openAAD)
 	if err != nil {
+		stats.openFailures.Add(1)
 		return nil, fmt.Errorf("secure: opening frame %d: %w", seq, err)
 	}
 	s.recvSeq++
+	stats.opens.Add(1)
 	return plaintext, nil
 }
 

@@ -1,0 +1,39 @@
+package secure
+
+import "sync/atomic"
+
+// Package-level AEAD counters. Sessions are plentiful and short-lived
+// (one per contact), so the counters aggregate process-wide rather than
+// per-session; the hot-path cost is one lock-free atomic add per frame.
+// In multi-node in-process harnesses the totals span every node hosted
+// by the process.
+var stats struct {
+	seals        atomic.Uint64
+	opens        atomic.Uint64
+	sealFailures atomic.Uint64
+	openFailures atomic.Uint64
+}
+
+// Stats is a snapshot of the process-wide seal/open counters.
+type Stats struct {
+	// Seals / Opens count frames successfully sealed / authenticated.
+	Seals uint64
+	Opens uint64
+	// SealFailures counts Seal calls on closed sessions; OpenFailures
+	// counts frames rejected for any reason — closed session, short
+	// frame, replayed or out-of-order sequence, or AEAD authentication
+	// failure. A rising OpenFailures on a live node means a peer (or an
+	// attacker) is feeding it frames it refuses to trust.
+	SealFailures uint64
+	OpenFailures uint64
+}
+
+// ReadStats snapshots the process-wide secure-channel counters.
+func ReadStats() Stats {
+	return Stats{
+		Seals:        stats.seals.Load(),
+		Opens:        stats.opens.Load(),
+		SealFailures: stats.sealFailures.Load(),
+		OpenFailures: stats.openFailures.Load(),
+	}
+}

@@ -1,0 +1,52 @@
+package secure
+
+import "testing"
+
+// TestReadStats checks the process-wide AEAD counters move with seal and
+// open outcomes. Counters are global, so the test asserts deltas.
+func TestReadStats(t *testing.T) {
+	sa, sb := newPair(t)
+	before := ReadStats()
+
+	frame, err := sa.Seal([]byte("counted"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sb.Open(frame, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Failure paths: replay, short frame, tampered frame, closed session.
+	if _, err := sb.Open(frame, nil); err == nil {
+		t.Fatal("replay accepted")
+	}
+	if _, err := sb.Open([]byte{1}, nil); err == nil {
+		t.Fatal("short frame accepted")
+	}
+	frame2, err := sa.Seal([]byte("tampered"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame2[len(frame2)-1] ^= 0xFF
+	if _, err := sb.Open(frame2, nil); err == nil {
+		t.Fatal("tampered frame accepted")
+	}
+	sa.Close()
+	if _, err := sa.Seal([]byte("late"), nil); err == nil {
+		t.Fatal("seal after close accepted")
+	}
+
+	after := ReadStats()
+	if d := after.Seals - before.Seals; d != 2 {
+		t.Errorf("seals delta = %d, want 2", d)
+	}
+	if d := after.Opens - before.Opens; d != 1 {
+		t.Errorf("opens delta = %d, want 1", d)
+	}
+	if d := after.SealFailures - before.SealFailures; d != 1 {
+		t.Errorf("seal failure delta = %d, want 1", d)
+	}
+	if d := after.OpenFailures - before.OpenFailures; d != 3 {
+		t.Errorf("open failure delta = %d, want 3", d)
+	}
+}

@@ -64,6 +64,11 @@ type Aggregator struct {
 	nodes    map[id.UserID]bool
 	stats    AggregatorStats
 	onEvent  func(Event)
+	// paths/pathsPrev hold the hop-by-hop receipt index behind PathTo;
+	// nil until TracePaths enables tracing. Same generational-rotation
+	// bounding as seen/seenPrev.
+	paths     map[msg.Ref]map[id.UserID]receipt
+	pathsPrev map[msg.Ref]map[id.UserID]receipt
 }
 
 // maxSeenEvents bounds each generation of the retransmit filter.
@@ -141,6 +146,7 @@ func (a *Aggregator) Record(ev Event) {
 		a.seen = make(map[eventKey]bool, maxSeenEvents/4)
 	}
 	a.seen[key] = true
+	a.traceLocked(ev)
 	switch ev.Type {
 	case EventCreated:
 		a.stats.Created++

@@ -131,6 +131,11 @@ func (e *Exporter) Stats() ExporterStats {
 	return e.stats
 }
 
+// QueueDepth reports the number of events buffered and not yet written
+// to the collector. A depth pinned at capacity means the export link is
+// slower than the event rate and drops are imminent.
+func (e *Exporter) QueueDepth() int { return len(e.ch) }
+
 // Close stops accepting events, flushes the queue, waits for the
 // collector to finish ingesting the stream (each phase bounded by
 // FlushTimeout), and closes the connection. On a clean return every

@@ -40,6 +40,7 @@ import (
 	"sos/internal/mpc"
 	"sos/internal/msg"
 	"sos/internal/netmedium"
+	"sos/internal/obs"
 	"sos/internal/pki"
 	"sos/internal/routing"
 	"sos/internal/store"
@@ -289,3 +290,27 @@ func NewUserID(handle string) UserID {
 func ParseUserID(s string) (UserID, error) {
 	return id.ParseUserID(s)
 }
+
+// Observability types: the per-node metrics registry and HTTP debug
+// surface (/metrics, /healthz, /debug/pprof) sosd serves in production.
+type (
+	// MetricsRegistry collects counters, gauges, and histograms and
+	// renders them in Prometheus text exposition format.
+	MetricsRegistry = obs.Registry
+	// DebugServer is the per-node HTTP debug surface.
+	DebugServer = obs.Server
+	// DebugServerConfig assembles a DebugServer.
+	DebugServerConfig = obs.ServerConfig
+	// NodeMetrics names the layer sources RegisterNodeMetrics bridges.
+	NodeMetrics = obs.NodeMetrics
+)
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewDebugServer binds and serves a node's debug surface.
+func NewDebugServer(cfg DebugServerConfig) (*DebugServer, error) { return obs.NewServer(cfg) }
+
+// RegisterNodeMetrics bridges a node's layer statistics into a registry
+// at scrape time; see the internal obs package for the metric catalog.
+func RegisterNodeMetrics(reg *MetricsRegistry, nm NodeMetrics) { obs.RegisterNodeMetrics(reg, nm) }
