@@ -13,12 +13,15 @@
 // table, so results are diffable and comparable across revisions.
 //
 // -sweep contact measures messages synced per contact-second between two
-// live nodes at 1k/10k/100k-author stores (see internal/lab.RunContact).
+// live nodes at 1k/10k/100k/1M-author stores (see internal/lab.RunContact).
 // With -baseline it compares the machine-independent metrics (allocs and
-// bytes per synced message) against the committed BENCH_baseline.json and
-// exits nonzero when any regresses by more than -gate (default 20%) —
-// the CI perf gate. Wall-clock throughput is reported but never gated:
-// it measures the runner, not the code.
+// bytes per synced message, split into summary- and payload-plane wire
+// bytes) against the committed BENCH_baseline.json and exits nonzero when
+// any regresses by more than -gate (default 20%) — the CI perf gate. The
+// gate also enforces the cost curve's flatness within the run itself: the
+// 100k-author tier must stay within 2× of the 1k tier on both allocs/msg
+// and msgs/contact-sec. Wall-clock throughput is otherwise reported but
+// never gated against the baseline: it measures the runner, not the code.
 //
 // -sweep simcontact measures the simulator's per-tick contact detection
 // (the spatial grid index) at 100/1k/5k-node fleets. Its gated metrics
@@ -114,6 +117,7 @@ var contactConfigs = []lab.ContactConfig{
 	{Authors: 1_000, Posts: 200},
 	{Authors: 10_000, Posts: 200},
 	{Authors: 100_000, Posts: 100},
+	{Authors: 1_000_000, Posts: 50},
 }
 
 // runContact measures the contact sweep and optionally gates it against
@@ -121,7 +125,8 @@ var contactConfigs = []lab.ContactConfig{
 func runContact(jsonMode bool, baselinePath string, gate float64) error {
 	if !jsonMode {
 		fmt.Printf("sweep=contact gate=%.0f%% baseline=%s\n\n", 100*gate, baselinePath)
-		fmt.Printf("%-16s %14s %14s %14s\n", "variant", "msgs/sec", "allocs/msg", "B/msg")
+		fmt.Printf("%-16s %14s %14s %14s %14s %14s\n",
+			"variant", "msgs/sec", "allocs/msg", "B/msg", "sumB/msg", "payB/msg")
 	}
 	results := make([]lab.ContactResult, 0, len(contactConfigs))
 	for _, cfg := range contactConfigs {
@@ -131,8 +136,9 @@ func runContact(jsonMode bool, baselinePath string, gate float64) error {
 		}
 		results = append(results, res)
 		if !jsonMode {
-			fmt.Printf("%-16s %14.1f %14.1f %14.1f\n",
-				fmt.Sprintf("authors=%d", res.Authors), res.MsgsPerSec, res.AllocsPerMsg, res.BytesPerMsg)
+			fmt.Printf("%-16s %14.1f %14.1f %14.1f %14.1f %14.1f\n",
+				fmt.Sprintf("authors=%d", res.Authors), res.MsgsPerSec, res.AllocsPerMsg,
+				res.BytesPerMsg, res.SummaryBytesPerMsg, res.PayloadBytesPerMsg)
 		}
 	}
 	if jsonMode {
@@ -211,6 +217,31 @@ func gateContact(path string, base []lab.ContactResult, gate float64, results []
 		}
 		check("allocs/msg", res.AllocsPerMsg, b.AllocsPerMsg)
 		check("bytes/msg", res.BytesPerMsg, b.BytesPerMsg)
+		// The wire-byte planes gate independently: a baseline predating
+		// the split has them at zero and check() skips them.
+		check("summary-bytes/msg", res.SummaryBytesPerMsg, b.SummaryBytesPerMsg)
+		check("payload-bytes/msg", res.PayloadBytesPerMsg, b.PayloadBytesPerMsg)
+	}
+	// Flatness of the cost curve, gated within the run itself so it holds
+	// on any machine: growing the store 100× (1k → 100k authors) must not
+	// double the per-message sync cost or halve the contact throughput.
+	byAuthorsRes := make(map[int]lab.ContactResult, len(results))
+	for _, r := range results {
+		byAuthorsRes[r.Authors] = r
+	}
+	if small, ok := byAuthorsRes[1_000]; ok {
+		if big, ok := byAuthorsRes[100_000]; ok {
+			if small.AllocsPerMsg > 0 && big.AllocsPerMsg > 2*small.AllocsPerMsg {
+				failures = append(failures, fmt.Sprintf(
+					"flatness: allocs/msg grew %.1fx from 1k to 100k authors (%.1f → %.1f), allowed 2x",
+					big.AllocsPerMsg/small.AllocsPerMsg, small.AllocsPerMsg, big.AllocsPerMsg))
+			}
+			if small.MsgsPerSec > 0 && big.MsgsPerSec < small.MsgsPerSec/2 {
+				failures = append(failures, fmt.Sprintf(
+					"flatness: msgs/contact-sec fell %.1fx from 1k to 100k authors (%.1f → %.1f), allowed 2x",
+					small.MsgsPerSec/big.MsgsPerSec, small.MsgsPerSec, big.MsgsPerSec))
+			}
+		}
 	}
 	if len(failures) > 0 {
 		for _, f := range failures {

@@ -171,12 +171,16 @@ func (m *Manager) Stats() Stats {
 }
 
 // Advertise publishes the advertisement as this device's plain-text
-// discovery beacon (paper §V-A). Beacons must be full advertisements
-// (BaseGen zero): the medium replays the current beacon to newly arrived
-// peers, which have no base to apply a delta against.
+// discovery beacon (paper §V-A). Beacons must be full, single-frame
+// advertisements (BaseGen zero, not chunked): the medium replays the
+// current beacon to newly arrived peers, which have no base to apply a
+// delta against and no session to collect a chunk stream over.
 func (m *Manager) Advertise(ad *wire.Advertisement) error {
 	if ad.IsDelta() {
 		return fmt.Errorf("adhoc: refusing delta advertisement as discovery beacon")
+	}
+	if ad.IsChunked() {
+		return fmt.Errorf("adhoc: refusing chunked advertisement as discovery beacon")
 	}
 	buf, err := wire.Encode(ad)
 	if err != nil {

@@ -11,9 +11,15 @@
 // live medium, preloads both stores with the same N-author history (so
 // the initial exchange settles with nothing to transfer), then posts
 // fresh messages on one side and measures the full sync round trip —
-// advertise → request → verify → store → ack — to the other. Allocations
-// and bytes are read from runtime.MemStats across both nodes, which makes
-// them machine-independent enough to gate in CI; wall-clock throughput is
+// advertise → request → verify → store → ack — to the other. One priming
+// post establishes the contact, and the harness waits for the
+// first-contact summary exchange (a chunked stream at large stores) to
+// settle on both sides before the measured loop starts: what is measured
+// is the steady-state delta path, which is what must stay flat as the
+// dictionary grows — first-contact streaming cost has its own e2e test
+// in internal/message. Allocations and bytes are read from
+// runtime.MemStats across both nodes, which makes them
+// machine-independent enough to gate in CI; wall-clock throughput is
 // reported for humans and trend lines.
 
 package lab
@@ -54,6 +60,14 @@ type ContactResult struct {
 	MsgsPerSec   float64 `json:"msgsPerSec"`
 	AllocsPerMsg float64 `json:"allocsPerMsg"`
 	BytesPerMsg  float64 `json:"bytesPerMsg"`
+	// SummaryBytesPerMsg and PayloadBytesPerMsg split the wire bytes both
+	// nodes sent in-session per synced message into the sync plane
+	// (advertisements, summary pulls) and the data plane (requests,
+	// batches, acks). Flat summary bytes across author tiers is the direct
+	// evidence the delta/chunk machinery works; payload bytes track the
+	// messages themselves and stay constant by construction.
+	SummaryBytesPerMsg float64 `json:"summaryBytesPerMsg"`
+	PayloadBytesPerMsg float64 `json:"payloadBytesPerMsg"`
 }
 
 // RunContact measures one contact configuration.
@@ -103,7 +117,7 @@ func RunContact(cfg ContactConfig) (ContactResult, error) {
 		}
 	}
 
-	delivered := make(chan msg.Ref, cfg.Posts)
+	delivered := make(chan msg.Ref, cfg.Posts+1)
 	alice, err := core.New(core.Config{Creds: aliceCreds, Medium: medium, Store: aliceStore})
 	if err != nil {
 		return res, err
@@ -123,9 +137,43 @@ func RunContact(cfg ContactConfig) (ContactResult, error) {
 	defer bob.Close()
 
 	payload := make([]byte, 200)
+
+	// Prime the contact: identical stores offer each other nothing, so no
+	// link exists until the first post changes the beacon. Post once, wait
+	// for delivery, then wait until both inbound views cover the peer's
+	// whole dictionary — at large stores that is a chunked full-summary
+	// stream still arriving after the first delivery.
+	if _, err := alice.Post(payload); err != nil {
+		return res, err
+	}
+	select {
+	case <-delivered:
+	case <-time.After(60 * time.Second):
+		return res, fmt.Errorf("lab: priming post never delivered")
+	}
+	settleBy := time.Now().Add(120 * time.Second)
+	for {
+		_, _, aliceView := alice.SyncState()
+		_, _, bobView := bob.SyncState()
+		if aliceView >= cfg.Authors && bobView >= cfg.Authors {
+			break
+		}
+		if time.Now().After(settleBy) {
+			return res, fmt.Errorf("lab: initial summary exchange did not settle (views %d/%d of %d)",
+				aliceView, bobView, cfg.Authors)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	wireBytes := func() (summary, data uint64) {
+		am, bm := alice.Stats().Message, bob.Stats().Message
+		return am.SummaryBytesSent + bm.SummaryBytesSent,
+			am.PayloadBytesSent + bm.PayloadBytesSent
+	}
 	runtime.GC()
 	var before runtime.MemStats
 	runtime.ReadMemStats(&before)
+	sumBefore, payBefore := wireBytes()
 	start := time.Now()
 
 	for i := 0; i < cfg.Posts; i++ {
@@ -147,5 +195,8 @@ func RunContact(cfg ContactConfig) (ContactResult, error) {
 	res.MsgsPerSec = float64(cfg.Posts) / elapsed.Seconds()
 	res.AllocsPerMsg = float64(after.Mallocs-before.Mallocs) / float64(cfg.Posts)
 	res.BytesPerMsg = float64(after.TotalAlloc-before.TotalAlloc) / float64(cfg.Posts)
+	sumAfter, payAfter := wireBytes()
+	res.SummaryBytesPerMsg = float64(sumAfter-sumBefore) / float64(cfg.Posts)
+	res.PayloadBytesPerMsg = float64(payAfter-payBefore) / float64(cfg.Posts)
 	return res, nil
 }

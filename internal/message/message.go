@@ -34,6 +34,14 @@
 // apply a delta (generation gap) sends SummaryPull and gets a full
 // summary; a sender whose bounded change log no longer covers the
 // requested base falls back to a full summary on its own.
+//
+// Full summaries larger than SummaryChunkEntries stream as a sequence of
+// bounded Advertisement chunks: the first chunk is sent inline (so it
+// always precedes any delta for the same link on the in-order session)
+// and the rest from a per-link goroutine, interleaving with Batch frames
+// — the receiver plans requests after every chunk instead of waiting for
+// the whole dictionary. Continuation chunks apply raise-only, so chunks,
+// deltas, and stragglers from a cancelled stream commute safely.
 package message
 
 import (
@@ -69,6 +77,16 @@ const MaxBeaconSummary = 1024
 // active link are evicted first; a peer evicted this way is simply
 // re-synced from a full summary at the next encounter.
 const maxPeerSync = 512
+
+// SummaryChunkEntries is the slice size of a chunked full-summary stream.
+// Stores whose dictionary exceeds this many entries send first-contact
+// full summaries as a sequence of bounded Advertisement chunks instead of
+// one monolithic frame: the first chunk goes out inline (ahead of any
+// delta for the same link), the rest stream from a goroutine so Batch
+// data frames interleave with them — a fresh peer starts pulling after
+// the first chunk, not after the whole dictionary. 4096 18-byte entries
+// ≈ 72 KiB per frame.
+const SummaryChunkEntries = 4096
 
 // Config assembles a message manager.
 type Config struct {
@@ -110,6 +128,19 @@ type Stats struct {
 	AdsDeltaSent       uint64
 	SummaryPullsSent   uint64
 	SummaryPullsServed uint64
+	// SummaryChunksSent counts the frames of chunked full-summary
+	// streams (a single-frame full advertisement counts zero).
+	SummaryChunksSent uint64
+	// PlanEntriesScanned counts summary entries walked by request
+	// planning. Flat per-contact growth of this counter as stores scale
+	// is the observable win of incremental (per-delta) planning.
+	PlanEntriesScanned uint64
+	// SummaryBytesSent and PayloadBytesSent split outbound in-session
+	// wire bytes into the sync plane (advertisements, summary pulls) and
+	// the data plane (requests, batches, acks), so summary overhead is
+	// measurable on its own.
+	SummaryBytesSent uint64
+	PayloadBytesSent uint64
 }
 
 // peerSync is everything the manager knows about one peer device: the
@@ -142,7 +173,11 @@ type Manager struct {
 	// received, so concurrent links to several peers holding the same
 	// message do not trigger duplicate transfers.
 	inflight map[msg.Ref]mpc.PeerID
-	stats    Stats
+	// streams tracks the cancel channel of each link's in-flight chunked
+	// summary stream; starting a new stream or losing the link cancels
+	// the old one.
+	streams map[*adhoc.Link]chan struct{}
+	stats   Stats
 
 	// advMu serializes the advertisement plane — beacon refresh plus the
 	// per-link summary pushes — so per-peer delta bases advance in the
@@ -184,6 +219,7 @@ func New(cfg Config) (*Manager, error) {
 		peers:    make(map[mpc.PeerID]*peerSync),
 		unacked:  make(map[mpc.PeerID]map[msg.Ref]bool),
 		inflight: make(map[msg.Ref]mpc.PeerID),
+		streams:  make(map[*adhoc.Link]chan struct{}),
 	}, nil
 }
 
@@ -375,6 +411,14 @@ func (m *Manager) pushSummaries(gen uint64, data []byte, schemeChanged bool) {
 		}, links)
 	}
 	if len(fullLinks) > 0 {
+		if m.cfg.Store.SummarySize() > SummaryChunkEntries {
+			// Too big for one frame: stream per link (streams are
+			// per-link state, so no shared encoding to fan out).
+			for _, link := range fullLinks {
+				m.streamFullTo(link, gen, peerName, data)
+			}
+			return
+		}
 		m.fanOut(&wire.Advertisement{
 			Peer: peerName, Gen: gen, Summary: m.cfg.Store.Summary(), SchemeData: data,
 		}, fullLinks)
@@ -397,7 +441,32 @@ func (m *Manager) fanOut(ad *wire.Advertisement, links []*adhoc.Link) {
 	} else {
 		m.stats.AdsFullSent += uint64(len(links))
 	}
+	m.stats.SummaryBytesSent += uint64(len(enc)) * uint64(len(links))
 	m.mu.Unlock()
+}
+
+// sendCounted encodes one frame through a pooled buffer, sends it on the
+// link, and bills the wire bytes to the summary plane (advertisements,
+// summary pulls) or the payload plane (requests, batches, acks).
+func (m *Manager) sendCounted(link *adhoc.Link, f wire.Frame, payload bool) error {
+	buf := wire.GetBuffer()
+	defer buf.Free()
+	enc, err := wire.AppendEncode(buf.B[:0], f)
+	if err != nil {
+		return err
+	}
+	buf.B = enc
+	if err := link.SendEncoded(enc); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	if payload {
+		m.stats.PayloadBytesSent += uint64(len(enc))
+	} else {
+		m.stats.SummaryBytesSent += uint64(len(enc))
+	}
+	m.mu.Unlock()
+	return nil
 }
 
 // PeerDiscovered implements adhoc.Handler. A beacon from an unlinked peer
@@ -510,9 +579,13 @@ func (m *Manager) sendAdTo(link *adhoc.Link, forceFull bool) {
 		}
 	}
 	if base == 0 {
+		if m.cfg.Store.SummarySize() > SummaryChunkEntries {
+			m.streamFullTo(link, gen, peerName, data)
+			return
+		}
 		ad.Summary = m.cfg.Store.Summary()
 	}
-	if err := link.SendFrame(ad); err != nil {
+	if err := m.sendCounted(link, ad, false); err != nil {
 		return // link failures surface via LinkDown
 	}
 	m.mu.Lock()
@@ -522,6 +595,100 @@ func (m *Manager) sendAdTo(link *adhoc.Link, forceFull bool) {
 		m.stats.AdsFullSent++
 	}
 	m.mu.Unlock()
+}
+
+// summaryChunker drains the store's summary stripes into fixed-size
+// chunks. Each call to next copies at most SummaryChunkEntries entries;
+// the carry buffer stays bounded by one chunk plus one stripe, so a
+// million-author stream never materializes the dictionary in one
+// allocation. Stripe snapshots are shared copy-on-write maps, safe to
+// iterate while the store keeps taking Puts.
+type summaryChunker struct {
+	store  store.Engine
+	stripe int
+	buf    []padEntry
+}
+
+// next returns the next chunk and whether more chunks follow. After the
+// fill loop either the buffer holds a full chunk or every stripe has been
+// drained, so the final chunk is exactly the remainder.
+func (c *summaryChunker) next() (map[id.UserID]uint64, bool) {
+	for len(c.buf) < SummaryChunkEntries && c.stripe < c.store.SummaryStripes() {
+		for author, seq := range c.store.SummaryStripe(c.stripe) {
+			c.buf = append(c.buf, padEntry{author: author, seq: seq})
+		}
+		c.stripe++
+	}
+	n := min(len(c.buf), SummaryChunkEntries)
+	out := make(map[id.UserID]uint64, n)
+	for _, e := range c.buf[:n] {
+		out[e.author] = e.seq
+	}
+	c.buf = c.buf[:copy(c.buf, c.buf[n:])]
+	return out, len(c.buf) > 0 || c.stripe < c.store.SummaryStripes()
+}
+
+// streamFullTo sends a full summary to one link as a chunked stream. The
+// first chunk (with the scheme gossip) goes out inline — callers hold
+// advMu, so no delta for this link can jump ahead of it on the in-order
+// session — and the continuation chunks stream from a goroutine, so the
+// adhoc callback plane never blocks on a multi-megabyte dictionary and
+// Batch frames answering the peer's early requests interleave with the
+// remaining chunks. Starting a stream cancels any previous stream on the
+// same link; the receiver applies continuation chunks raise-only, so a
+// straggler frame from a cancelled stream can never lower an entry.
+func (m *Manager) streamFullTo(link *adhoc.Link, gen uint64, peerName string, data []byte) {
+	ch := &summaryChunker{store: m.cfg.Store}
+	first, more := ch.next()
+	ad := &wire.Advertisement{Peer: peerName, Gen: gen, More: more, Summary: first, SchemeData: data}
+	if err := m.sendCounted(link, ad, false); err != nil {
+		return // link failures surface via LinkDown
+	}
+	m.mu.Lock()
+	m.stats.AdsFullSent++
+	m.stats.SummaryChunksSent++
+	var cancel chan struct{}
+	if more {
+		cancel = make(chan struct{})
+		if old := m.streams[link]; old != nil {
+			close(old)
+		}
+		m.streams[link] = cancel
+	}
+	m.mu.Unlock()
+	if more {
+		go m.streamChunks(link, gen, peerName, ch, cancel)
+	}
+}
+
+// streamChunks emits a stream's continuation chunks outside the
+// advertisement lock, stopping on cancellation or link failure.
+func (m *Manager) streamChunks(link *adhoc.Link, gen uint64, peerName string, ch *summaryChunker, cancel chan struct{}) {
+	defer func() {
+		m.mu.Lock()
+		if m.streams[link] == cancel {
+			delete(m.streams, link)
+		}
+		m.mu.Unlock()
+	}()
+	for chunk := uint32(1); ; chunk++ {
+		select {
+		case <-cancel:
+			return
+		default:
+		}
+		entries, more := ch.next()
+		ad := &wire.Advertisement{Peer: peerName, Gen: gen, Chunk: chunk, More: more, Summary: entries}
+		if err := m.sendCounted(link, ad, false); err != nil {
+			return
+		}
+		m.mu.Lock()
+		m.stats.SummaryChunksSent++
+		m.mu.Unlock()
+		if !more {
+			return
+		}
+	}
 }
 
 // evictSyncLocked keeps the sync-state table bounded by dropping entries
@@ -570,6 +737,11 @@ func (m *Manager) LinkDown(link *adhoc.Link, _ error) {
 	if ps := m.peers[link.Peer()]; ps != nil && ps.link == link {
 		ps.link = nil
 	}
+	if cancel := m.streams[link]; cancel != nil {
+		// Stop a chunked summary stream still in flight on this link.
+		close(cancel)
+		delete(m.streams, link)
+	}
 	if pending := m.unacked[link.Peer()]; len(pending) > 0 {
 		m.stats.TransfersAborted += uint64(len(pending))
 	}
@@ -611,13 +783,30 @@ func (m *Manager) onSummary(link *adhoc.Link, ad *wire.Advertisement) {
 		return
 	}
 	switch {
-	case !ad.IsDelta():
-		// Full summary: replace the cached view. Decode allocated the map
-		// fresh, so taking ownership is safe.
+	case !ad.IsDelta() && ad.Chunk == 0:
+		// Full summary — a single-frame advertisement or the first chunk
+		// of a stream: replace the cached view and start planning
+		// immediately, without waiting for the rest of the stream.
+		// Decode allocated the map fresh, so taking ownership is safe.
 		ps.summary = ad.Summary
 		ps.recvGen, ps.recvValid = ad.Gen, true
 		m.mu.Unlock()
-		m.pull()
+		m.pullView(link, ad.Summary)
+	case !ad.IsDelta():
+		// Continuation chunk. Apply raise-only: a delta pushed between
+		// chunks may already have lifted an author past the stream's
+		// snapshot, and a straggler from a cancelled stream must never
+		// lower the view.
+		if ps.summary == nil {
+			ps.summary = make(map[id.UserID]uint64, len(ad.Summary))
+		}
+		for author, seq := range ad.Summary {
+			if seq > ps.summary[author] {
+				ps.summary[author] = seq
+			}
+		}
+		m.mu.Unlock()
+		m.pullView(link, ad.Summary)
 	case ps.recvValid && ad.BaseGen == ps.recvGen:
 		if ps.summary == nil {
 			ps.summary = make(map[id.UserID]uint64, len(ad.Summary))
@@ -639,7 +828,7 @@ func (m *Manager) onSummary(link *adhoc.Link, ad *wire.Advertisement) {
 		ps.summary = nil
 		m.stats.SummaryPullsSent++
 		m.mu.Unlock()
-		_ = link.SendFrame(&wire.SummaryPull{})
+		_ = m.sendCounted(link, &wire.SummaryPull{}, false)
 	}
 }
 
@@ -731,6 +920,7 @@ func (m *Manager) planLocked(views map[*peerSync]map[id.UserID]uint64) []outgoin
 	}
 	for _, peer := range peers {
 		ps := m.peers[peer]
+		m.stats.PlanEntriesScanned += uint64(len(views[ps]))
 		for _, want := range scheme.Wants(views[ps]) {
 			for _, seq := range want.Seqs {
 				ref := msg.Ref{Author: want.Author, Seq: seq}
@@ -797,7 +987,7 @@ func (m *Manager) onRequest(link *adhoc.Link, req *wire.Request) {
 	for start := 0; start < len(outgoing); start += wire.MaxBatchMessages {
 		end := min(start+wire.MaxBatchMessages, len(outgoing))
 		batch := &wire.Batch{Msgs: outgoing[start:end]}
-		if err := link.SendFrame(batch); err != nil {
+		if err := m.sendCounted(link, batch, true); err != nil {
 			return // link died; LinkDown will account for it
 		}
 		m.mu.Lock()
@@ -861,7 +1051,7 @@ func (m *Manager) onBatch(link *adhoc.Link, batch *wire.Batch) {
 	if len(accepted) > 0 {
 		for start := 0; start < len(accepted); start += wire.MaxBatchMessages {
 			end := min(start+wire.MaxBatchMessages, len(accepted))
-			_ = link.SendFrame(&wire.Ack{Refs: accepted[start:end]})
+			_ = m.sendCounted(link, &wire.Ack{Refs: accepted[start:end]}, true)
 		}
 	}
 	if newMessages {
@@ -887,7 +1077,7 @@ func (m *Manager) onAck(link *adhoc.Link, ack *wire.Ack) {
 func (m *Manager) sendRequest(link *adhoc.Link, wants []wire.Want) {
 	for start := 0; start < len(wants); start += wire.MaxWants {
 		end := min(start+wire.MaxWants, len(wants))
-		if err := link.SendFrame(&wire.Request{Wants: wants[start:end]}); err != nil {
+		if err := m.sendCounted(link, &wire.Request{Wants: wants[start:end]}, true); err != nil {
 			return
 		}
 		m.mu.Lock()

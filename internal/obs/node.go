@@ -75,6 +75,10 @@ func RegisterNodeMetrics(reg *Registry, nm NodeMetrics) {
 			func() uint64 { return mw.Stats().Message.SummaryPullsSent })
 		reg.CounterFunc("sos_sync_summary_pulls_served_total", "SummaryPull frames served to peers.", nil,
 			func() uint64 { return mw.Stats().Message.SummaryPullsServed })
+		reg.CounterFunc("sos_sync_summary_chunks_sent_total", "Frames of chunked full-summary streams sent.", nil,
+			func() uint64 { return mw.Stats().Message.SummaryChunksSent })
+		reg.CounterFunc("sos_sync_plan_entries_scanned_total", "Summary entries walked by request planning.", nil,
+			func() uint64 { return mw.Stats().Message.PlanEntriesScanned })
 		reg.GaugeFunc("sos_sync_peers", "Peers with cached sync state.", nil,
 			func() float64 { p, _, _ := mw.SyncState(); return float64(p) })
 		reg.GaugeFunc("sos_sync_links", "Peers currently linked.", nil,
@@ -99,6 +103,8 @@ func RegisterNodeMetrics(reg *Registry, nm NodeMetrics) {
 			func() float64 { return float64(mw.Stats().Store.Bytes) })
 		reg.GaugeFunc("sos_store_summary_generation", "Current summary generation.", nil,
 			func() float64 { return float64(mw.Stats().Store.Generation) })
+		reg.CounterFunc("sos_store_summary_stripe_lock_wait_total", "Contended acquisitions of a summary-stripe lock.", nil,
+			func() uint64 { return mw.Stats().Store.StripeLockWaits })
 
 		// Secure-link (ad hoc) layer.
 		reg.CounterFunc("sos_adhoc_handshakes_total", "Link handshake outcomes.", Labels{"result": "ok"},

@@ -18,8 +18,8 @@ import (
 // Engine is a node's message database plus subscription registry. All
 // implementations are safe for concurrent use. Messages handed in are
 // cloned on insert and handed out as clones, so callers can never mutate
-// stored state; the one exception is Summary, which returns a shared
-// read-only snapshot (see its doc comment).
+// stored state; the one exception is SummaryStripe, which returns a
+// shared read-only snapshot (see its doc comment).
 type Engine interface {
 	// Owner returns the user this database belongs to.
 	Owner() id.UserID
@@ -46,14 +46,25 @@ type Engine interface {
 	// summary advertises, not a guarantee of possession.
 	MaxSeq(author id.UserID) uint64
 	// Summary returns the advertisement dictionary (author → latest seen
-	// MessageNumber, paper §V-A). The returned map is a shared immutable
-	// snapshot maintained incrementally — O(1) per Put, copy-on-write
-	// when the snapshot has been handed out — so beaconing it is cheap;
-	// callers must not modify it. Note the copy-on-write cost lands on
-	// the next mutation: callers that only need the dictionary's size
-	// must use SummarySize instead of taking a snapshot.
+	// MessageNumber, paper §V-A) as a fresh map owned by the caller,
+	// merged from the engine's stripes. It never arms copy-on-write, so
+	// it is safe to call on any store size without taxing later Puts —
+	// but it is an O(authors) merge; hot paths that can work per-stripe
+	// should use SummaryStripe, and callers that only need the
+	// dictionary's size must use SummarySize.
 	Summary() map[id.UserID]uint64
-	// SummarySize returns len(Summary()) without snapshotting it.
+	// SummaryStripes returns the number of buckets the summary is
+	// sharded into by author-ID prefix. The stripe of an author is
+	// stable for the engine's lifetime, and every author appears in
+	// exactly one stripe.
+	SummaryStripes() int
+	// SummaryStripe returns bucket i of the summary as a shared
+	// immutable snapshot — copy-on-write lands on that stripe's next
+	// change only, so a hand-out costs at most one stripe clone, not a
+	// whole-dictionary clone. Callers must treat the map as read-only;
+	// it may be nil for an empty stripe.
+	SummaryStripe(i int) map[id.UserID]uint64
+	// SummarySize returns len(Summary()) without building it.
 	SummarySize() int
 	// Generation returns a counter that increments whenever the summary
 	// changes. The ad hoc layer re-advertises only when it moves.
@@ -165,6 +176,14 @@ type Stats struct {
 	Bytes    int
 	// Generation is the current summary generation.
 	Generation uint64
+	// SummaryClones counts copy-on-write stripe clones forced by
+	// outstanding SummaryStripe snapshots. Flat-lining this at scale is
+	// the point of the striped index.
+	SummaryClones uint64
+	// StripeLockWaits counts summary-stripe lock acquisitions that found
+	// the lock already held — contention between links syncing
+	// overlapping author ranges.
+	StripeLockWaits uint64
 }
 
 // Options tunes an engine. The zero value is an unbounded buffer with the

@@ -52,17 +52,10 @@ type Store struct {
 	order  *list.List
 	ownSeq uint64
 
-	// gen counts summary changes; summary is the incrementally
-	// maintained advertisement dictionary, cloned copy-on-write once it
-	// has been handed out so outstanding snapshots stay immutable.
-	gen        uint64
-	summary    map[id.UserID]uint64
-	summaryOut bool
-	// changes is the bounded log behind Changes: changes[i] records the
-	// summary update that produced generation changeFloor+i+1, so deltas
-	// since any generation ≥ changeFloor can be answered exactly.
-	changeFloor uint64
-	changes     []changeRec
+	// sum is the striped advertisement dictionary plus its per-stripe
+	// bounded change logs (see stripes.go). Bumps are serialized by mu;
+	// reads take only the stripe locks they touch.
+	sum summaryIndex
 
 	bytes int
 	stats Stats
@@ -106,7 +99,6 @@ func NewMemory(owner id.UserID, opts Options) *Store {
 		dropped:     make(map[id.UserID]map[uint64]bool),
 		subs:        make(map[id.UserID]bool),
 		order:       list.New(),
-		summary:     make(map[id.UserID]uint64),
 	}
 	if opts.OnEvict != nil {
 		s.hooks = append(s.hooks, opts.OnEvict)
@@ -158,7 +150,7 @@ func (s *Store) Put(m *msg.Message) (bool, error) {
 	s.stats.Puts++
 	if ref.Seq > s.maxSeq[ref.Author] {
 		s.maxSeq[ref.Author] = ref.Seq
-		s.bumpSummaryLocked(ref.Author, ref.Seq)
+		s.sum.bump(ref.Author, ref.Seq)
 	}
 	if ref.Author == s.owner && ref.Seq > s.ownSeq {
 		s.ownSeq = ref.Seq
@@ -169,59 +161,11 @@ func (s *Store) Put(m *msg.Message) (bool, error) {
 	return true, nil
 }
 
-// changeRec is one summary update in the bounded change log.
-type changeRec struct {
-	author id.UserID
-	seq    uint64
-}
-
-// maxChangeLog bounds the change log: when it doubles the cap, the oldest
-// half is forgotten and Changes for generations older than the remainder
-// answers ok=false (full-summary fallback). 8192 records ≈ 300 KiB at the
-// doubled high-water mark.
-const maxChangeLog = 8192
-
-// bumpSummaryLocked applies one incremental summary update: clone the
-// snapshot first if it has been handed out (copy-on-write), then the O(1)
-// entry update, generation bump, and change-log append.
-func (s *Store) bumpSummaryLocked(author id.UserID, seq uint64) {
-	if s.summaryOut {
-		cp := make(map[id.UserID]uint64, len(s.summary)+1)
-		for a, v := range s.summary {
-			cp[a] = v
-		}
-		s.summary = cp
-		s.summaryOut = false
-	}
-	s.summary[author] = seq
-	s.gen++
-	s.changes = append(s.changes, changeRec{author: author, seq: seq})
-	if len(s.changes) >= 2*maxChangeLog {
-		// Copy the tail into a fresh slice so the forgotten half's backing
-		// memory is actually released.
-		tail := make([]changeRec, maxChangeLog)
-		copy(tail, s.changes[len(s.changes)-maxChangeLog:])
-		s.changes = tail
-		s.changeFloor = s.gen - maxChangeLog
-	}
-}
-
 // Changes returns the summary entries that changed in (sinceGen, gen];
-// see Engine.Changes.
+// see Engine.Changes. The per-stripe logs are consulted without taking
+// the store's own lock.
 func (s *Store) Changes(sinceGen uint64) (map[id.UserID]uint64, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if sinceGen > s.gen || sinceGen < s.changeFloor {
-		return nil, false
-	}
-	recs := s.changes[sinceGen-s.changeFloor:]
-	out := make(map[id.UserID]uint64, min(len(recs), 64))
-	// Per-author sequence numbers are monotone (bumpSummaryLocked fires
-	// only on a new high-water mark), so later records simply overwrite.
-	for _, rec := range recs {
-		out[rec.author] = rec.seq
-	}
-	return out, true
+	return s.sum.changes(sinceGen)
 }
 
 // enforceQuotaLocked drops policy-selected victims until the buffer fits
@@ -415,29 +359,32 @@ func (s *Store) MaxSeq(author id.UserID) uint64 {
 
 // Summary returns the plain-text advertisement dictionary: for every
 // author ever seen, the latest MessageNumber — exactly the key/value
-// dictionary the paper's §V-A beacons carry. The map is a shared
-// immutable snapshot (copy-on-write on the next change); callers must
-// treat it as read-only.
+// dictionary the paper's §V-A beacons carry. The map is a fresh merge of
+// the stripes, owned by the caller; handing it out never arms
+// copy-on-write, so later Puts stay clone-free.
 func (s *Store) Summary() map[id.UserID]uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.summaryOut = true
-	return s.summary
+	return s.sum.summary()
 }
 
-// SummarySize returns the summary entry count without handing out (and
-// so without copy-on-write-arming) the snapshot.
+// SummaryStripes returns the stripe count of the sharded summary; see
+// Engine.SummaryStripes.
+func (s *Store) SummaryStripes() int { return SummaryStripeCount }
+
+// SummaryStripe returns stripe i of the summary as a shared immutable
+// snapshot (copy-on-write on that stripe's next change); see
+// Engine.SummaryStripe.
+func (s *Store) SummaryStripe(i int) map[id.UserID]uint64 {
+	return s.sum.stripeSnapshot(i)
+}
+
+// SummarySize returns the summary entry count without snapshotting.
 func (s *Store) SummarySize() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.summary)
+	return s.sum.sizeNow()
 }
 
 // Generation returns the summary-change counter; see Engine.Generation.
 func (s *Store) Generation() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.gen
+	return s.sum.generation()
 }
 
 // Missing returns the sequence numbers in [1, upto] that the store
@@ -590,7 +537,9 @@ func (s *Store) Stats() Stats {
 	st := s.stats
 	st.Messages = len(s.msgs)
 	st.Bytes = s.bytes
-	st.Generation = s.gen
+	st.Generation = s.sum.generation()
+	st.SummaryClones = s.sum.clones.Load()
+	st.StripeLockWaits = s.sum.lockWaits.Load()
 	return st
 }
 

@@ -540,21 +540,21 @@ func refsOf(ms []*msg.Message) []msg.Ref {
 	return out
 }
 
-// TestChangesLogBounded drives the change log past its cap and checks
-// that ancient bases become unanswerable (full-summary fallback) while
-// recent bases still produce exact deltas.
+// TestChangesLogBounded drives one stripe's change log past its cap and
+// checks that ancient bases become unanswerable (full-summary fallback)
+// while recent bases still produce exact deltas.
 func TestChangesLogBounded(t *testing.T) {
 	s := New(id.NewUserID("owner"))
 	author := id.NewUserID("busy")
 	var n uint64
-	for s.changeFloor == 0 {
+	for s.sum.floor.Load() == 0 {
 		n++
 		if _, err := s.Put(&msg.Message{
 			Author: author, Seq: n, Kind: msg.KindPost, Created: time.Unix(0, 0),
 		}); err != nil {
 			t.Fatal(err)
 		}
-		if n > 3*maxChangeLog {
+		if n > 3*maxStripeLog {
 			t.Fatalf("log never compacted after %d changes", n)
 		}
 	}
@@ -568,6 +568,105 @@ func TestChangesLogBounded(t *testing.T) {
 	}
 	if len(delta) != 1 || delta[author] != n {
 		t.Errorf("Changes(%d) = %v, want {%s: %d}", recent, delta, author, n)
+	}
+}
+
+// TestSummaryNoCloneWithoutSnapshot is the mega-alloc regression guard:
+// Summary hands out a private merged copy, so a Put after Summary()+drop
+// must not force any copy-on-write clone — the old design cloned the
+// whole dictionary on the next bump after every hand-out.
+func TestSummaryNoCloneWithoutSnapshot(t *testing.T) {
+	s := New(alice)
+	mustPut(t, s, post(bob, 1, "b1"))
+	_ = s.Summary() // dropped immediately
+	mustPut(t, s, post(bob, 2, "b2"))
+	mustPut(t, s, post(carol, 1, "c1"))
+	if got := s.Stats().SummaryClones; got != 0 {
+		t.Errorf("SummaryClones after Summary()+drop = %d, want 0", got)
+	}
+}
+
+// TestStripeSnapshotClonesOnce: a handed-out stripe snapshot forces
+// exactly one clone on that stripe's next change, stays immutable, and
+// further changes without a new hand-out are clone-free.
+func TestStripeSnapshotClonesOnce(t *testing.T) {
+	s := New(alice)
+	mustPut(t, s, post(bob, 1, "b1"))
+	snap := s.SummaryStripe(stripeOf(bob))
+	mustPut(t, s, post(bob, 2, "b2")) // first change after hand-out: clones
+	mustPut(t, s, post(bob, 3, "b3")) // no snapshot outstanding: clone-free
+	if got := s.Stats().SummaryClones; got != 1 {
+		t.Errorf("SummaryClones = %d, want exactly 1", got)
+	}
+	if snap[bob] != 1 {
+		t.Errorf("handed-out stripe snapshot mutated: %v", snap)
+	}
+	if got := s.SummaryStripe(stripeOf(bob))[bob]; got != 3 {
+		t.Errorf("fresh stripe snapshot = %d, want 3", got)
+	}
+	// A change in a different stripe never clones bob's stripe.
+	other := carol
+	if stripeOf(other) == stripeOf(bob) {
+		for i := 0; stripeOf(other) == stripeOf(bob); i++ {
+			other = id.NewUserID(fmt.Sprintf("other-%d", i))
+		}
+	}
+	_ = s.SummaryStripe(stripeOf(bob))
+	mustPut(t, s, post(other, 1, "o1"))
+	if got := s.Stats().SummaryClones; got != 1 {
+		t.Errorf("cross-stripe Put forced a clone: SummaryClones = %d", got)
+	}
+}
+
+// TestStripedSummaryConcurrent exercises writers against every reader of
+// the striped index under the race detector.
+func TestStripedSummaryConcurrent(t *testing.T) {
+	s := New(alice)
+	var wg sync.WaitGroup
+	const writers, perWriter = 4, 200
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			author := id.NewUserID(fmt.Sprintf("stripe-writer-%d", w))
+			for i := 1; i <= perWriter; i++ {
+				if _, err := s.Put(post(author, uint64(i), "x")); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			base := s.Generation()
+			_ = s.Summary()
+			for st := 0; st < s.SummaryStripes(); st++ {
+				for range s.SummaryStripe(st) {
+				}
+			}
+			if delta, ok := s.Changes(base); ok {
+				for a, seq := range delta {
+					if seq == 0 {
+						t.Errorf("delta advertises seq 0 for %s", a)
+					}
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	want := map[id.UserID]uint64{}
+	for w := 0; w < writers; w++ {
+		want[id.NewUserID(fmt.Sprintf("stripe-writer-%d", w))] = perWriter
+	}
+	if got := s.Summary(); !reflect.DeepEqual(got, want) {
+		t.Errorf("final Summary = %v, want %v", got, want)
+	}
+	if got := s.SummarySize(); got != writers {
+		t.Errorf("SummarySize = %d, want %d", got, writers)
 	}
 }
 

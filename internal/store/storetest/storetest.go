@@ -9,6 +9,7 @@
 package storetest
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 	"time"
@@ -46,6 +47,7 @@ func Run(t *testing.T, mk func(t *testing.T) World) {
 	t.Run("SummaryAndGeneration", func(t *testing.T) { testSummary(t, mk(t)) })
 	t.Run("MissingGapWalk", func(t *testing.T) { testMissing(t, mk(t)) })
 	t.Run("ChangesDelta", func(t *testing.T) { testChanges(t, mk(t)) })
+	t.Run("ChangesStriped", func(t *testing.T) { testChangesStriped(t, mk(t)) })
 	t.Run("Subscriptions", func(t *testing.T) { testSubscriptions(t, mk(t)) })
 	t.Run("NextSeqResumes", func(t *testing.T) { testNextSeq(t, mk(t)) })
 	t.Run("QuotaEviction", func(t *testing.T) { testQuotaEviction(t, mk(t)) })
@@ -346,6 +348,94 @@ func testEvictionReload(t *testing.T, w World) {
 	}
 	if !re.Has(msg.Ref{Author: carol, Seq: 1}) {
 		t.Error("survivor lost across reload")
+	}
+}
+
+// testChangesStriped checks delta correctness when the summary is
+// sharded: interleaved updates to authors in *different* stripes must
+// merge into one exact delta regardless of which stripe's log holds
+// which generation, and the union of the stripe snapshots must equal
+// the merged Summary.
+func testChangesStriped(t *testing.T, w World) {
+	e := w.Open(t, store.Options{})
+	defer e.Close()
+
+	// Collect one author per distinct stripe (at least three stripes).
+	stripeFor := func(u id.UserID) int {
+		for i := 0; i < e.SummaryStripes(); i++ {
+			for a := range e.SummaryStripe(i) {
+				if a == u {
+					return i
+				}
+			}
+		}
+		return -1
+	}
+	var authors []id.UserID
+	seen := map[int]bool{}
+	for i := 0; len(authors) < 3 && i < 256; i++ {
+		u := id.NewUserID(fmt.Sprintf("striped-author-%d", i))
+		mustPut(t, e, post(u, 1, "probe"))
+		s := stripeFor(u)
+		if s < 0 {
+			t.Fatalf("author %s in no stripe snapshot", u)
+		}
+		if !seen[s] {
+			seen[s] = true
+			authors = append(authors, u)
+		}
+	}
+	if len(authors) < 3 {
+		t.Fatal("could not find authors in 3 distinct stripes")
+	}
+
+	base := e.Generation()
+	// Interleave bumps across the stripes so consecutive generations land
+	// in different stripe logs.
+	for seq := uint64(2); seq <= 5; seq++ {
+		for _, u := range authors {
+			mustPut(t, e, post(u, seq, "interleaved"))
+		}
+	}
+	delta, ok := e.Changes(base)
+	if !ok {
+		t.Fatalf("Changes(%d) not answerable", base)
+	}
+	want := map[id.UserID]uint64{}
+	for _, u := range authors {
+		want[u] = 5
+	}
+	if !reflect.DeepEqual(delta, want) {
+		t.Errorf("striped Changes(%d) = %v, want %v", base, delta, want)
+	}
+
+	// A mid-stream base must see only the later updates, still merged
+	// across stripes at each author's latest sequence.
+	mid := e.Generation()
+	mustPut(t, e, post(authors[0], 6, "late"))
+	mustPut(t, e, post(authors[2], 6, "late"))
+	mustPut(t, e, post(authors[0], 7, "later"))
+	delta, ok = e.Changes(mid)
+	if !ok {
+		t.Fatalf("Changes(%d) not answerable", mid)
+	}
+	midWant := map[id.UserID]uint64{authors[0]: 7, authors[2]: 6}
+	if !reflect.DeepEqual(delta, midWant) {
+		t.Errorf("mid-stream Changes(%d) = %v, want %v", mid, delta, midWant)
+	}
+
+	// Stripe union == Summary: every author in exactly one stripe.
+	union := map[id.UserID]uint64{}
+	for i := 0; i < e.SummaryStripes(); i++ {
+		for a, seq := range e.SummaryStripe(i) {
+			if _, dup := union[a]; dup {
+				t.Errorf("author %s appears in two stripes", a)
+			}
+			union[a] = seq
+		}
+	}
+	if full := e.Summary(); !reflect.DeepEqual(union, full) {
+		t.Errorf("stripe union (%d entries) != Summary (%d entries)", len(union), len(full))
 	}
 }
 

@@ -37,6 +37,10 @@ func allocFrames() map[string]Frame {
 			Peer: "alice-device", Gen: 12, BaseGen: 10,
 			Summary: map[id.UserID]uint64{other: 9},
 		},
+		"advertisement-chunked": &Advertisement{
+			Peer: "alice-device", Gen: 12, Chunk: 1, More: true,
+			Summary: map[id.UserID]uint64{author: 3, other: 9},
+		},
 		"hello":        &Hello{CertDER: make([]byte, 500), Nonce: nonce},
 		"hello-ack":    &HelloAck{CertDER: make([]byte, 500), Nonce: nonce, Sig: make([]byte, 70)},
 		"hello-fin":    &HelloFin{Sig: make([]byte, 70)},
@@ -50,8 +54,9 @@ func allocFrames() map[string]Frame {
 
 func TestAppendEncodeAllocBudget(t *testing.T) {
 	budgets := map[string]float64{
-		"advertisement":       1, // authors sort scratch
-		"advertisement-delta": 1,
+		"advertisement":         1, // authors sort scratch
+		"advertisement-delta":   1,
+		"advertisement-chunked": 1,
 	}
 	for name, frame := range allocFrames() {
 		t.Run(name, func(t *testing.T) {
@@ -86,16 +91,17 @@ func TestDecodeAllocBudget(t *testing.T) {
 	//                  (fields alias the input — the zero-copy win)
 	//   ack:           frame + refs slice
 	budgets := map[string]float64{
-		"advertisement":       5,
-		"advertisement-delta": 4,
-		"hello":               2,
-		"hello-ack":           3,
-		"hello-fin":           2,
-		"request":             5,
-		"batch":               18,
-		"ack":                 2,
-		"bye":                 1,
-		"summary-pull":        1,
+		"advertisement":         5,
+		"advertisement-delta":   4,
+		"advertisement-chunked": 4,
+		"hello":                 2,
+		"hello-ack":             3,
+		"hello-fin":             2,
+		"request":               5,
+		"batch":                 18,
+		"ack":                   2,
+		"bye":                   1,
+		"summary-pull":          1,
 	}
 	for name, frame := range allocFrames() {
 		t.Run(name, func(t *testing.T) {

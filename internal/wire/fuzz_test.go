@@ -35,6 +35,11 @@ func FuzzDecodeFrame(f *testing.F) {
 		&Advertisement{Peer: "alice-device", Gen: 42, BaseGen: 40, Summary: map[id.UserID]uint64{bob: 9}},
 		// Empty delta: pure scheme-gossip refresh (BaseGen == Gen).
 		&Advertisement{Peer: "alice-device", Gen: 42, BaseGen: 42, Summary: map[id.UserID]uint64{}, SchemeData: []byte("prophet")},
+		// Chunked full-summary stream: first chunk (Chunk 0 + More),
+		// a middle chunk, and a final chunk without More.
+		&Advertisement{Peer: "alice-device", Gen: 42, More: true, Summary: map[id.UserID]uint64{alice: 3}, SchemeData: []byte("prophet")},
+		&Advertisement{Peer: "alice-device", Gen: 42, Chunk: 2, More: true, Summary: map[id.UserID]uint64{bob: 9}},
+		&Advertisement{Peer: "alice-device", Gen: 42, Chunk: 3, Summary: map[id.UserID]uint64{}},
 		&Hello{CertDER: []byte{0x30, 0x03, 0x02, 0x01, 0x01}, Nonce: nonce},
 		&HelloAck{CertDER: []byte{0x30, 0x03, 0x02, 0x01, 0x02}, Nonce: nonce, Sig: []byte{1, 2, 3}},
 		&HelloFin{Sig: []byte{4, 5, 6}},

@@ -94,6 +94,7 @@ var (
 	ErrTrailing  = errors.New("wire: trailing bytes")
 	ErrEmptyWant = errors.New("wire: request carries no sequence numbers")
 	ErrBadDelta  = errors.New("wire: delta advertisement base not before generation")
+	ErrBadChunk  = errors.New("wire: chunked advertisement cannot be a delta")
 )
 
 // Frame is any decodable SOS frame.
@@ -119,6 +120,18 @@ type Frame interface {
 //     is not at exactly BaseGen must discard the delta and ask for a
 //     full summary (SummaryPull).
 //
+// A large full summary may additionally be *chunked*: Chunk numbers the
+// slice of the dictionary this frame carries and More says whether
+// further slices follow at the same Gen. Chunk 0 with More == false is
+// the plain single-frame full advertisement, so the zero value of both
+// fields is the pre-chunking wire behavior. The slices of one stream
+// partition the dictionary (each author appears in exactly one chunk),
+// all carry the same Gen, and arrive in Chunk order on a session's
+// in-order link; a receiver may start requesting messages after any
+// prefix of the stream. Chunking and deltas are mutually exclusive — a
+// chunked advertisement must have BaseGen == 0 (deltas are small by
+// construction) — and discovery beacons are never chunked.
+//
 // SchemeData is an opaque blob the active routing scheme may piggyback
 // (PRoPHET gossips its delivery-predictability table this way); epidemic
 // and interest-based routing leave it empty.
@@ -126,6 +139,8 @@ type Advertisement struct {
 	Peer       string
 	Gen        uint64
 	BaseGen    uint64
+	Chunk      uint32
+	More       bool
 	Summary    map[id.UserID]uint64
 	SchemeData []byte
 }
@@ -136,6 +151,10 @@ func (*Advertisement) Type() Type { return TypeAdvertisement }
 // IsDelta reports whether the advertisement is a delta against an earlier
 // generation rather than a complete summary.
 func (a *Advertisement) IsDelta() bool { return a.BaseGen != 0 }
+
+// IsChunked reports whether the advertisement is one slice of a chunked
+// full-summary stream rather than a complete dictionary in one frame.
+func (a *Advertisement) IsChunked() bool { return a.Chunk != 0 || a.More }
 
 // Hello opens the connection handshake: the initiator's certificate plus a
 // fresh nonce.
@@ -341,6 +360,9 @@ func appendAdvertisement(dst []byte, a *Advertisement) ([]byte, error) {
 	if a.BaseGen > a.Gen {
 		return dst, fmt.Errorf("%w: base %d, generation %d", ErrBadDelta, a.BaseGen, a.Gen)
 	}
+	if a.IsChunked() && a.IsDelta() {
+		return dst, fmt.Errorf("%w: chunk %d, base %d", ErrBadChunk, a.Chunk, a.BaseGen)
+	}
 	// Sort authors so the encoding is deterministic.
 	authors := make([]id.UserID, 0, len(a.Summary))
 	for u := range a.Summary {
@@ -352,6 +374,12 @@ func appendAdvertisement(dst []byte, a *Advertisement) ([]byte, error) {
 	dst = append(dst, a.Peer...)
 	dst = binary.BigEndian.AppendUint64(dst, a.Gen)
 	dst = binary.BigEndian.AppendUint64(dst, a.BaseGen)
+	dst = binary.BigEndian.AppendUint32(dst, a.Chunk)
+	more := byte(0)
+	if a.More {
+		more = 1
+	}
+	dst = append(dst, more)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(authors)))
 	for _, u := range authors {
 		dst = append(dst, u[:]...)
@@ -369,6 +397,19 @@ func decodeAdvertisement(body []byte) (Frame, error) {
 	a.BaseGen = r.uint64()
 	if r.err == nil && a.BaseGen > a.Gen {
 		return nil, fmt.Errorf("%w: base %d, generation %d", ErrBadDelta, a.BaseGen, a.Gen)
+	}
+	a.Chunk = r.uint32()
+	switch more := r.byte(); {
+	case r.err != nil:
+	case more > 1:
+		// Only 0 and 1 are canonical; anything else would break the
+		// Encode ∘ Decode identity the fuzzer enforces.
+		return nil, fmt.Errorf("%w: more flag %d", ErrOversize, more)
+	default:
+		a.More = more == 1
+	}
+	if r.err == nil && a.IsChunked() && a.IsDelta() {
+		return nil, fmt.Errorf("%w: chunk %d, base %d", ErrBadChunk, a.Chunk, a.BaseGen)
 	}
 	n := int(r.uint32())
 	if r.err == nil && n > MaxSummaryEntries {

@@ -134,6 +134,63 @@ func TestAdvertisementRejectsBadDelta(t *testing.T) {
 	}
 }
 
+func TestAdvertisementChunkedRoundTrip(t *testing.T) {
+	// A three-chunk full-summary stream: first chunk (Chunk 0, More),
+	// middle chunk, and a final chunk that drops More.
+	stream := []*Advertisement{
+		{Peer: "p", Gen: 40, More: true, Summary: map[id.UserID]uint64{alice: 12}, SchemeData: []byte("gossip")},
+		{Peer: "p", Gen: 40, Chunk: 1, More: true, Summary: map[id.UserID]uint64{bob: 3}},
+		{Peer: "p", Gen: 40, Chunk: 2, Summary: map[id.UserID]uint64{}},
+	}
+	for i, give := range stream {
+		got := roundTrip(t, give).(*Advertisement)
+		if !reflect.DeepEqual(got, give) {
+			t.Errorf("chunk %d round trip = %+v, want %+v", i, got, give)
+		}
+	}
+	if !stream[0].IsChunked() || !stream[2].IsChunked() {
+		t.Error("IsChunked() = false for stream members")
+	}
+	// The plain single-frame full ad is the zero value of both fields.
+	if (&Advertisement{Peer: "p", Gen: 40}).IsChunked() {
+		t.Error("IsChunked() = true for a plain full advertisement")
+	}
+}
+
+func TestAdvertisementRejectsChunkedDelta(t *testing.T) {
+	// Chunking and deltas are mutually exclusive on both codec sides.
+	for _, bad := range []*Advertisement{
+		{Peer: "p", Gen: 7, BaseGen: 3, More: true},
+		{Peer: "p", Gen: 7, BaseGen: 3, Chunk: 1},
+	} {
+		if _, err := Encode(bad); err == nil {
+			t.Errorf("encode accepted chunked delta %+v", bad)
+		}
+	}
+	// Decode side: take a valid delta and stamp a chunk number into the
+	// raw encoding (offsets for the one-byte peer name: gen at 3, base
+	// at 11, chunk at 19, more flag at 23).
+	raw, err := Encode(&Advertisement{Peer: "p", Gen: 7, BaseGen: 3, Summary: map[id.UserID]uint64{alice: 1}})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	binary.BigEndian.PutUint32(raw[19:], 1)
+	if _, err := Decode(raw); err == nil {
+		t.Error("decode accepted chunked delta")
+	}
+}
+
+func TestAdvertisementRejectsNonCanonicalMore(t *testing.T) {
+	raw, err := Encode(&Advertisement{Peer: "p", Gen: 7, Summary: map[id.UserID]uint64{alice: 1}})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	raw[23] = 2 // more flag must be 0 or 1
+	if _, err := Decode(raw); err == nil {
+		t.Error("decode accepted a non-canonical more flag")
+	}
+}
+
 func TestSummaryPullRoundTrip(t *testing.T) {
 	got := roundTrip(t, &SummaryPull{})
 	if _, ok := got.(*SummaryPull); !ok {
