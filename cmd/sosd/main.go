@@ -127,7 +127,7 @@ func run(args []string) error {
 	evict := fs.String("evict", "", "eviction policy: drop-oldest, ttl, size-quota, subscription-priority (default: drop-oldest, or ttl when -relay-ttl is set)")
 	relayTTL := fs.Duration("relay-ttl", 0, "lifetime of other users' messages in the buffer (0 = forever)")
 	telemetryAddr := fs.String("telemetry", "", "stream lifecycle events to a collector at this TCP address (e.g. a soslab run)")
-	debugAddr := fs.String("debug-addr", "", "serve /metrics, /healthz, and /debug/pprof on this TCP address (e.g. 127.0.0.1:9090)")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /healthz, /debug/trace, and /debug/pprof on this TCP address (e.g. 127.0.0.1:9090)")
 	logLevel := fs.String("log-level", "info", "operational log level: debug, info, warn, error")
 	logJSON := fs.Bool("log-json", false, "emit operational logs as JSON instead of text")
 	fs.Parse(args)
@@ -147,6 +147,14 @@ func run(args []string) error {
 		return err
 	}
 
+	// The span flight recorder rides behind the debug server: with
+	// -debug-addr set, every layer records contact-session spans into a
+	// bounded ring dumped on demand at /debug/trace.
+	var tracer *sos.Tracer
+	if *debugAddr != "" {
+		tracer = sos.NewTracer(0)
+	}
+
 	// The storage engine: the paper's on-device database, here either a
 	// volatile in-memory buffer or a crash-recoverable disk database
 	// that lets the daemon resume messages and subscriptions after a
@@ -159,6 +167,7 @@ func run(args []string) error {
 		MaxMessages: *quota,
 		MaxBytes:    *quotaBytes,
 		Policy:      policy,
+		Tracer:      tracer,
 	}
 	var engine sos.Store
 	switch *storeKind {
@@ -186,6 +195,7 @@ func run(args []string) error {
 		BasePort:       *basePort,
 		BeaconInterval: *interval,
 		LossTimeout:    *loss,
+		Tracer:         tracer,
 	}
 	if *beaconTargets != "" {
 		cfg.BeaconTargets = strings.Split(*beaconTargets, ",")
@@ -201,7 +211,7 @@ func run(args []string) error {
 	var observer sos.Observer
 	var exporter *telemetry.Exporter
 	if *telemetryAddr != "" {
-		exporter = telemetry.NewExporter(*telemetryAddr, telemetry.ExporterOptions{Logf: obs.Logf(log)})
+		exporter = telemetry.NewExporter(*telemetryAddr, telemetry.ExporterOptions{Logf: obs.Logf(log), Tracer: tracer})
 		defer exporter.Close() // after node.Close below: final events still flush
 		observer = telemetry.NewObserver(creds.Ident.User, nil, exporter)
 		log.Info("telemetry streaming", "collector", *telemetryAddr)
@@ -215,6 +225,7 @@ func run(args []string) error {
 		Store:    engine,
 		Routing:  sos.RoutingOptions{RelayTTL: *relayTTL},
 		Observer: observer,
+		Tracer:   tracer,
 		OnReceive: func(m *sos.Message, from sos.UserID) {
 			fmt.Printf("« received %s %s from %s via %s: %q\n",
 				m.Kind, m.Ref(), m.Author, from, trim(m.Payload))
@@ -232,8 +243,9 @@ func run(args []string) error {
 	defer node.Close()
 
 	// The debug surface: /metrics (Prometheus text), /healthz (JSON
-	// liveness), /debug/pprof/* — every layer's counters bridged at
-	// scrape time, costing the hot paths nothing.
+	// liveness), /debug/trace (the span flight recorder as Chrome
+	// trace_event JSON), /debug/pprof/* — every layer's counters bridged
+	// at scrape time, costing the hot paths nothing.
 	if *debugAddr != "" {
 		reg := obs.NewRegistry()
 		obs.RegisterNodeMetrics(reg, obs.NodeMetrics{
@@ -244,6 +256,7 @@ func run(args []string) error {
 		dbg, err := obs.NewServer(obs.ServerConfig{
 			Addr:     *debugAddr,
 			Registry: reg,
+			Tracer:   tracer,
 			Log:      log,
 			Health: func() map[string]any {
 				s := node.Stats()
@@ -356,6 +369,8 @@ func command(node *sos.Node, exporter *telemetry.Exporter, line string) bool {
 		fmt.Printf("adhoc:   %+v\nmessage: %+v\n", s.Adhoc, s.Message)
 		peers, links, entries := node.SyncState()
 		fmt.Printf("sync:    %d peers known, %d linked, %d summary entries cached\n", peers, links, entries)
+		fmt.Printf("sync-io: %d summary chunks sent, %d plan entries scanned, %d stripe lock waits\n",
+			s.Message.SummaryChunksSent, s.Message.PlanEntriesScanned, s.Store.StripeLockWaits)
 		if exporter != nil {
 			es := exporter.Stats()
 			fmt.Printf("telemetry: %d recorded, %d sent, %d dropped, %d reconnects, %d queued\n",

@@ -49,6 +49,9 @@ func run(args []string) error {
 	sosd := fs.String("sosd", "sosd", "sosd binary for -mode process")
 	out := fs.String("out", "", "write the JSON report here (\"-\" for stdout)")
 	csv := fs.String("csv", "", "write the delay CDF as CSV here")
+	timelineCSV := fs.String("timeline", "", "write the fleet timeline as CSV here (samples every -timeline-interval)")
+	timelineInterval := fs.Duration("timeline-interval", time.Second, "sampling interval for -timeline")
+	traceDir := fs.String("trace-dir", "", "dump every in-process node's span flight recorder (Chrome trace JSON) into this directory at teardown")
 	workDir := fs.String("workdir", "", "credentials/store directory (default: a temporary one)")
 	quiet := fs.Bool("q", false, "suppress live progress")
 	verbose := fs.Bool("v", false, "log node-level detail (child output, churn, posts)")
@@ -72,6 +75,10 @@ func run(args []string) error {
 		Mode:     *mode,
 		SosdPath: *sosd,
 		WorkDir:  *workDir,
+		TraceDir: *traceDir,
+	}
+	if *timelineCSV != "" {
+		opts.TimelineInterval = *timelineInterval
 	}
 	if *verbose {
 		// Node-level detail rides the shared leveled handler: plain text
@@ -141,6 +148,15 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("soslab: delay CDF → %s\n", *csv)
+	}
+	if *timelineCSV != "" {
+		if err := writeFile(*timelineCSV, report.WriteTimelineCSV); err != nil {
+			return err
+		}
+		fmt.Printf("soslab: timeline (%d intervals) → %s\n", len(report.Timeline), *timelineCSV)
+	}
+	for _, f := range report.TraceFiles {
+		fmt.Printf("soslab: trace → %s\n", f)
 	}
 	if report.Deliveries < *minDeliveries {
 		return fmt.Errorf("only %d deliveries, want at least %d", report.Deliveries, *minDeliveries)

@@ -31,6 +31,7 @@ import (
 	"sos/internal/clock"
 	"sos/internal/id"
 	"sos/internal/mpc"
+	"sos/internal/obs/span"
 	"sos/internal/pki"
 	"sos/internal/secure"
 	"sos/internal/wire"
@@ -76,6 +77,11 @@ type Config struct {
 	Handler  Handler
 	Clock    clock.Clock
 	Rand     io.Reader // handshake nonce source; nil → crypto/rand
+	// Tracer, when set, records a handshake span per connection into the
+	// node's flight recorder, on the same "contact <peer>" track the
+	// message layer uses, so the secure handshake heads each
+	// contact-session span tree. Nil disables tracing.
+	Tracer *span.Tracer
 }
 
 // Stats counts security-relevant events for reporting.
@@ -128,6 +134,19 @@ type connState struct {
 	peerCert *pki.UserCert
 	session  *secure.Session
 	link     *Link
+	// hs is the connection's handshake span, opened when the connection
+	// appears and ended at establishment or failure. Written before the
+	// state is published in conns; the manager's serialized callbacks
+	// only read it afterwards.
+	hs span.Span
+}
+
+// contactTrack interns the contact track shared with the message layer.
+func (m *Manager) contactTrack(peer mpc.PeerID) uint64 {
+	if m.cfg.Tracer == nil {
+		return 0 // skip the label concatenation, not just the record
+	}
+	return m.cfg.Tracer.Track("contact " + string(peer))
 }
 
 // New attaches a manager to the medium and starts browsing.
@@ -223,6 +242,7 @@ func (m *Manager) Connect(peer mpc.PeerID) error {
 	}
 
 	st := &connState{conn: conn, role: roleInitiator, stage: stageHelloSent}
+	st.hs = m.cfg.Tracer.Start(m.contactTrack(peer), "handshake")
 	if _, err := io.ReadFull(m.cfg.Rand, st.nonceI[:]); err != nil {
 		conn.Close()
 		return fmt.Errorf("adhoc: reading nonce: %w", err)
@@ -277,9 +297,14 @@ func (m *Manager) sendPlain(conn mpc.Conn, f wire.Frame) error {
 // failConn abandons a connection before establishment.
 func (m *Manager) failConn(conn mpc.Conn, _ error) {
 	m.mu.Lock()
+	st := m.conns[conn]
 	delete(m.conns, conn)
 	m.stats.HandshakeFailures++
 	m.mu.Unlock()
+	if st != nil {
+		st.hs.Attr("ok", 0)
+		st.hs.End()
+	}
 	conn.Close()
 }
 
@@ -354,7 +379,9 @@ func (e *events) Incoming(conn mpc.Conn) {
 			return
 		}
 	}
-	m.conns[conn] = &connState{conn: conn, role: roleResponder, stage: stageAwaitHello}
+	st := &connState{conn: conn, role: roleResponder, stage: stageAwaitHello}
+	st.hs = m.cfg.Tracer.Start(m.contactTrack(conn.Peer()), "handshake")
+	m.conns[conn] = st
 	m.mu.Unlock()
 }
 
@@ -390,6 +417,8 @@ func (e *events) Disconnected(conn mpc.Conn, reason error) {
 		delete(m.conns, conn)
 		if st.stage != stageEstablished {
 			m.stats.HandshakeFailures++
+			st.hs.Attr("ok", 0)
+			st.hs.End()
 		}
 	}
 	var link *Link
@@ -562,6 +591,8 @@ func (m *Manager) establish(st *connState) *Link {
 		// A link to this peer won a race; drop the duplicate.
 		delete(m.conns, st.conn)
 		m.mu.Unlock()
+		st.hs.Attr("ok", 0)
+		st.hs.End()
 		st.conn.Close()
 		return nil
 	}
@@ -570,6 +601,8 @@ func (m *Manager) establish(st *connState) *Link {
 	m.links[link.peer] = link
 	m.stats.HandshakesOK++
 	m.mu.Unlock()
+	st.hs.Attr("ok", 1)
+	st.hs.End()
 	return link
 }
 

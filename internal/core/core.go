@@ -19,6 +19,7 @@ import (
 	"sos/internal/message"
 	"sos/internal/mpc"
 	"sos/internal/msg"
+	"sos/internal/obs/span"
 	"sos/internal/pki"
 	"sos/internal/routing"
 	"sos/internal/secure"
@@ -140,6 +141,12 @@ type Config struct {
 	// DisableAutoConnect turns off connecting to peers whose beacons offer
 	// wanted messages (the default behaviour).
 	DisableAutoConnect bool
+
+	// Tracer, when set, records contact-lifecycle spans (handshakes,
+	// advertisements, full-sync chunk streams) into a bounded ring the
+	// debug server dumps as Chrome trace_event JSON. Nil disables
+	// tracing at zero cost.
+	Tracer *span.Tracer
 }
 
 // Stats aggregates the counters of every layer.
@@ -173,6 +180,12 @@ func New(cfg Config) (*Middleware, error) {
 	}
 	if cfg.Routing.Clock == nil {
 		cfg.Routing.Clock = cfg.Clock
+	}
+	if cfg.Tracer != nil {
+		// Session-key derivations record process-wide (sessions are too
+		// short-lived to carry per-node tracers); the most recent node's
+		// tracer serves the process.
+		secure.SetTracer(cfg.Tracer)
 	}
 
 	st := cfg.Store
@@ -250,6 +263,7 @@ func New(cfg Config) (*Middleware, error) {
 		OnPeerUp:    onPeerUp,
 		OnPeerDown:  onPeerDown,
 		AutoConnect: !cfg.DisableAutoConnect,
+		Tracer:      cfg.Tracer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: building message manager: %w", err)
@@ -263,6 +277,7 @@ func New(cfg Config) (*Middleware, error) {
 		Handler:  msgMgr,
 		Clock:    cfg.Clock,
 		Rand:     cfg.Rand,
+		Tracer:   cfg.Tracer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: building ad hoc manager: %w", err)

@@ -35,6 +35,7 @@ import (
 	"sos/internal/id"
 	"sos/internal/mpc"
 	"sos/internal/msg"
+	"sos/internal/obs"
 	"sos/internal/pki"
 	"sos/internal/store"
 )
@@ -118,7 +119,15 @@ func RunContact(cfg ContactConfig) (ContactResult, error) {
 	}
 
 	delivered := make(chan msg.Ref, cfg.Posts+1)
-	alice, err := core.New(core.Config{Creds: aliceCreds, Medium: medium, Store: aliceStore})
+	// Tracers are enabled on both nodes so the bench gate measures the
+	// sync path with the flight recorder recording, proving the
+	// instrumentation stays inside the allocation budget.
+	alice, err := core.New(core.Config{
+		Creds:  aliceCreds,
+		Medium: medium,
+		Store:  aliceStore,
+		Tracer: obs.NewTracer(0),
+	})
 	if err != nil {
 		return res, err
 	}
@@ -127,6 +136,7 @@ func RunContact(cfg ContactConfig) (ContactResult, error) {
 		Creds:  bobCreds,
 		Medium: medium,
 		Store:  bobStore,
+		Tracer: obs.NewTracer(0),
 		OnReceive: func(m *msg.Message, _ id.UserID) {
 			delivered <- m.Ref()
 		},

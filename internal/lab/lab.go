@@ -54,6 +54,19 @@ type Options struct {
 	// in-process node — the acceptance tests use it to watch the same
 	// run directly and cross-check the aggregated metrics.
 	ExtraObserver func(handle string, user id.UserID) core.Observer
+	// TimelineInterval, when > 0, samples the fleet every interval into
+	// Report.Timeline: per-interval deliveries (every mode, bucketed
+	// from the aggregated delivery records) plus live gauges — exporter
+	// queue depth, sync-plane scan and byte counters — in modes that can
+	// reach them.
+	TimelineInterval time.Duration
+	// TraceDir, when set, makes every in-process node record
+	// contact-session spans and dumps each node's flight recorder to
+	// "<TraceDir>/<handle>.trace.json" (Chrome trace_event JSON) at
+	// teardown. When unset, tracing still runs in-process and the rings
+	// are dumped to a temporary directory only if the run ends with
+	// observability violations.
+	TraceDir string
 }
 
 func (o Options) logf(format string, args ...any) {
@@ -125,6 +138,7 @@ type inNode struct {
 	mw       *core.Middleware
 	exporter *telemetry.Exporter
 	registry *obs.Registry
+	tracer   *obs.Tracer
 	down     bool
 }
 
@@ -195,11 +209,19 @@ func runInProcess(spec *Spec, opts Options) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("lab: bootstrapping %q: %w", handle, err)
 		}
+		// Every in-process node records contact-session spans: the ring
+		// is bounded and allocation-free, so the flight recorder is
+		// always on and readable after any run.
+		tracer := obs.NewTracer(0)
 		n := &inNode{
-			handle:   handle,
-			user:     creds.Ident.User,
-			peer:     mpc.PeerID(handle),
-			exporter: telemetry.NewExporter(srv.Addr(), telemetry.ExporterOptions{Logf: opts.Logf}),
+			handle: handle,
+			user:   creds.Ident.User,
+			peer:   mpc.PeerID(handle),
+			tracer: tracer,
+			exporter: telemetry.NewExporter(srv.Addr(), telemetry.ExporterOptions{
+				Logf:   opts.Logf,
+				Tracer: tracer,
+			}),
 		}
 		// Registered before the fallible steps below, so the deferred
 		// cleanup stops this exporter even when construction fails.
@@ -208,7 +230,7 @@ func runInProcess(spec *Spec, opts Options) (*Report, error) {
 		if opts.ExtraObserver != nil {
 			observer = core.CombineObservers(observer, opts.ExtraObserver(handle, n.user))
 		}
-		engine, err := buildEngine(spec, ModeInProcess, workDir, handle, creds.Ident.User, policy)
+		engine, err := buildEngine(spec, ModeInProcess, workDir, handle, creds.Ident.User, policy, tracer)
 		if err != nil {
 			return nil, err
 		}
@@ -220,6 +242,7 @@ func runInProcess(spec *Spec, opts Options) (*Report, error) {
 			Routing:  routing.Options{RelayTTL: spec.Store.RelayTTL.D()},
 			Store:    engine,
 			Observer: observer,
+			Tracer:   tracer,
 		})
 		if err != nil {
 			engine.Close() // core.New takes ownership only on success
@@ -268,6 +291,20 @@ func runInProcess(spec *Spec, opts Options) (*Report, error) {
 
 	// The experiment clock: wall time, real sockets.
 	startedAt := time.Now()
+	var sampler *timelineSampler
+	if opts.TimelineInterval > 0 {
+		sampler = startTimelineSampler(startedAt, opts.TimelineInterval, func() timelineSample {
+			s := timelineSample{disseminations: agg.Stats().Disseminated}
+			for _, n := range nodes {
+				s.exporterQueue += n.exporter.QueueDepth()
+				ms := n.mw.Stats().Message
+				s.syncEntries += ms.PlanEntriesScanned
+				s.summaryBytes += ms.SummaryBytesSent
+				s.payloadBytes += ms.PayloadBytesSent
+			}
+			return s
+		})
+	}
 	executed, skipped := 0, 0
 	for _, ev := range timeline(spec) {
 		if d := time.Until(startedAt.Add(ev.at)); d > 0 {
@@ -303,6 +340,11 @@ func runInProcess(spec *Spec, opts Options) (*Report, error) {
 		time.Sleep(d)
 	}
 	elapsed := time.Since(startedAt)
+	var samples []timelineSample
+	if sampler != nil {
+		// Stopped before teardown: the gauge closure walks live nodes.
+		samples = sampler.Stop()
+	}
 
 	// Teardown in telemetry-safe order: stop the middlewares (no more
 	// events), flush and close the exporters, then wait for the server
@@ -337,15 +379,62 @@ func runInProcess(spec *Spec, opts Options) (*Report, error) {
 	report := buildReport(spec, ModeInProcess, startedAt, elapsed,
 		agg.Collector(), agg.Stats(), spec.Subscriptions(users), reports, executed, skipped)
 	attachPaths(report, agg)
+	attachTimeline(report, startedAt, opts.TimelineInterval, elapsed, samples)
+	dumpFleetTraces(report, opts, nodes)
 	return report, nil
 }
 
+// dumpFleetTraces writes each node's flight recorder as Chrome
+// trace_event JSON into Options.TraceDir; with no TraceDir configured,
+// the rings are dumped to a fresh temporary directory — kept, and named
+// in the log — only when the run ended with observability violations,
+// so a failing run always leaves its black box behind.
+func dumpFleetTraces(report *Report, opts Options, nodes []*inNode) {
+	dir := opts.TraceDir
+	if dir == "" {
+		if len(report.ObservabilityViolations()) == 0 {
+			return
+		}
+		tmp, err := os.MkdirTemp("", "sos-traces-*")
+		if err != nil {
+			opts.logf("lab: trace dump dir: %v", err)
+			return
+		}
+		dir = tmp
+		opts.logf("lab: observability violations; dumping flight recorders to %s", dir)
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		opts.logf("lab: trace dir %s: %v", dir, err)
+		return
+	}
+	for _, n := range nodes {
+		if n.tracer == nil {
+			continue
+		}
+		path := filepath.Join(dir, n.handle+".trace.json")
+		f, err := os.Create(path)
+		if err != nil {
+			opts.logf("lab: creating %s: %v", path, err)
+			continue
+		}
+		err = n.tracer.WriteTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			opts.logf("lab: writing %s: %v", path, err)
+			continue
+		}
+		report.TraceFiles = append(report.TraceFiles, path)
+	}
+}
+
 // buildEngine constructs one node's storage engine per the spec.
-func buildEngine(spec *Spec, mode, workDir, handle string, owner id.UserID, policy store.Policy) (store.Engine, error) {
+func buildEngine(spec *Spec, mode, workDir, handle string, owner id.UserID, policy store.Policy, tracer *obs.Tracer) (store.Engine, error) {
 	sOpts := store.Options{
 		MaxMessages: spec.Store.Quota,
 		MaxBytes:    spec.Store.QuotaBytes,
 		Policy:      policy,
+		Tracer:      tracer,
 	}
 	switch spec.storeEngine(mode) {
 	case "disk":

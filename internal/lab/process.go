@@ -139,6 +139,14 @@ func runProcess(spec *Spec, opts Options) (*Report, error) {
 	}
 
 	startedAt := time.Now()
+	var sampler *timelineSampler
+	if opts.TimelineInterval > 0 {
+		// The children's internals live behind their debug servers; the
+		// live gauges here are what the collector side can see.
+		sampler = startTimelineSampler(startedAt, opts.TimelineInterval, func() timelineSample {
+			return timelineSample{disseminations: agg.Stats().Disseminated}
+		})
+	}
 	executed, skipped := 0, 0
 	for _, ev := range timeline(spec) {
 		if d := time.Until(startedAt.Add(ev.at)); d > 0 {
@@ -180,6 +188,10 @@ func runProcess(spec *Spec, opts Options) (*Report, error) {
 		time.Sleep(d)
 	}
 	elapsed := time.Since(startedAt)
+	var samples []timelineSample
+	if sampler != nil {
+		samples = sampler.Stop()
+	}
 
 	// Final observability sweep: scrape each live child's /metrics over
 	// HTTP — the same surface an operator's Prometheus would hit —
@@ -224,6 +236,7 @@ func runProcess(spec *Spec, opts Options) (*Report, error) {
 	report := buildReport(spec, ModeProcess, startedAt, elapsed,
 		agg.Collector(), agg.Stats(), spec.Subscriptions(users), reports, executed, skipped)
 	attachPaths(report, agg)
+	attachTimeline(report, startedAt, opts.TimelineInterval, elapsed, samples)
 	return report, nil
 }
 

@@ -98,6 +98,16 @@ type Report struct {
 	Evictions        uint64       `json:"evictions"`
 	TrackedEvictions uint64       `json:"trackedEvictions"`
 
+	// Timeline, when the run sampled one (Options.TimelineInterval),
+	// holds one point per interval; its final cumulative delivery count
+	// equals Deliveries.
+	Timeline         []TimelinePoint `json:"timeline,omitempty"`
+	TimelineInterval Duration        `json:"timelineInterval,omitempty"`
+	// TraceFiles lists the Chrome trace_event JSON dumps written at
+	// teardown (Options.TraceDir, or an emergency dump directory when
+	// observability violations fired with tracing enabled).
+	TraceFiles []string `json:"traceFiles,omitempty"`
+
 	Telemetry telemetry.AggregatorStats `json:"telemetry"`
 	Nodes     []NodeReport              `json:"nodes"`
 	// Paths holds one relay chain per delivery, when the run traced

@@ -147,9 +147,13 @@ func runSim(spec *Spec, opts Options) (*Report, error) {
 
 	// Virtual elapsed time: the report describes the experiment, not the
 	// host that happened to run it.
-	return buildReport(spec, ModeSim, startedAt, spec.Duration.D(),
+	report := buildReport(spec, ModeSim, startedAt, spec.Duration.D(),
 		res.Collector, telemetry.AggregatorStats{}, spec.Subscriptions(users),
-		reports, executed, skipped), nil
+		reports, executed, skipped)
+	// The timeline buckets virtual-time deliveries from the virtual run
+	// start; there is no live fleet to sample gauges from.
+	attachTimeline(report, start, opts.TimelineInterval, spec.Duration.D(), nil)
+	return report, nil
 }
 
 // buildMobility constructs one node's model per the spec.

@@ -55,6 +55,7 @@ import (
 	"sos/internal/id"
 	"sos/internal/mpc"
 	"sos/internal/msg"
+	"sos/internal/obs/span"
 	"sos/internal/pki"
 	"sos/internal/routing"
 	"sos/internal/store"
@@ -105,6 +106,14 @@ type Config struct {
 	// discovered peer whose advertisement offers messages the active
 	// scheme wants.
 	AutoConnect bool
+
+	// Tracer, when set, records the contact-session lifecycle into the
+	// node's flight recorder: a "contact" envelope per link, spans for
+	// every in-session advertisement (full, delta, and each chunk of a
+	// streamed summary) carrying entry/byte counts, and peer-discovery
+	// instants. Recording is allocation-free, so the tracer can stay
+	// enabled under the contact benchmark gates. Nil disables tracing.
+	Tracer *span.Tracer
 }
 
 // Stats counts message-manager events.
@@ -157,6 +166,10 @@ type peerSync struct {
 	recvValid bool
 	recvGen   uint64
 	summary   map[id.UserID]uint64
+
+	// track is the peer's "contact <peer>" tracer track, interned at
+	// LinkUp (0 while tracing is disabled).
+	track uint64
 }
 
 // Manager is the message manager for one node.
@@ -432,8 +445,16 @@ func (m *Manager) fanOut(ad *wire.Advertisement, links []*adhoc.Link) {
 	if err != nil {
 		return // oversized scheme data; nothing sane to send
 	}
+	name := "advertise.full"
+	if ad.IsDelta() {
+		name = "advertise.delta"
+	}
 	for _, link := range links {
+		sp := m.cfg.Tracer.Start(m.trackOf(link), name)
+		sp.Attr("entries", uint64(len(ad.Summary)))
+		sp.Attr("bytes", uint64(len(enc)))
 		_ = link.SendEncoded(enc) // link failures surface via LinkDown
+		sp.End()
 	}
 	m.mu.Lock()
 	if ad.IsDelta() {
@@ -495,6 +516,7 @@ func (m *Manager) PeerDiscovered(peer mpc.PeerID, ad *wire.Advertisement) {
 	m.mu.Lock()
 	m.stats.ConnectsAttempted++
 	m.mu.Unlock()
+	m.cfg.Tracer.Event(m.contactTrack(peer), "peer.discovered")
 	// ErrLinkExists races are benign: the handshake in flight will serve.
 	_ = a.Connect(peer)
 }
@@ -521,11 +543,36 @@ func (m *Manager) PeerGone(peer mpc.PeerID) {
 	ps.summary = nil
 }
 
+// contactTrack interns the "contact <peer>" tracer track — the same
+// label the adhoc layer uses for its handshake span, so the whole
+// contact session renders as one timeline.
+func (m *Manager) contactTrack(peer mpc.PeerID) uint64 {
+	if m.cfg.Tracer == nil {
+		return 0 // skip the label concatenation, not just the record
+	}
+	return m.cfg.Tracer.Track("contact " + string(peer))
+}
+
+// trackOf returns the interned contact track of a link's peer (0 when
+// the peer raced away or tracing is off).
+func (m *Manager) trackOf(link *adhoc.Link) uint64 {
+	if m.cfg.Tracer == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ps := m.peers[link.Peer()]; ps != nil {
+		return ps.track
+	}
+	return 0
+}
+
 // LinkUp implements adhoc.Handler: greet the authenticated peer with our
 // summary and scheme gossip — a delta against the last generation synced
 // to this peer when that state survived (churn reconnect), else the full
 // summary.
 func (m *Manager) LinkUp(link *adhoc.Link) {
+	track := m.contactTrack(link.Peer())
 	m.mu.Lock()
 	ps := m.peers[link.Peer()]
 	if ps == nil {
@@ -534,7 +581,10 @@ func (m *Manager) LinkUp(link *adhoc.Link) {
 		m.peers[link.Peer()] = ps
 	}
 	ps.link = link
+	ps.track = track
 	m.mu.Unlock()
+	// The contact envelope: every sync span until LinkDown nests inside.
+	m.cfg.Tracer.Begin(track, "contact")
 
 	scheme := m.cfg.Routing.Current()
 	scheme.OnPeerConnected(link.User())
@@ -567,6 +617,7 @@ func (m *Manager) sendAdTo(link *adhoc.Link, forceFull bool) {
 		base = ps.sentGen
 	}
 	ps.sentValid, ps.sentGen = true, gen
+	track := ps.track
 	peerName := string(m.adhocMgr.Self())
 	m.mu.Unlock()
 
@@ -585,9 +636,18 @@ func (m *Manager) sendAdTo(link *adhoc.Link, forceFull bool) {
 		}
 		ad.Summary = m.cfg.Store.Summary()
 	}
+	name := "advertise.full"
+	if ad.IsDelta() {
+		name = "advertise.delta"
+	}
+	sp := m.cfg.Tracer.Start(track, name)
+	sp.Attr("entries", uint64(len(ad.Summary)))
+	sp.Attr("gen", gen)
 	if err := m.sendCounted(link, ad, false); err != nil {
+		sp.End()
 		return // link failures surface via LinkDown
 	}
+	sp.End()
 	m.mu.Lock()
 	if ad.IsDelta() {
 		m.stats.AdsDeltaSent++
@@ -638,12 +698,19 @@ func (c *summaryChunker) next() (map[id.UserID]uint64, bool) {
 // same link; the receiver applies continuation chunks raise-only, so a
 // straggler frame from a cancelled stream can never lower an entry.
 func (m *Manager) streamFullTo(link *adhoc.Link, gen uint64, peerName string, data []byte) {
+	track := m.trackOf(link)
 	ch := &summaryChunker{store: m.cfg.Store}
 	first, more := ch.next()
 	ad := &wire.Advertisement{Peer: peerName, Gen: gen, More: more, Summary: first, SchemeData: data}
+	sp := m.cfg.Tracer.Start(track, "advertise.full")
+	sp.Attr("chunk", 0)
+	sp.Attr("entries", uint64(len(first)))
+	sp.Attr("more", boolAttr(more))
 	if err := m.sendCounted(link, ad, false); err != nil {
+		sp.End()
 		return // link failures surface via LinkDown
 	}
+	sp.End()
 	m.mu.Lock()
 	m.stats.AdsFullSent++
 	m.stats.SummaryChunksSent++
@@ -657,13 +724,21 @@ func (m *Manager) streamFullTo(link *adhoc.Link, gen uint64, peerName string, da
 	}
 	m.mu.Unlock()
 	if more {
-		go m.streamChunks(link, gen, peerName, ch, cancel)
+		go m.streamChunks(link, track, gen, peerName, ch, cancel)
 	}
+}
+
+// boolAttr renders a bool as a span attribute value.
+func boolAttr(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // streamChunks emits a stream's continuation chunks outside the
 // advertisement lock, stopping on cancellation or link failure.
-func (m *Manager) streamChunks(link *adhoc.Link, gen uint64, peerName string, ch *summaryChunker, cancel chan struct{}) {
+func (m *Manager) streamChunks(link *adhoc.Link, track uint64, gen uint64, peerName string, ch *summaryChunker, cancel chan struct{}) {
 	defer func() {
 		m.mu.Lock()
 		if m.streams[link] == cancel {
@@ -679,9 +754,14 @@ func (m *Manager) streamChunks(link *adhoc.Link, gen uint64, peerName string, ch
 		}
 		entries, more := ch.next()
 		ad := &wire.Advertisement{Peer: peerName, Gen: gen, Chunk: chunk, More: more, Summary: entries}
+		sp := m.cfg.Tracer.Start(track, "sync.chunk")
+		sp.Attr("chunk", uint64(chunk))
+		sp.Attr("entries", uint64(len(entries)))
 		if err := m.sendCounted(link, ad, false); err != nil {
+			sp.End()
 			return
 		}
+		sp.End()
 		m.mu.Lock()
 		m.stats.SummaryChunksSent++
 		m.mu.Unlock()
@@ -736,6 +816,7 @@ func (m *Manager) LinkDown(link *adhoc.Link, _ error) {
 	m.mu.Lock()
 	if ps := m.peers[link.Peer()]; ps != nil && ps.link == link {
 		ps.link = nil
+		m.cfg.Tracer.EndSlice(ps.track, "contact")
 	}
 	if cancel := m.streams[link]; cancel != nil {
 		// Stop a chunked summary stream still in flight on this link.

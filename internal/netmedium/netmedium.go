@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"sos/internal/mpc"
+	"sos/internal/obs/span"
 	"sos/internal/wire"
 )
 
@@ -84,6 +85,11 @@ type Config struct {
 	DialTimeout time.Duration
 	// Logf, when set, receives debug logging.
 	Logf func(format string, args ...any)
+	// Tracer, when set, records net-plane spans — session dials and
+	// beacon sightings — into the node's flight recorder. Tracks are
+	// named "net <self>→<peer>", so a Medium shared by several test
+	// endpoints keeps each endpoint's traffic on its own timeline.
+	Tracer *span.Tracer
 }
 
 // withDefaults fills unset fields.
@@ -412,13 +418,27 @@ func (ep *Endpoint) SetAdvertisement(ad []byte) {
 // Connect implements mpc.Endpoint: dial the fastest technology the peer
 // advertises and exchange names.
 func (ep *Endpoint) Connect(peer mpc.PeerID) (mpc.Conn, error) {
+	sp := ep.m.cfg.Tracer.Start(ep.netTrack(peer), "net.dial")
 	conn, err := ep.dialSession(peer)
 	if err != nil {
+		sp.Attr("ok", 0)
+		sp.End()
 		ep.m.stats.dialFailures.Add(1)
 		return nil, err
 	}
+	sp.Attr("ok", 1)
+	sp.End()
 	ep.m.stats.sessionsDialed.Add(1)
 	return conn, nil
+}
+
+// netTrack interns the net-plane tracer track for traffic between this
+// endpoint and peer.
+func (ep *Endpoint) netTrack(peer mpc.PeerID) uint64 {
+	if ep.m.cfg.Tracer == nil {
+		return 0 // skip the label concatenation, not just the record
+	}
+	return ep.m.cfg.Tracer.Track("net " + string(ep.self) + "→" + string(peer))
 }
 
 func (ep *Endpoint) dialSession(peer mpc.PeerID) (mpc.Conn, error) {
@@ -666,6 +686,7 @@ func (ep *Endpoint) handleBeacon(b *beacon, src *net.UDPAddr) {
 	case b.advertising && (!ps.advertised || !bytes.Equal(ps.ad, b.ad)):
 		ps.advertised = true
 		ps.ad = b.ad
+		ep.m.cfg.Tracer.Event(ep.netTrack(b.name), "beacon.seen")
 		ep.postFound(b.name, b.ad)
 	case !b.advertising && ps.advertised:
 		ps.advertised = false

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzParseProm fuzzes the exposition parser the lab aims at live
+// daemons. The property is a re-render round trip: whatever ParseProm
+// accepts, rendering the parsed map back to `id value` lines and
+// parsing again must reproduce the map exactly — the parser may reject
+// junk, but it must never mangle what it accepts.
+func FuzzParseProm(f *testing.F) {
+	// The golden exposition shape WriteProm emits (families, labels,
+	// histogram buckets) plus the scraper-facing extras ParseProm
+	// tolerates: comments, blank lines, timestamps, +Inf, quoted labels.
+	f.Add(`# HELP sos_evictions_total Drops by reason.
+# TYPE sos_evictions_total counter
+sos_evictions_total{reason="capacity"} 2
+sos_evictions_total{reason="expired"} 3
+# HELP sos_frames_total Frames moved.
+# TYPE sos_frames_total counter
+sos_frames_total 7
+# HELP sos_queue_depth Events queued.
+# TYPE sos_queue_depth gauge
+sos_queue_depth 4.5
+# HELP sos_scrape_seconds Scrape time.
+# TYPE sos_scrape_seconds histogram
+sos_scrape_seconds_bucket{le="0.1"} 1
+sos_scrape_seconds_bucket{le="1"} 2
+sos_scrape_seconds_bucket{le="+Inf"} 3
+sos_scrape_seconds_sum 2.55
+sos_scrape_seconds_count 3
+`)
+	f.Add("# a comment\n\nup 1 1712000000000\nlat_bucket{le=\"+Inf\"} +Inf\n")
+	f.Add("b{q=\"quo\\\"te\",x=\"y z\"} -2.25\n")
+	f.Add("nan NaN\nneg -Inf\nhex 0x1p-2\n")
+
+	f.Fuzz(func(t *testing.T, in string) {
+		first, err := ParseProm(strings.NewReader(in))
+		if err != nil {
+			return // rejecting junk is fine; mangling accepted input is not
+		}
+		var b strings.Builder
+		for id, v := range first {
+			b.WriteString(id)
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+			b.WriteByte('\n')
+		}
+		second, err := ParseProm(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("re-parse of re-rendered exposition failed: %v\nrendered:\n%s", err, b.String())
+		}
+		if len(second) != len(first) {
+			t.Fatalf("round trip changed series count: %d -> %d\nrendered:\n%s", len(first), len(second), b.String())
+		}
+		for id, v := range first {
+			got, ok := second[id]
+			if !ok {
+				t.Fatalf("series %q lost in round trip", id)
+			}
+			if got != v && !(math.IsNaN(got) && math.IsNaN(v)) {
+				t.Fatalf("series %q changed value in round trip: %v -> %v", id, v, got)
+			}
+		}
+	})
+}

@@ -29,18 +29,24 @@ type ServerConfig struct {
 	Registry *Registry
 	// Health, when set, contributes node-state fields to /healthz.
 	Health func() map[string]any
+	// Tracer, when set, backs /debug/trace: the node's span ring dumps
+	// on demand as Chrome trace_event JSON (Perfetto-loadable). Nil
+	// leaves the endpoint returning 404.
+	Tracer *Tracer
 	// Log receives request-level debug logging; nil disables it.
 	Log *slog.Logger
 }
 
 // Server is a per-node HTTP debug surface: GET /metrics returns the
 // registry in Prometheus text exposition, GET /healthz returns a JSON
-// liveness document, and /debug/pprof/* serves the standard Go profiles
-// (CPU, heap, goroutine, block, mutex, trace) so a production node can be
-// profiled exactly like a benchmark.
+// liveness document, GET /debug/trace dumps the span flight recorder as
+// Chrome trace_event JSON, and /debug/pprof/* serves the standard Go
+// profiles (CPU, heap, goroutine, block, mutex, trace) so a production
+// node can be profiled exactly like a benchmark.
 type Server struct {
 	reg      *Registry
 	health   func() map[string]any
+	tracer   *Tracer
 	log      *slog.Logger
 	started  time.Time
 	ln       net.Listener
@@ -59,6 +65,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	s := &Server{
 		reg:     reg,
 		health:  cfg.Health,
+		tracer:  cfg.Tracer,
 		log:     cfg.Log,
 		started: time.Now(),
 	}
@@ -75,6 +82,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/debug/trace", s.handleTrace)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -132,6 +140,24 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
 		s.errors.Inc()
+	}
+}
+
+// handleTrace dumps the node's span ring as Chrome trace_event JSON —
+// the flight-recorder read-out. Load the response in Perfetto (or
+// chrome://tracing) to see the contact-session span trees.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		s.errors.Inc()
+		http.Error(w, "tracing disabled (no tracer configured)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.tracer.WriteTrace(w); err != nil {
+		s.errors.Inc()
+		if s.log != nil {
+			s.log.Debug("trace dump failed", "err", err)
+		}
 	}
 }
 

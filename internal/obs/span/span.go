@@ -1,0 +1,317 @@
+// Package span is a zero-dependency, allocation-bounded span tracer: the
+// flight recorder behind the /debug/trace endpoint. Each node keeps one
+// Tracer — a fixed ring of span records guarded by a short mutex — and
+// the instrumented layers (netmedium, adhoc, message, store, telemetry)
+// record the contact lifecycle into it: beacon seen → dial → handshake →
+// first advertisement → chunked full-sync stream → delta rounds → link
+// down, plus store compaction and telemetry export flushes.
+//
+// The package sits below every instrumented layer (it imports only the
+// standard library), because obs itself imports core: the layers record
+// through *Tracer values threaded down via their configs, and obs
+// re-exports the type for the public surface.
+//
+// Recording is allocation-free by construction — Span is a value type
+// with a fixed attribute array, names are static strings, and the ring
+// overwrites its oldest record when full (Dropped counts the overwrites)
+// — so a tracer can stay enabled on the contact hot path without moving
+// the allocs/msg benchmark gates.
+//
+// Dumps are Chrome trace_event JSON ({"traceEvents":[...]}), loadable in
+// Perfetto or chrome://tracing: tracks become threads via "M" metadata
+// records, complete spans are "X" events with microsecond ts/dur, the
+// contact envelope is a "B"/"E" pair, and instants are "i".
+package span
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// MaxAttrs is the fixed attribute capacity of one span; extra Attr calls
+// are silently dropped so recording never allocates.
+const MaxAttrs = 4
+
+// maxTracks bounds the track-label table; labels past the bound share
+// the overflow track 0.
+const maxTracks = 1024
+
+// DefaultCapacity is the ring size NewTracer uses when given zero.
+const DefaultCapacity = 4096
+
+// Attr is one numeric span attribute (counter values: entries, bytes…).
+type Attr struct {
+	Key string
+	Val uint64
+}
+
+// record is one ring slot: a complete span ('X'), a duration edge
+// ('B'/'E'), or an instant ('i').
+type record struct {
+	track uint64
+	name  string
+	ph    byte
+	start int64 // ns since the Unix epoch
+	dur   int64 // ns; 'X' only
+	n     uint8
+	attrs [MaxAttrs]Attr
+}
+
+// Tracer is one node's flight recorder. All methods are safe for
+// concurrent use and safe on a nil receiver (a disabled tracer), so call
+// sites need no enablement checks.
+type Tracer struct {
+	mu      sync.Mutex
+	ring    []record
+	next    int
+	full    bool
+	dropped uint64
+
+	tracks map[string]uint64
+	labels []string // labels[i] names track i+1
+}
+
+// NewTracer creates a tracer whose ring holds capacity records
+// (DefaultCapacity when <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{
+		ring:   make([]record, capacity),
+		tracks: make(map[string]uint64, 16),
+	}
+}
+
+// Track interns a label (e.g. "contact bob") and returns its track id —
+// the tid the label's records render under, emitted as a thread_name
+// metadata event in dumps. The same label always maps to the same id, so
+// layers that share a label (the adhoc handshake and the message sync
+// plane during one contact) land on one timeline. Past maxTracks labels,
+// the shared overflow track 0 is returned.
+func (t *Tracer) Track(label string) uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.tracks[label]; ok {
+		return id
+	}
+	if len(t.labels) >= maxTracks {
+		return 0
+	}
+	t.labels = append(t.labels, label)
+	id := uint64(len(t.labels))
+	t.tracks[label] = id
+	return id
+}
+
+// append writes one record into the ring, overwriting the oldest when
+// full.
+func (t *Tracer) append(r record) {
+	t.mu.Lock()
+	if t.full {
+		t.dropped++
+	}
+	t.ring[t.next] = r
+	t.next++
+	if t.next == len(t.ring) {
+		t.next, t.full = 0, true
+	}
+	t.mu.Unlock()
+}
+
+// Span is an open complete-span ('X') in progress: created by Start,
+// annotated with Attr, recorded by End. The zero Span (from a nil
+// tracer) ignores every call.
+type Span struct {
+	t     *Tracer
+	track uint64
+	name  string
+	start int64
+	n     uint8
+	attrs [MaxAttrs]Attr
+}
+
+// Start opens a span on a track. name must be a static string (it is
+// retained until overwritten in the ring).
+func (t *Tracer) Start(track uint64, name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, track: track, name: name, start: time.Now().UnixNano()}
+}
+
+// Attr attaches one numeric attribute; calls past MaxAttrs are dropped.
+func (s *Span) Attr(key string, val uint64) {
+	if s.t == nil || s.n >= MaxAttrs {
+		return
+	}
+	s.attrs[s.n] = Attr{Key: key, Val: val}
+	s.n++
+}
+
+// End records the span with its measured duration.
+func (s *Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.append(record{
+		track: s.track, name: s.name, ph: 'X',
+		start: s.start, dur: time.Now().UnixNano() - s.start,
+		n: s.n, attrs: s.attrs,
+	})
+}
+
+// Event records an instant ('i') — a point in time with no duration,
+// like a beacon sighting.
+func (t *Tracer) Event(track uint64, name string) {
+	if t == nil {
+		return
+	}
+	t.append(record{track: track, name: name, ph: 'i', start: time.Now().UnixNano()})
+}
+
+// Begin records the opening edge ('B') of a long-lived slice — the
+// contact envelope that child spans nest under. Pair with EndSlice; the
+// two halves survive ring wrap independently, which is exactly what a
+// flight recorder wants (a still-open contact shows its B edge).
+func (t *Tracer) Begin(track uint64, name string) {
+	if t == nil {
+		return
+	}
+	t.append(record{track: track, name: name, ph: 'B', start: time.Now().UnixNano()})
+}
+
+// EndSlice records the closing edge ('E') of a Begin slice.
+func (t *Tracer) EndSlice(track uint64, name string) {
+	if t == nil {
+		return
+	}
+	t.append(record{track: track, name: name, ph: 'E', start: time.Now().UnixNano()})
+}
+
+// Len reports how many records the ring currently holds.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.full {
+		return len(t.ring)
+	}
+	return t.next
+}
+
+// Dropped reports how many records have been overwritten since the ring
+// filled.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// snapshot copies the ring in chronological order plus the track labels.
+func (t *Tracer) snapshot() ([]record, []string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var recs []record
+	if t.full {
+		recs = make([]record, 0, len(t.ring))
+		recs = append(recs, t.ring[t.next:]...)
+		recs = append(recs, t.ring[:t.next]...)
+	} else {
+		recs = append(recs, t.ring[:t.next]...)
+	}
+	labels := append([]string(nil), t.labels...)
+	return recs, labels
+}
+
+// errWriter latches the first write error so the emitter stays linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) writeString(s string) {
+	if e.err == nil {
+		_, e.err = io.WriteString(e.w, s)
+	}
+}
+
+// WriteTrace dumps the ring as Chrome trace_event JSON
+// ({"traceEvents":[...]}, ts/dur in microseconds, pid 1, tid = track),
+// loadable in Perfetto. Records land oldest-first; viewers sort by ts.
+func (t *Tracer) WriteTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`+"\n")
+		return err
+	}
+	recs, labels := t.snapshot()
+	ew := &errWriter{w: w}
+	ew.writeString(`{"traceEvents":[`)
+	first := true
+	sep := func() {
+		if !first {
+			ew.writeString(",\n")
+		}
+		first = false
+	}
+	// Track metadata: thread_name records so viewers label the lanes.
+	usesOverflow := false
+	for _, r := range recs {
+		if r.track == 0 {
+			usesOverflow = true
+			break
+		}
+	}
+	if usesOverflow {
+		sep()
+		ew.writeString(`{"name":"thread_name","ph":"M","pid":1,"tid":0,"args":{"name":"overflow"}}`)
+	}
+	for i, label := range labels {
+		sep()
+		ew.writeString(`{"name":"thread_name","ph":"M","pid":1,"tid":` +
+			strconv.Itoa(i+1) + `,"args":{"name":` + strconv.Quote(label) + `}}`)
+	}
+	for _, r := range recs {
+		sep()
+		ew.writeString(`{"name":` + strconv.Quote(r.name) +
+			`,"ph":"` + string(r.ph) +
+			`","ts":` + microseconds(r.start) +
+			`,"pid":1,"tid":` + strconv.FormatUint(r.track, 10))
+		if r.ph == 'X' {
+			ew.writeString(`,"dur":` + microseconds(r.dur))
+		}
+		if r.ph == 'i' {
+			ew.writeString(`,"s":"t"`)
+		}
+		if r.n > 0 {
+			ew.writeString(`,"args":{`)
+			for i := uint8(0); i < r.n; i++ {
+				if i > 0 {
+					ew.writeString(",")
+				}
+				ew.writeString(strconv.Quote(r.attrs[i].Key) + ":" +
+					strconv.FormatUint(r.attrs[i].Val, 10))
+			}
+			ew.writeString("}")
+		}
+		ew.writeString("}")
+	}
+	ew.writeString("]}\n")
+	return ew.err
+}
+
+// microseconds renders a nanosecond count as a fixed-point microsecond
+// JSON number.
+func microseconds(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e3, 'f', 3, 64)
+}

@@ -1,0 +1,206 @@
+package span
+
+import (
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// traceEvent mirrors the Chrome trace_event fields WriteTrace emits.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+func dump(t *testing.T, tr *Tracer) []traceEvent {
+	t.Helper()
+	var b strings.Builder
+	if err := tr.WriteTrace(&b); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	var out struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, b.String())
+	}
+	return out.TraceEvents
+}
+
+// TestTracerSpanTree records a miniature contact lifecycle and checks the
+// dump: a B/E envelope, X spans with attrs on the same track, an instant,
+// and the thread_name metadata naming the track.
+func TestTracerSpanTree(t *testing.T) {
+	tr := NewTracer(64)
+	contact := tr.Track("contact bob")
+	tr.Begin(contact, "contact")
+	hs := tr.Start(contact, "handshake")
+	hs.End()
+	ad := tr.Start(contact, "advertise.full")
+	ad.Attr("entries", 42)
+	ad.Attr("bytes", 1000)
+	ad.End()
+	tr.Event(contact, "beacon.seen")
+	tr.EndSlice(contact, "contact")
+
+	events := dump(t, tr)
+	byName := map[string]traceEvent{}
+	for _, ev := range events {
+		byName[ev.Ph+"/"+ev.Name] = ev
+	}
+	meta, ok := byName["M/thread_name"]
+	if !ok || meta.Args["name"] != "contact bob" {
+		t.Fatalf("missing thread_name metadata for the contact track: %+v", events)
+	}
+	if _, ok := byName["B/contact"]; !ok {
+		t.Errorf("missing contact B edge")
+	}
+	if _, ok := byName["E/contact"]; !ok {
+		t.Errorf("missing contact E edge")
+	}
+	adEv, ok := byName["X/advertise.full"]
+	if !ok {
+		t.Fatalf("missing advertise.full span")
+	}
+	if adEv.Args["entries"] != float64(42) || adEv.Args["bytes"] != float64(1000) {
+		t.Errorf("advertise.full args = %v, want entries=42 bytes=1000", adEv.Args)
+	}
+	if adEv.Tid != int(contact) || adEv.Pid != 1 {
+		t.Errorf("advertise.full tid/pid = %d/%d, want %d/1", adEv.Tid, adEv.Pid, contact)
+	}
+	inst, ok := byName["i/beacon.seen"]
+	if !ok || inst.Ts <= 0 {
+		t.Errorf("missing or unstamped beacon.seen instant: %+v", inst)
+	}
+	hsEv := byName["X/handshake"]
+	if hsEv.Dur < 0 {
+		t.Errorf("handshake dur = %v, want >= 0", hsEv.Dur)
+	}
+}
+
+// TestTracerRingWraps pins the flight-recorder contract: the ring keeps
+// the newest records, counts the overwrites, and keeps dumping cleanly.
+func TestTracerRingWraps(t *testing.T) {
+	tr := NewTracer(4)
+	tk := tr.Track("t")
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	for _, n := range names {
+		tr.Event(tk, n)
+	}
+	if got := tr.Len(); got != 4 {
+		t.Errorf("Len = %d, want 4", got)
+	}
+	if got := tr.Dropped(); got != 2 {
+		t.Errorf("Dropped = %d, want 2", got)
+	}
+	events := dump(t, tr)
+	var got []string
+	for _, ev := range events {
+		if ev.Ph == "i" {
+			got = append(got, ev.Name)
+		}
+	}
+	want := []string{"c", "d", "e", "f"}
+	if len(got) != len(want) {
+		t.Fatalf("ring kept %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ring kept %v, want %v (oldest-first)", got, want)
+		}
+	}
+}
+
+// TestTrackInterning pins label→id stability and the overflow track.
+func TestTrackInterning(t *testing.T) {
+	tr := NewTracer(8)
+	a := tr.Track("a")
+	b := tr.Track("b")
+	if a == b {
+		t.Fatalf("distinct labels share track %d", a)
+	}
+	if again := tr.Track("a"); again != a {
+		t.Errorf("Track(a) = %d then %d, want stable", a, again)
+	}
+	for i := 0; i < maxTracks+10; i++ {
+		tr.Track("label-" + strconv.Itoa(i))
+	}
+	if over := tr.Track("one more"); over != 0 {
+		t.Errorf("past maxTracks labels, Track = %d, want overflow 0", over)
+	}
+}
+
+// TestNilTracer pins the disabled-tracer contract: every method is a
+// no-op on a nil receiver, so call sites never check enablement.
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	tk := tr.Track("x")
+	if tk != 0 {
+		t.Errorf("nil Track = %d, want 0", tk)
+	}
+	sp := tr.Start(tk, "s")
+	sp.Attr("k", 1)
+	sp.End()
+	tr.Event(tk, "e")
+	tr.Begin(tk, "b")
+	tr.EndSlice(tk, "b")
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Errorf("nil tracer reports records")
+	}
+	var b strings.Builder
+	if err := tr.WriteTrace(&b); err != nil {
+		t.Fatalf("nil WriteTrace: %v", err)
+	}
+	var out struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("nil dump is not valid JSON: %v", err)
+	}
+	if len(out.TraceEvents) != 0 {
+		t.Errorf("nil dump has %d events, want 0", len(out.TraceEvents))
+	}
+}
+
+// TestRecordAllocBudget pins the recording hot path at zero allocations
+// — the property that lets the tracer stay enabled under the benchmark
+// allocs/msg gates.
+func TestRecordAllocBudget(t *testing.T) {
+	tr := NewTracer(1024)
+	tk := tr.Track("contact bob")
+	if got := testing.AllocsPerRun(200, func() {
+		sp := tr.Start(tk, "advertise.delta")
+		sp.Attr("entries", 7)
+		sp.Attr("bytes", 512)
+		sp.End()
+		tr.Event(tk, "beacon.seen")
+		tr.Begin(tk, "contact")
+		tr.EndSlice(tk, "contact")
+	}); got > 0 {
+		t.Errorf("recording allocates %.1f allocs/op, want 0", got)
+	}
+}
+
+// TestTrackLabelQuoting checks labels with JSON-hostile characters render
+// into a parseable dump.
+func TestTrackLabelQuoting(t *testing.T) {
+	tr := NewTracer(8)
+	tk := tr.Track("contact \"bob\"\nbackslash\\")
+	tr.Event(tk, "e")
+	events := dump(t, tr)
+	found := false
+	for _, ev := range events {
+		if ev.Ph == "M" && ev.Args["name"] == "contact \"bob\"\nbackslash\\" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("quoted label did not round-trip: %+v", events)
+	}
+}

@@ -1,0 +1,15 @@
+package obs
+
+import "sos/internal/obs/span"
+
+// Tracer is the per-node span tracer and flight recorder (see
+// sos/internal/obs/span). It lives in a leaf package because the
+// instrumented layers (netmedium, adhoc, message, store, telemetry)
+// cannot import obs — obs imports core for the metric bridges — so they
+// record through *span.Tracer values threaded down via their configs;
+// this alias is the name the public surface and the debug server use.
+type Tracer = span.Tracer
+
+// NewTracer creates a tracer whose ring holds capacity span records
+// (span.DefaultCapacity when <= 0).
+func NewTracer(capacity int) *Tracer { return span.NewTracer(capacity) }

@@ -73,6 +73,9 @@ type Session struct {
 // additional negotiation. The context binds the keys to a transcript (for
 // SOS, the connection handshake nonces).
 func NewSession(local *ecdsa.PrivateKey, remote *ecdsa.PublicKey, context []byte) (*Session, error) {
+	t := tracer.Load()
+	sp := t.Start(t.Track("secure"), "secure.derive")
+	defer sp.End()
 	localECDH, err := local.ECDH()
 	if err != nil {
 		return nil, fmt.Errorf("secure: converting local key: %w", err)

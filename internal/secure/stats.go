@@ -1,6 +1,10 @@
 package secure
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"sos/internal/obs/span"
+)
 
 // Package-level AEAD counters. Sessions are plentiful and short-lived
 // (one per contact), so the counters aggregate process-wide rather than
@@ -27,6 +31,16 @@ type Stats struct {
 	SealFailures uint64
 	OpenFailures uint64
 }
+
+// tracer records session key derivations process-wide — like the
+// counters above, sessions are too short-lived to thread a per-node
+// tracer through, so one recorder serves the process (in multi-node
+// in-process harnesses its spans cover every hosted node).
+var tracer atomic.Pointer[span.Tracer]
+
+// SetTracer installs (or, with nil, removes) the process-wide tracer
+// that records "secure.derive" spans for session establishment.
+func SetTracer(t *span.Tracer) { tracer.Store(t) }
 
 // ReadStats snapshots the process-wide secure-channel counters.
 func ReadStats() Stats {

@@ -24,6 +24,7 @@ import (
 
 	"sos/internal/id"
 	"sos/internal/msg"
+	"sos/internal/obs/span"
 )
 
 // On-disk layout.
@@ -53,6 +54,8 @@ type Disk struct {
 	dir          string
 	noSync       bool
 	compactBytes int64
+	tracer       *span.Tracer
+	track        uint64
 
 	logMu    sync.Mutex
 	log      *os.File
@@ -87,9 +90,13 @@ func OpenDisk(dir string, owner id.UserID, opts Options) (*Disk, error) {
 		dir:          dir,
 		noSync:       opts.NoSync,
 		compactBytes: opts.CompactBytes,
+		tracer:       opts.Tracer,
 	}
 	if d.compactBytes <= 0 {
 		d.compactBytes = defaultCompactBytes
+	}
+	if d.tracer != nil {
+		d.track = d.tracer.Track("store")
 	}
 
 	if err := d.loadSnapshot(); err != nil {
@@ -236,7 +243,11 @@ func (d *Disk) latchLocked(err error) error {
 // at any point leaves either the old snapshot + full log or the new
 // snapshot + (possibly stale but idempotent) log records.
 func (d *Disk) compactLocked() error {
+	sp := d.tracer.Start(d.track, "store.compact")
+	sp.Attr("logBytes", uint64(d.logBytes))
+	defer sp.End()
 	snap := d.Store.snapshot()
+	sp.Attr("msgs", uint64(len(snap.msgs)))
 	tmp := filepath.Join(d.dir, snapshotFile+".tmp")
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o600)
 	if err != nil {

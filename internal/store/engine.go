@@ -13,6 +13,7 @@ import (
 	"sos/internal/clock"
 	"sos/internal/id"
 	"sos/internal/msg"
+	"sos/internal/obs/span"
 )
 
 // Engine is a node's message database plus subscription registry. All
@@ -210,6 +211,10 @@ type Options struct {
 	// CompactBytes, for the disk engine only, is the append-log size
 	// that triggers snapshot compaction; 0 selects a 1 MiB default.
 	CompactBytes int64
+	// Tracer, when set, records store maintenance spans (disk
+	// compaction) into the node's flight recorder. The memory engine
+	// ignores it.
+	Tracer *span.Tracer
 }
 
 // messageSize is the byte accounting for one stored message: the variable

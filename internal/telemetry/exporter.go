@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"sos/internal/obs/span"
 	"sos/internal/wire"
 )
 
@@ -36,6 +37,9 @@ type ExporterOptions struct {
 	FlushTimeout time.Duration
 	// Logf, when set, receives debug logging.
 	Logf func(format string, args ...any)
+	// Tracer, when set, records export-plane spans (collector dials,
+	// the Close flush) into the node's flight recorder.
+	Tracer *span.Tracer
 }
 
 func (o ExporterOptions) withDefaults() ExporterOptions {
@@ -89,6 +93,9 @@ type Exporter struct {
 	ch   chan Event
 	stop chan struct{} // abandons dial/flush loops
 	done chan struct{} // loop exited
+
+	tracer *span.Tracer
+	track  uint64
 }
 
 var _ Sink = (*Exporter)(nil)
@@ -104,6 +111,10 @@ func NewExporter(addr string, opts ExporterOptions) *Exporter {
 		done: make(chan struct{}),
 	}
 	e.ch = make(chan Event, e.opts.Buffer)
+	if e.opts.Tracer != nil {
+		e.tracer = e.opts.Tracer
+		e.track = e.tracer.Track("telemetry")
+	}
 	go e.loop()
 	return e
 }
@@ -152,9 +163,13 @@ func (e *Exporter) Close() error {
 	close(e.ch)
 	e.mu.Unlock()
 
+	sp := e.tracer.Start(e.track, "telemetry.flush")
+	sp.Attr("queued", uint64(len(e.ch)))
 	select {
 	case <-e.done:
+		sp.Attr("ok", 1)
 	case <-time.After(e.opts.FlushTimeout):
+		sp.Attr("ok", 0)
 		close(e.stop)
 		e.mu.Lock()
 		if e.conn != nil {
@@ -163,6 +178,7 @@ func (e *Exporter) Close() error {
 		e.mu.Unlock()
 		<-e.done
 	}
+	sp.End()
 	return nil
 }
 
@@ -252,8 +268,11 @@ func (e *Exporter) connect(redial bool) net.Conn {
 			return nil
 		default:
 		}
+		sp := e.tracer.Start(e.track, "telemetry.connect")
 		conn, err := net.DialTimeout("tcp", e.addr, e.opts.DialTimeout)
 		if err == nil {
+			sp.Attr("ok", 1)
+			sp.End()
 			e.mu.Lock()
 			e.conn = conn
 			if redial {
@@ -262,6 +281,8 @@ func (e *Exporter) connect(redial bool) net.Conn {
 			e.mu.Unlock()
 			return conn
 		}
+		sp.Attr("ok", 0)
+		sp.End()
 		if e.opts.Logf != nil {
 			e.opts.Logf("telemetry: dial %s: %v", e.addr, err)
 		}

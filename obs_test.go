@@ -31,11 +31,17 @@ func TestDebugSurfacesEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	mediumA, err := sos.NewNetMedium(netTestConfig())
+	// Alice records contact-session spans end to end: the medium, the
+	// node, and the debug server share one flight recorder, exactly as
+	// sosd wires them behind -debug-addr.
+	tracer := sos.NewTracer(0)
+	cfgA := netTestConfig()
+	cfgA.Tracer = tracer
+	mediumA, err := sos.NewNetMedium(cfgA)
 	if err != nil {
 		t.Fatal(err)
 	}
-	alice, err := sos.NewNode(sos.NodeConfig{Creds: aliceCreds, Medium: mediumA, Scheme: sos.SchemeEpidemic})
+	alice, err := sos.NewNode(sos.NodeConfig{Creds: aliceCreds, Medium: mediumA, Scheme: sos.SchemeEpidemic, Tracer: tracer})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,6 +79,7 @@ func TestDebugSurfacesEndToEnd(t *testing.T) {
 	dbg, err := sos.NewDebugServer(sos.DebugServerConfig{
 		Addr:     "127.0.0.1:0",
 		Registry: reg,
+		Tracer:   tracer,
 		Health: func() map[string]any {
 			return map[string]any{"activeLinks": len(alice.ActiveLinks())}
 		},
@@ -142,5 +149,43 @@ func TestDebugSurfacesEndToEnd(t *testing.T) {
 	}
 	if doc["activeLinks"] != float64(1) {
 		t.Errorf("healthz activeLinks = %v, want 1 (bob is linked)", doc["activeLinks"])
+	}
+
+	// The flight recorder: /debug/trace must return schema-valid Chrome
+	// trace_event JSON carrying the contact session just exercised.
+	tresp, err := client.Get(base + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	if ct := tresp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/debug/trace Content-Type = %q, want application/json", ct)
+	}
+	var dump struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Pid  int     `json:"pid"`
+			Tid  uint64  `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(tresp.Body).Decode(&dump); err != nil {
+		t.Fatalf("/debug/trace is not valid trace_event JSON: %v", err)
+	}
+	if len(dump.TraceEvents) == 0 {
+		t.Fatal("/debug/trace returned an empty event list after a live contact")
+	}
+	seen := map[string]bool{}
+	for _, ev := range dump.TraceEvents {
+		if ev.Name == "" || ev.Ph == "" {
+			t.Fatalf("trace event missing name/ph: %+v", ev)
+		}
+		seen[ev.Name] = true
+	}
+	for _, want := range []string{"contact", "handshake", "secure.derive", "advertise.full"} {
+		if !seen[want] {
+			t.Errorf("trace dump missing %q span after a delivered contact", want)
+		}
 	}
 }

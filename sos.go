@@ -291,8 +291,9 @@ func ParseUserID(s string) (UserID, error) {
 	return id.ParseUserID(s)
 }
 
-// Observability types: the per-node metrics registry and HTTP debug
-// surface (/metrics, /healthz, /debug/pprof) sosd serves in production.
+// Observability types: the per-node metrics registry, HTTP debug surface
+// (/metrics, /healthz, /debug/trace, /debug/pprof), and the span tracer
+// sosd serves in production.
 type (
 	// MetricsRegistry collects counters, gauges, and histograms and
 	// renders them in Prometheus text exposition format.
@@ -303,10 +304,19 @@ type (
 	DebugServerConfig = obs.ServerConfig
 	// NodeMetrics names the layer sources RegisterNodeMetrics bridges.
 	NodeMetrics = obs.NodeMetrics
+	// Tracer is the per-node contact-session span recorder: a bounded
+	// ring (a flight recorder — newest spans overwrite oldest) the debug
+	// server dumps as Chrome trace_event JSON at /debug/trace. Pass one
+	// in NodeConfig.Tracer and DebugServerConfig.Tracer.
+	Tracer = obs.Tracer
 )
 
 // NewMetricsRegistry creates an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTracer creates a span tracer whose ring holds capacity records
+// (a few thousand by default when capacity <= 0).
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
 
 // NewDebugServer binds and serves a node's debug surface.
 func NewDebugServer(cfg DebugServerConfig) (*DebugServer, error) { return obs.NewServer(cfg) }

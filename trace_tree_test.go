@@ -1,0 +1,186 @@
+package sos_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"sos"
+)
+
+// TestContactTraceTree100kAuthors is the flight-recorder acceptance test:
+// a first contact between two nodes whose stores have seen 100k authors
+// must leave a complete contact-session span tree in /debug/trace — the
+// handshake, the chunked full-summary stream (~25 chunks at 4096 entries
+// each), and the steady-state delta rounds that follow, all on the one
+// timeline track named after the peer.
+func TestContactTraceTree100kAuthors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-author contact is a long test")
+	}
+	const authors = 100_000
+
+	ca, err := sos.NewCA("Trace Root CA", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cld := sos.NewCloud(ca, nil)
+	aliceCreds, err := sos.Bootstrap(cld, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bobCreds, err := sos.Bootstrap(cld, "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	medium := sos.NewMemMedium()
+
+	// Identical 100k-author histories: the first contact has no payload
+	// to move, so the trace isolates the summary machinery — exactly the
+	// regime where the chunked stream replaces a single giant frame.
+	aliceStore := sos.NewMemStore(aliceCreds.Ident.User, sos.StoreOptions{})
+	bobStore := sos.NewMemStore(bobCreds.Ident.User, sos.StoreOptions{})
+	created := time.Unix(1491472800, 0).UTC()
+	for i := 0; i < authors; i++ {
+		m := &sos.Message{
+			Author:  sos.NewUserID(fmt.Sprintf("history-%07d", i)),
+			Seq:     1,
+			Kind:    sos.KindPost,
+			Created: created,
+		}
+		if _, err := aliceStore.Put(m); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := bobStore.Put(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	tracer := sos.NewTracer(0)
+	delivered := make(chan sos.Ref, 16)
+	alice, err := sos.NewNode(sos.NodeConfig{
+		Creds:  aliceCreds,
+		Medium: medium,
+		Store:  aliceStore,
+		Tracer: tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer alice.Close()
+	bob, err := sos.NewNode(sos.NodeConfig{
+		Creds:  bobCreds,
+		Medium: medium,
+		Store:  bobStore,
+		OnReceive: func(m *sos.Message, _ sos.UserID) {
+			delivered <- m.Ref()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bob.Close()
+
+	dbg, err := sos.NewDebugServer(sos.DebugServerConfig{Addr: "127.0.0.1:0", Tracer: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dbg.Close()
+
+	// Prime the contact, then wait for the chunked first-contact summary
+	// exchange to settle on both sides (the stream keeps arriving after
+	// the first delivery).
+	if _, err := alice.Post([]byte("priming post")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-delivered:
+	case <-time.After(60 * time.Second):
+		t.Fatal("priming post never delivered")
+	}
+	settleBy := time.Now().Add(120 * time.Second)
+	for {
+		_, _, aliceView := alice.SyncState()
+		_, _, bobView := bob.SyncState()
+		if aliceView >= authors && bobView >= authors {
+			break
+		}
+		if time.Now().After(settleBy) {
+			t.Fatalf("summary exchange did not settle (views %d/%d of %d)", aliceView, bobView, authors)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Steady-state delta rounds on the established link.
+	for i := 0; i < 3; i++ {
+		if _, err := alice.Post([]byte("delta round")); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-delivered:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("delta round %d stalled", i)
+		}
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get("http://" + dbg.Addr() + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var dump struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Tid  uint64         `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		t.Fatalf("/debug/trace is not valid trace_event JSON: %v", err)
+	}
+
+	// Resolve the contact track from the thread_name metadata, then
+	// assert the whole session tree lives on that one tid.
+	var contactTid uint64
+	found := false
+	for _, ev := range dump.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			if name, _ := ev.Args["name"].(string); name == "contact bob-device" {
+				contactTid = ev.Tid
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no 'contact bob-device' track in the trace dump")
+	}
+	counts := map[string]int{}
+	for _, ev := range dump.TraceEvents {
+		if ev.Tid == contactTid && (ev.Ph == "X" || ev.Ph == "B") {
+			counts[ev.Name]++
+		}
+	}
+	if counts["handshake"] == 0 {
+		t.Error("contact track has no handshake span")
+	}
+	if counts["contact"] == 0 {
+		t.Error("contact track has no contact envelope span")
+	}
+	if counts["advertise.full"] == 0 {
+		t.Error("contact track has no full advertisement (chunk 0) span")
+	}
+	// 100k entries at 4096 per chunk is 25 frames: chunk 0 rides the
+	// advertisement, so at least 24 continuation chunks must appear.
+	if counts["sync.chunk"] < 24 {
+		t.Errorf("contact track has %d sync.chunk spans, want >= 24", counts["sync.chunk"])
+	}
+	if counts["advertise.delta"] == 0 {
+		t.Error("contact track has no delta advertisement span after steady-state rounds")
+	}
+}
