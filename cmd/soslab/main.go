@@ -8,6 +8,13 @@
 //	soslab -spec examples/soslab-fleet/fleet.json
 //	soslab -spec fleet.json -mode process -sosd ./sosd -out report.json -csv delays.csv
 //	soslab -spec examples/sim-1k/interest-1k.json -mode sim -out report.json
+//	soslab -spec examples/chaos-sweep/sweep.json -sweep chaos -grid-csv grid.csv -grid-md grid.md
+//
+// With -sweep, soslab runs the adversarial scenario matrix instead of a
+// single experiment: the cross-product {scheme × mobility × chaos
+// profile × store policy} declared by the spec's "sweep" block (or the
+// built-in chaos matrix when the block is absent), one live in-process
+// run per cell, emitting a paper-style grid as CSV and markdown.
 //
 // The spec declares the fleet (size, social graph, routing scheme,
 // storage engine and quotas), the post workload, and a churn schedule of
@@ -56,17 +63,30 @@ func run(args []string) error {
 	quiet := fs.Bool("q", false, "suppress live progress")
 	verbose := fs.Bool("v", false, "log node-level detail (child output, churn, posts)")
 	logJSON := fs.Bool("log-json", false, "emit -v detail as structured JSON log lines")
-	minDeliveries := fs.Int("min-deliveries", 0, "exit nonzero unless at least this many deliveries occurred (CI smoke)")
+	minDeliveries := fs.Int("min-deliveries", 0, "exit nonzero unless at least this many deliveries occurred (CI smoke; per cell in a sweep)")
 	checkObs := fs.Bool("check-obs", false, "exit nonzero on observability invariant violations (exporter drops, missing nodes)")
+	sweep := fs.String("sweep", "", "run the scenario matrix named by the spec's sweep block (any value, canonically \"chaos\") instead of a single experiment")
+	gridCSV := fs.String("grid-csv", "", "write the sweep grid as CSV here")
+	gridMD := fs.String("grid-md", "", "write the sweep grid as a markdown table here")
+	minSchemeRatio := fs.String("min-scheme-ratio", "", "comma-separated scheme=ratio gates: every sweep cell of that scheme must reach the mean delivery ratio (e.g. epidemic=0.9)")
 	fs.Parse(args)
 	if *specPath == "" {
 		fs.Usage()
 		return fmt.Errorf("-spec is required")
 	}
 
+	ratioGates, err := parseRatioGates(*minSchemeRatio)
+	if err != nil {
+		return err
+	}
+
 	spec, err := lab.LoadSpec(*specPath)
 	if err != nil {
 		return err
+	}
+	if *sweep != "" {
+		return runSweep(spec, *sweep, lab.Options{WorkDir: *workDir, TraceDir: *traceDir},
+			*verbose, *logJSON, *gridCSV, *gridMD, *out, *minDeliveries, *checkObs, ratioGates)
 	}
 	fmt.Printf("soslab: %q — %d nodes, %s routing, %d posts over %s (%s mode)\n",
 		spec.Name, spec.Nodes, spec.Scheme, spec.Posts, spec.Duration, *mode)
@@ -165,6 +185,96 @@ func run(args []string) error {
 		if v := report.ObservabilityViolations(); len(v) > 0 {
 			return fmt.Errorf("observability invariants violated:\n  %s", strings.Join(v, "\n  "))
 		}
+	}
+	return nil
+}
+
+// parseRatioGates parses "scheme=ratio[,scheme=ratio...]".
+func parseRatioGates(s string) (map[string]float64, error) {
+	gates := make(map[string]float64)
+	if s == "" {
+		return gates, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -min-scheme-ratio entry %q (want scheme=ratio)", part)
+		}
+		var ratio float64
+		if _, err := fmt.Sscanf(val, "%g", &ratio); err != nil || ratio < 0 || ratio > 1 {
+			return nil, fmt.Errorf("bad -min-scheme-ratio value %q (want a ratio in [0,1])", val)
+		}
+		gates[name] = ratio
+	}
+	return gates, nil
+}
+
+// runSweep executes the scenario matrix and applies the CI gates.
+func runSweep(spec *lab.Spec, name string, opts lab.Options, verbose, logJSON bool,
+	gridCSV, gridMD, out string, minDeliveries int, checkObs bool, ratioGates map[string]float64) error {
+
+	if verbose {
+		log, err := obs.NewLogger(os.Stderr, "debug", logJSON)
+		if err != nil {
+			return err
+		}
+		opts.Logf = obs.Logf(log)
+	} else {
+		// A sweep is many runs back to back; always narrate cell starts.
+		opts.Logf = func(format string, args ...any) {
+			if strings.HasPrefix(format, "lab: sweep cell") || strings.HasPrefix(format, "lab: chaos profile") {
+				fmt.Printf(format+"\n", args...)
+			}
+		}
+	}
+	fmt.Printf("soslab: sweep %q over %q — %d nodes per cell\n", name, spec.Name, spec.Nodes)
+	rep, err := lab.RunSweep(spec, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Summary())
+
+	if out != "" {
+		if out == "-" {
+			if err := rep.WriteJSON(os.Stdout); err != nil {
+				return err
+			}
+		} else if err := writeFile(out, rep.WriteJSON); err != nil {
+			return err
+		} else {
+			fmt.Printf("soslab: sweep report → %s\n", out)
+		}
+	}
+	if gridCSV != "" {
+		if err := writeFile(gridCSV, rep.WriteCSV); err != nil {
+			return err
+		}
+		fmt.Printf("soslab: grid CSV → %s\n", gridCSV)
+	}
+	if gridMD != "" {
+		if err := writeFile(gridMD, rep.WriteMarkdown); err != nil {
+			return err
+		}
+		fmt.Printf("soslab: grid markdown → %s\n", gridMD)
+	}
+
+	var fails []string
+	for _, c := range rep.Cells {
+		id := fmt.Sprintf("%s/%s/%s/%s", c.Scheme, c.Mobility, c.Chaos, c.Policy)
+		if c.Deliveries < minDeliveries {
+			fails = append(fails, fmt.Sprintf("%s: %d deliveries, want at least %d", id, c.Deliveries, minDeliveries))
+		}
+		if gate, ok := ratioGates[c.Scheme]; ok && c.RatioMean < gate {
+			fails = append(fails, fmt.Sprintf("%s: delivery ratio %.3f below gate %.3f", id, c.RatioMean, gate))
+		}
+		if checkObs {
+			for _, v := range c.ObservabilityViolations {
+				fails = append(fails, fmt.Sprintf("%s: %s", id, v))
+			}
+		}
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("sweep gates failed:\n  %s", strings.Join(fails, "\n  "))
 	}
 	return nil
 }

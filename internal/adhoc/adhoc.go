@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"sos/internal/clock"
 	"sos/internal/id"
@@ -40,12 +41,22 @@ import (
 // handshakeTag is the domain-separation prefix of the transcript.
 const handshakeTag = "sos/hs/v1"
 
+// DefaultHandshakeTimeout is the Config.HandshakeTimeout default.
+const DefaultHandshakeTimeout = 2 * time.Second
+
 // Errors reported by the ad hoc manager.
 var (
 	ErrClosed        = errors.New("adhoc: manager closed")
 	ErrBadHandshake  = errors.New("adhoc: handshake protocol violation")
 	ErrBadTranscript = errors.New("adhoc: transcript signature invalid")
 	ErrLinkExists    = errors.New("adhoc: link to peer already active")
+	// ErrPeerMisbehaved marks authenticated protocol abuse: the peer's
+	// sealed frame decrypted and authenticated under the session key but
+	// its plaintext is not a wire frame. Radio damage cannot produce
+	// this (a corrupted ciphertext fails AEAD authentication instead),
+	// so the upper layer may score it against the peer. Surfaces as the
+	// LinkDown reason.
+	ErrPeerMisbehaved = errors.New("adhoc: authenticated peer sent undecodable plaintext")
 )
 
 // Handler is the callback surface the message manager registers.
@@ -77,6 +88,12 @@ type Config struct {
 	Handler  Handler
 	Clock    clock.Clock
 	Rand     io.Reader // handshake nonce source; nil → crypto/rand
+	// HandshakeTimeout bounds how long a connection may sit mid-handshake
+	// before it is failed and closed: on a lossy radio a dropped Hello,
+	// HelloAck, or HelloFin would otherwise wedge the state machine
+	// forever (and Connect would refuse retries while the zombie lives).
+	// 0 selects DefaultHandshakeTimeout; negative disables the timer.
+	HandshakeTimeout time.Duration
 	// Tracer, when set, records a handshake span per connection into the
 	// node's flight recorder, on the same "contact <peer>" track the
 	// message layer uses, so the secure handshake heads each
@@ -139,6 +156,15 @@ type connState struct {
 	// state is published in conns; the manager's serialized callbacks
 	// only read it afterwards.
 	hs span.Span
+	// failure records why the manager dropped the connection, so the
+	// eventual Disconnected callback can report the protocol-level
+	// reason (e.g. ErrPeerMisbehaved) instead of the transport's
+	// generic close error. Guarded by the manager mutex.
+	failure error
+	// hsTimer fails the handshake if it has not established in time;
+	// stopped at establishment and on every failure path. Guarded by
+	// the manager mutex.
+	hsTimer *time.Timer
 }
 
 // contactTrack interns the contact track shared with the message layer.
@@ -256,6 +282,7 @@ func (m *Manager) Connect(peer mpc.PeerID) error {
 		m.failConn(conn, err)
 		return err
 	}
+	m.armHandshakeTimer(conn, st)
 	return nil
 }
 
@@ -282,6 +309,46 @@ func (m *Manager) Close() error {
 	return m.endpoint.Close()
 }
 
+// armHandshakeTimer schedules the wedge guard for a connection whose
+// handshake just started: a lossy radio can swallow any handshake frame,
+// and the state machine has no other way to make progress.
+func (m *Manager) armHandshakeTimer(conn mpc.Conn, st *connState) {
+	d := m.cfg.HandshakeTimeout
+	if d < 0 {
+		return
+	}
+	if d == 0 {
+		d = DefaultHandshakeTimeout
+	}
+	m.mu.Lock()
+	if m.conns[conn] == st && st.stage != stageEstablished {
+		st.hsTimer = time.AfterFunc(d, func() { m.expireHandshake(conn, st) })
+	}
+	m.mu.Unlock()
+}
+
+// expireHandshake fails a connection still mid-handshake at the deadline.
+func (m *Manager) expireHandshake(conn mpc.Conn, st *connState) {
+	m.mu.Lock()
+	if m.conns[conn] != st || st.stage == stageEstablished {
+		m.mu.Unlock()
+		return
+	}
+	if st.failure == nil {
+		st.failure = fmt.Errorf("%w: handshake timed out", ErrBadHandshake)
+	}
+	m.mu.Unlock()
+	conn.Close() // Disconnected does the bookkeeping
+}
+
+// stopHandshakeTimerLocked stops the wedge guard; callers hold m.mu.
+func (st *connState) stopHandshakeTimerLocked() {
+	if st.hsTimer != nil {
+		st.hsTimer.Stop()
+		st.hsTimer = nil
+	}
+}
+
 // sendPlain encodes and sends a handshake frame outside any session.
 func (m *Manager) sendPlain(conn mpc.Conn, f wire.Frame) error {
 	buf, err := wire.Encode(f)
@@ -299,6 +366,9 @@ func (m *Manager) failConn(conn mpc.Conn, _ error) {
 	m.mu.Lock()
 	st := m.conns[conn]
 	delete(m.conns, conn)
+	if st != nil {
+		st.stopHandshakeTimerLocked()
+	}
 	m.stats.HandshakeFailures++
 	m.mu.Unlock()
 	if st != nil {
@@ -383,6 +453,7 @@ func (e *events) Incoming(conn mpc.Conn) {
 	st.hs = m.cfg.Tracer.Start(m.contactTrack(conn.Peer()), "handshake")
 	m.conns[conn] = st
 	m.mu.Unlock()
+	m.armHandshakeTimer(conn, st)
 }
 
 // Received implements mpc.Events: route a frame through the handshake
@@ -415,6 +486,7 @@ func (e *events) Disconnected(conn mpc.Conn, reason error) {
 	st, ok := m.conns[conn]
 	if ok {
 		delete(m.conns, conn)
+		st.stopHandshakeTimerLocked()
 		if st.stage != stageEstablished {
 			m.stats.HandshakeFailures++
 			st.hs.Attr("ok", 0)
@@ -427,6 +499,11 @@ func (e *events) Disconnected(conn mpc.Conn, reason error) {
 			delete(m.links, st.link.peer)
 		}
 		link = st.link
+	}
+	if ok && st.failure != nil {
+		// The manager dropped this connection itself; report why, not
+		// the transport's generic close error.
+		reason = st.failure
 	}
 	m.mu.Unlock()
 	if link != nil {
@@ -537,12 +614,22 @@ func (m *Manager) onSealed(st *connState, frame []byte, expectFin bool) {
 		m.mu.Lock()
 		m.stats.DecryptionFailures++
 		m.mu.Unlock()
+		// A stale sequence on an established link is a duplicated or
+		// late frame from a chaotic radio (the session tolerates forward
+		// gaps, so loss alone never lands here): discard the frame, keep
+		// the link. Authentication failures still tear down — a key
+		// mismatch cannot heal.
+		if !expectFin && errors.Is(err, secure.ErrReplay) {
+			return
+		}
 		m.dropConn(st, err)
 		return
 	}
 	f, err := wire.Decode(plain)
 	if err != nil {
-		m.dropConn(st, err)
+		// The ciphertext authenticated, so the peer really sent this
+		// undecodable plaintext: protocol abuse, not radio damage.
+		m.dropConn(st, fmt.Errorf("%w: %v", ErrPeerMisbehaved, err))
 		return
 	}
 
@@ -598,6 +685,7 @@ func (m *Manager) establish(st *connState) *Link {
 	}
 	st.stage = stageEstablished
 	st.link = link
+	st.stopHandshakeTimerLocked()
 	m.links[link.peer] = link
 	m.stats.HandshakesOK++
 	m.mu.Unlock()
@@ -614,8 +702,14 @@ func (m *Manager) rejectCert(conn mpc.Conn, _ error) {
 	m.failConn(conn, nil)
 }
 
-// dropConn closes an established (or finishing) connection.
-func (m *Manager) dropConn(st *connState, _ error) {
+// dropConn closes an established (or finishing) connection, recording
+// the reason for the Disconnected callback to surface.
+func (m *Manager) dropConn(st *connState, reason error) {
+	m.mu.Lock()
+	if st.failure == nil {
+		st.failure = reason
+	}
+	m.mu.Unlock()
 	st.conn.Close() // Disconnected callback does the bookkeeping
 }
 

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"sos/internal/adhoc"
 	"sos/internal/clock"
@@ -142,6 +143,17 @@ type Config struct {
 	// wanted messages (the default behaviour).
 	DisableAutoConnect bool
 
+	// HandshakeTimeout bounds a mid-handshake connection before it is
+	// failed and retried (adhoc.Config.HandshakeTimeout). 0 selects the
+	// adhoc default; the lab shortens it to its fast radio timescale.
+	HandshakeTimeout time.Duration
+
+	// ResyncInterval is the in-session resync heartbeat period
+	// (message.Config.ResyncInterval). 0 selects the message-layer
+	// default, negative disables; the lab shortens it to its fast radio
+	// timescale.
+	ResyncInterval time.Duration
+
 	// Tracer, when set, records contact-lifecycle spans (handshakes,
 	// advertisements, full-sync chunk streams) into a bounded ring the
 	// debug server dumps as Chrome trace_event JSON. Nil disables
@@ -255,29 +267,31 @@ func New(cfg Config) (*Middleware, error) {
 		}
 	}
 	msgMgr, err := message.New(message.Config{
-		Store:       st,
-		Routing:     routingMgr,
-		Verifier:    verifier,
-		Clock:       cfg.Clock,
-		OnReceive:   onReceive,
-		OnPeerUp:    onPeerUp,
-		OnPeerDown:  onPeerDown,
-		AutoConnect: !cfg.DisableAutoConnect,
-		Tracer:      cfg.Tracer,
+		Store:          st,
+		Routing:        routingMgr,
+		Verifier:       verifier,
+		Clock:          cfg.Clock,
+		OnReceive:      onReceive,
+		OnPeerUp:       onPeerUp,
+		OnPeerDown:     onPeerDown,
+		AutoConnect:    !cfg.DisableAutoConnect,
+		ResyncInterval: cfg.ResyncInterval,
+		Tracer:         cfg.Tracer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: building message manager: %w", err)
 	}
 	adhocMgr, err := adhoc.New(adhoc.Config{
-		Medium:   cfg.Medium,
-		PeerName: cfg.PeerName,
-		Ident:    cfg.Creds.Ident,
-		CertDER:  cfg.Creds.Cert.DER,
-		Verifier: verifier,
-		Handler:  msgMgr,
-		Clock:    cfg.Clock,
-		Rand:     cfg.Rand,
-		Tracer:   cfg.Tracer,
+		Medium:           cfg.Medium,
+		PeerName:         cfg.PeerName,
+		Ident:            cfg.Creds.Ident,
+		CertDER:          cfg.Creds.Cert.DER,
+		Verifier:         verifier,
+		Handler:          msgMgr,
+		Clock:            cfg.Clock,
+		Rand:             cfg.Rand,
+		Tracer:           cfg.Tracer,
+		HandshakeTimeout: cfg.HandshakeTimeout,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: building ad hoc manager: %w", err)
@@ -469,6 +483,7 @@ func (mw *Middleware) Advertise() error { return mw.msgMgr.Advertise() }
 // Close shuts the middleware down, detaches from the medium, and flushes
 // and closes the storage engine (crash-safe persistence for daemons).
 func (mw *Middleware) Close() error {
+	mw.msgMgr.Close()
 	mediumErr := mw.adhocMgr.Close()
 	storeErr := mw.store.Close()
 	if mediumErr != nil {

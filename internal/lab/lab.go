@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"sos/internal/chaos"
 	"sos/internal/cloud"
 	"sos/internal/core"
 	"sos/internal/id"
@@ -92,10 +93,20 @@ func Run(spec *Spec, opts Options) (*Report, error) {
 			return nil, fmt.Errorf("lab: spec has sim-only fields (trace/mobility); run with mode %q", ModeSim)
 		}
 		if opts.Mode == ModeProcess {
+			// Child processes own their sockets, so the in-process chaos
+			// wrapper cannot reach their frames.
+			if spec.Chaos != nil {
+				return nil, fmt.Errorf("lab: chaos profiles run in mode %q only", ModeInProcess)
+			}
 			return runProcess(spec, opts)
 		}
 		return runInProcess(spec, opts)
 	case ModeSim:
+		// The simulator moves messages at virtual time with no frame
+		// medium, so there is nothing for a chaos profile to disturb.
+		if spec.Chaos != nil {
+			return nil, fmt.Errorf("lab: chaos profiles run in mode %q only", ModeInProcess)
+		}
 		return runSim(spec, opts)
 	default:
 		return nil, fmt.Errorf("lab: unknown mode %q (want %q, %q, or %q)", opts.Mode, ModeInProcess, ModeProcess, ModeSim)
@@ -188,6 +199,25 @@ func runInProcess(spec *Spec, opts Options) (*Report, error) {
 		return nil, fmt.Errorf("lab: creating medium: %w", err)
 	}
 
+	// With a chaos block, every node sees the medium through the fault
+	// injector; churn severs through the same wrapper so scheduled
+	// partitions and spec churn compose instead of fighting.
+	var nodeMedium mpc.Medium = medium
+	var radio chaos.Reachability = medium
+	var chaosMedium *chaos.Medium
+	if prof, perr := spec.chaosProfile(); perr != nil {
+		return nil, perr
+	} else if spec.Chaos != nil {
+		chaosMedium, err = chaos.Wrap(medium, prof)
+		if err != nil {
+			return nil, fmt.Errorf("lab: wrapping medium: %w", err)
+		}
+		defer chaosMedium.Close()
+		nodeMedium = chaosMedium
+		radio = chaosMedium
+		opts.logf("lab: chaos profile %s armed (seed %d)", spec.Chaos.Label(), prof.Seed)
+	}
+
 	policy, err := store.PolicyByName(spec.Store.Policy, spec.Store.RelayTTL.D())
 	if err != nil {
 		return nil, fmt.Errorf("lab: store policy: %w", err)
@@ -236,13 +266,18 @@ func runInProcess(spec *Spec, opts Options) (*Report, error) {
 		}
 		mw, err := core.New(core.Config{
 			Creds:    creds,
-			Medium:   medium,
+			Medium:   nodeMedium,
 			PeerName: n.peer,
 			Scheme:   spec.Scheme,
 			Routing:  routing.Options{RelayTTL: spec.Store.RelayTTL.D()},
 			Store:    engine,
 			Observer: observer,
 			Tracer:   tracer,
+			// The lab radio answers in milliseconds, so a wedged
+			// handshake is knowable — and retryable — at the discovery
+			// timescale instead of the field default.
+			HandshakeTimeout: spec.LossTimeout.D(),
+			ResyncInterval:   spec.LossTimeout.D(),
 		})
 		if err != nil {
 			engine.Close() // core.New takes ownership only on success
@@ -256,6 +291,7 @@ func runInProcess(spec *Spec, opts Options) (*Report, error) {
 			Middleware: mw,
 			Medium:     medium,
 			Exporter:   n.exporter,
+			Chaos:      chaosMedium,
 		})
 		byHandle[handle] = n
 		users[handle] = n.user
@@ -284,7 +320,7 @@ func runInProcess(spec *Spec, opts Options) (*Report, error) {
 			if up && other.down {
 				continue
 			}
-			medium.SetReachable(n.peer, other.peer, up)
+			radio.SetReachable(n.peer, other.peer, up)
 		}
 		n.down = !up
 	}
@@ -378,6 +414,20 @@ func runInProcess(spec *Spec, opts Options) (*Report, error) {
 
 	report := buildReport(spec, ModeInProcess, startedAt, elapsed,
 		agg.Collector(), agg.Stats(), spec.Subscriptions(users), reports, executed, skipped)
+	if chaosMedium != nil {
+		cs := chaosMedium.Stats()
+		report.Chaos = &ChaosReport{
+			Profile:           spec.Chaos.Label(),
+			FramesPassed:      cs.FramesPassed,
+			FramesDropped:     cs.FramesDropped,
+			FramesDuplicated:  cs.FramesDuplicated,
+			FramesReordered:   cs.FramesReordered,
+			FramesDelayed:     cs.FramesDelayed,
+			OneWayDrops:       cs.OneWayDrops,
+			PartitionsStarted: cs.PartitionsStarted,
+			PartitionsHealed:  cs.PartitionsHealed,
+		}
+	}
 	attachPaths(report, agg)
 	attachTimeline(report, startedAt, opts.TimelineInterval, elapsed, samples)
 	dumpFleetTraces(report, opts, nodes)

@@ -69,6 +69,20 @@ type RatioStats struct {
 	Ratios  []float64 `json:"ratios,omitempty"`
 }
 
+// ChaosReport snapshots the fault-injection wrapper after a run with a
+// chaos profile: what the medium actually did to the fleet's frames.
+type ChaosReport struct {
+	Profile           string `json:"profile"`
+	FramesPassed      uint64 `json:"framesPassed"`
+	FramesDropped     uint64 `json:"framesDropped"`
+	FramesDuplicated  uint64 `json:"framesDuplicated"`
+	FramesReordered   uint64 `json:"framesReordered"`
+	FramesDelayed     uint64 `json:"framesDelayed"`
+	OneWayDrops       uint64 `json:"oneWayDrops"`
+	PartitionsStarted uint64 `json:"partitionsStarted"`
+	PartitionsHealed  uint64 `json:"partitionsHealed"`
+}
+
 // Report is a finished experiment: the spec echoed back plus every §VI
 // quantity computed from the fleet's live telemetry.
 type Report struct {
@@ -107,6 +121,10 @@ type Report struct {
 	// teardown (Options.TraceDir, or an emergency dump directory when
 	// observability violations fired with tracing enabled).
 	TraceFiles []string `json:"traceFiles,omitempty"`
+
+	// Chaos, when the run injected faults, snapshots the wrapper's
+	// counters.
+	Chaos *ChaosReport `json:"chaos,omitempty"`
 
 	Telemetry telemetry.AggregatorStats `json:"telemetry"`
 	Nodes     []NodeReport              `json:"nodes"`
@@ -277,6 +295,11 @@ func (r *Report) Summary() string {
 	fmt.Fprintf(&b, "  delivery ratio:  mean %.2f over %d subscriptions (%.2f above 0.80)\n",
 		r.Ratio.Mean, r.Ratio.Subscriptions, r.Ratio.Above80)
 	fmt.Fprintf(&b, "  evictions:       %d (%d workload)\n", r.Evictions, r.TrackedEvictions)
+	if c := r.Chaos; c != nil {
+		fmt.Fprintf(&b, "  chaos (%s):      dropped %d  duplicated %d  reordered %d  delayed %d  oneway %d  partitions %d/%d\n",
+			c.Profile, c.FramesDropped, c.FramesDuplicated, c.FramesReordered,
+			c.FramesDelayed, c.OneWayDrops, c.PartitionsStarted, c.PartitionsHealed)
+	}
 	fmt.Fprintf(&b, "  telemetry:       %d events from %d nodes (%d retransmits discarded)\n",
 		r.Telemetry.Events, r.Telemetry.Nodes, r.Telemetry.Duplicates)
 	var dropped uint64

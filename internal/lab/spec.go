@@ -20,6 +20,7 @@ import (
 	"sort"
 	"time"
 
+	"sos/internal/chaos"
 	"sos/internal/id"
 	"sos/internal/metrics"
 )
@@ -102,6 +103,55 @@ const (
 	MobilityWorkingDay     = "working-day"
 )
 
+// ChaosPartition is one scheduled network split for a chaos profile.
+type ChaosPartition struct {
+	// At starts the split (offset from experiment start).
+	At Duration `json:"at"`
+	// Heal ends it; 0 leaves the fleet split for the rest of the run.
+	Heal Duration `json:"heal,omitempty"`
+}
+
+// ChaosSpec declares the adversarial radio conditions for a live
+// in-process run: the shared loopback medium is wrapped by an
+// internal/chaos medium that injects the declared faults
+// deterministically from the seed. Either name a preset (Profile) or
+// spell out the dials — not both.
+type ChaosSpec struct {
+	// Profile names a chaos preset (chaos.PresetNames); when set, the
+	// explicit dials below must be zero.
+	Profile string `json:"profile,omitempty"`
+	// Seed fixes the injection schedule; 0 inherits the spec seed.
+	Seed int64 `json:"seed,omitempty"`
+	// Loss / Duplicate / Reorder are per-frame probabilities in [0,1).
+	Loss      float64 `json:"loss,omitempty"`
+	Duplicate float64 `json:"duplicate,omitempty"`
+	Reorder   float64 `json:"reorder,omitempty"`
+	// Delay / Jitter add fixed plus uniformly-random latency per frame.
+	Delay  Duration `json:"delay,omitempty"`
+	Jitter Duration `json:"jitter,omitempty"`
+	// OneWay is the probability a link mutes one direction entirely.
+	OneWay float64 `json:"oneWay,omitempty"`
+	// Partitions schedules fleet-wide splits with healing.
+	Partitions []ChaosPartition `json:"partitions,omitempty"`
+}
+
+// explicit reports whether any hand-set dial is nonzero.
+func (c *ChaosSpec) explicit() bool {
+	return c.Loss != 0 || c.Duplicate != 0 || c.Reorder != 0 ||
+		c.Delay != 0 || c.Jitter != 0 || c.OneWay != 0 || len(c.Partitions) > 0
+}
+
+// Label names the chaos configuration for reports and sweep grids.
+func (c *ChaosSpec) Label() string {
+	if c == nil {
+		return chaos.PresetNone
+	}
+	if c.Profile != "" {
+		return c.Profile
+	}
+	return "custom"
+}
+
 // Churn operations.
 const (
 	OpDown = "down"
@@ -162,6 +212,14 @@ type Spec struct {
 	// reproducible reports. In ModeSim it additionally fixes mobility
 	// itineraries and the whole virtual-time schedule.
 	Seed int64 `json:"seed,omitempty"`
+
+	// Chaos injects adversarial radio conditions into the shared medium.
+	// Live in-process only: sim has no frame medium to disturb, and
+	// child processes own their sockets.
+	Chaos *ChaosSpec `json:"chaos,omitempty"`
+	// Sweep declares the scenario-matrix axes for RunSweep; ignored by
+	// single runs.
+	Sweep *SweepSpec `json:"sweep,omitempty"`
 
 	// Mobility configures the synthetic mobility model for ModeSim runs
 	// (nil selects random-waypoint defaults). Sim-only.
@@ -318,6 +376,22 @@ func (s *Spec) Validate() error {
 	default:
 		return fmt.Errorf("lab: unknown store engine %q (want mem or disk)", s.Store.Engine)
 	}
+	if c := s.Chaos; c != nil {
+		if c.Profile != "" {
+			if c.explicit() {
+				return fmt.Errorf("lab: chaos names profile %q and sets explicit dials; pick one", c.Profile)
+			}
+			if _, err := chaos.Preset(c.Profile, s.Duration.D(), c.Seed); err != nil {
+				return fmt.Errorf("lab: %w", err)
+			}
+		}
+		if _, err := s.chaosProfile(); err != nil {
+			return err
+		}
+	}
+	if err := s.Sweep.validate(); err != nil {
+		return err
+	}
 	for i, c := range s.Churn {
 		if c.Op != OpDown && c.Op != OpUp {
 			return fmt.Errorf("lab: churn[%d]: unknown op %q (want %q or %q)", i, c.Op, OpDown, OpUp)
@@ -430,6 +504,52 @@ func (s *Spec) postSchedule() []postEvent {
 		})
 	}
 	return out
+}
+
+// chaosProfile resolves the spec's chaos block into an injection
+// profile, or the zero profile when the spec declares none.
+func (s *Spec) chaosProfile() (chaos.Profile, error) {
+	c := s.Chaos
+	if c == nil {
+		return chaos.Profile{}, nil
+	}
+	seed := c.Seed
+	if seed == 0 {
+		seed = s.Seed
+	}
+	if c.Profile != "" {
+		p, err := chaos.Preset(c.Profile, s.Duration.D(), seed)
+		if err != nil {
+			return chaos.Profile{}, fmt.Errorf("lab: %w", err)
+		}
+		return p, nil
+	}
+	p := chaos.Profile{
+		Seed:      seed,
+		Loss:      c.Loss,
+		Duplicate: c.Duplicate,
+		Reorder:   c.Reorder,
+		Delay:     c.Delay.D(),
+		Jitter:    c.Jitter.D(),
+		OneWay:    c.OneWay,
+	}
+	for i, part := range c.Partitions {
+		if part.At < 0 || part.At > s.Duration {
+			return chaos.Profile{}, fmt.Errorf("lab: chaos partition %d at %s outside the run", i, part.At)
+		}
+		heal := part.Heal.D()
+		if heal == 0 {
+			// Unhealed split: park the heal past the end of the run.
+			heal = s.Duration.D() + time.Second
+		} else if part.Heal <= part.At {
+			return chaos.Profile{}, fmt.Errorf("lab: chaos partition %d heals at %s, before its start %s", i, part.Heal, part.At)
+		}
+		p.Partitions = append(p.Partitions, chaos.Partition{At: part.At.D(), Heal: heal})
+	}
+	if err := p.Validate(); err != nil {
+		return chaos.Profile{}, fmt.Errorf("lab: %w", err)
+	}
+	return p, nil
 }
 
 // storeEngine returns the effective engine for the given mode.

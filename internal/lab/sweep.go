@@ -1,0 +1,321 @@
+package lab
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"sos/internal/chaos"
+	"sos/internal/store"
+)
+
+// Live-mode mobility presets for sweeps. The live lab has no geometry,
+// so "mobility" here means availability dynamics: churn schedules that
+// approximate the field's devices drifting in and out of the gathering.
+const (
+	// MobilitySteady keeps every node awake for the whole run.
+	MobilitySteady = "steady"
+	// MobilityWaves sleeps the odd-indexed half of the fleet in
+	// staggered windows mid-run and wakes it again — store-and-forward
+	// must carry traffic across the gaps.
+	MobilityWaves = "waves"
+)
+
+// SweepSpec declares the adversarial scenario matrix: RunSweep executes
+// the full cross-product of the axes, one live in-process run per cell.
+// Empty axes default to the base spec's own setting (a single value), so
+// a sweep over {schemes × chaos} alone stays a two-axis grid.
+type SweepSpec struct {
+	// Schemes lists routing protocols (routing.Scheme* names).
+	Schemes []string `json:"schemes,omitempty"`
+	// Mobility lists availability presets (MobilitySteady, MobilityWaves).
+	Mobility []string `json:"mobility,omitempty"`
+	// Chaos lists chaos presets (chaos.PresetNames).
+	Chaos []string `json:"chaos,omitempty"`
+	// Policies lists store eviction policies (store.PolicyByName names).
+	Policies []string `json:"policies,omitempty"`
+}
+
+// validate checks the axis values that can be checked without running.
+func (w *SweepSpec) validate() error {
+	if w == nil {
+		return nil
+	}
+	for _, m := range w.Mobility {
+		if m != MobilitySteady && m != MobilityWaves {
+			return fmt.Errorf("lab: unknown sweep mobility %q (want %q or %q)", m, MobilitySteady, MobilityWaves)
+		}
+	}
+	for _, c := range w.Chaos {
+		if _, err := chaos.Preset(c, time.Second, 0); err != nil {
+			return fmt.Errorf("lab: sweep: %w", err)
+		}
+	}
+	for _, p := range w.Policies {
+		if _, err := store.PolicyByName(p, time.Second); err != nil {
+			return fmt.Errorf("lab: sweep: %w", err)
+		}
+	}
+	return nil
+}
+
+// DefaultChaosSweep is the canonical adversarial matrix soslab runs when
+// the spec declares no sweep block: two schemes crossed with the benign
+// and acceptance chaos regimes.
+func DefaultChaosSweep() *SweepSpec {
+	return &SweepSpec{
+		Schemes: []string{"epidemic", "spray-and-wait"},
+		Chaos:   []string{chaos.PresetNone, chaos.PresetLoss30Reorder},
+	}
+}
+
+// SweepCell is one grid cell: the axis coordinates plus the headline
+// quantities of its run.
+type SweepCell struct {
+	Scheme   string `json:"scheme"`
+	Mobility string `json:"mobility"`
+	Chaos    string `json:"chaos"`
+	Policy   string `json:"policy"`
+
+	Created    int     `json:"created"`
+	Deliveries int     `json:"deliveries"`
+	RatioMean  float64 `json:"ratioMean"`
+	DelayP50   float64 `json:"delayP50"`
+	DelayP90   float64 `json:"delayP90"`
+
+	// Fault-injection and degradation counters, summed over the fleet.
+	ChaosDropped    uint64 `json:"chaosDropped"`
+	ChaosDuplicated uint64 `json:"chaosDuplicated"`
+	ChaosReordered  uint64 `json:"chaosReordered"`
+	Misbehavior     uint64 `json:"misbehavior"`
+	Quarantines     uint64 `json:"quarantines"`
+	Reconnects      uint64 `json:"reconnects"`
+	DialRetries     uint64 `json:"dialRetries"`
+
+	ObservabilityViolations []string `json:"observabilityViolations,omitempty"`
+
+	// Report is the cell's full report, for callers that drill down.
+	Report *Report `json:"-"`
+}
+
+// SweepReport is the finished scenario matrix.
+type SweepReport struct {
+	Name  string      `json:"name"`
+	Cells []SweepCell `json:"cells"`
+}
+
+// waveChurn builds the MobilityWaves schedule: odd-indexed nodes sleep
+// in staggered windows across the middle of the run.
+func waveChurn(s *Spec) []ChurnEvent {
+	var out []ChurnEvent
+	d := s.Duration.D()
+	for i, h := range s.Handles {
+		if i%2 == 0 {
+			continue
+		}
+		down := d*3/10 + time.Duration(i)*d/20
+		up := down + d*3/10
+		if up > d {
+			up = d
+		}
+		out = append(out,
+			ChurnEvent{At: Duration(down), Node: h, Op: OpDown},
+			ChurnEvent{At: Duration(up), Node: h, Op: OpUp},
+		)
+	}
+	return out
+}
+
+// cellSpec clones the base spec onto one cell's coordinates.
+func cellSpec(base *Spec, scheme, mobility, chaosName, policy string) (*Spec, error) {
+	clone := *base
+	clone.Sweep = nil
+	clone.Name = fmt.Sprintf("%s/%s+%s+%s+%s", base.Name, scheme, mobility, chaosName, orDefault(policy, "default"))
+	clone.Scheme = scheme
+	clone.Store.Policy = policy
+	// Handles are shared with the base; churn is per-cell.
+	clone.Churn = append([]ChurnEvent(nil), base.Churn...)
+	if mobility == MobilityWaves {
+		clone.Churn = append(clone.Churn, waveChurn(&clone)...)
+	}
+	if chaosName != "" && chaosName != chaos.PresetNone {
+		clone.Chaos = &ChaosSpec{Profile: chaosName, Seed: base.Seed}
+	} else {
+		clone.Chaos = nil
+	}
+	if err := clone.Validate(); err != nil {
+		return nil, fmt.Errorf("lab: sweep cell %s: %w", clone.Name, err)
+	}
+	return &clone, nil
+}
+
+func orDefault(v, d string) string {
+	if v == "" {
+		return d
+	}
+	return v
+}
+
+// axis returns the sweep axis, or the base value as a one-element axis.
+func axis(vals []string, base string) []string {
+	if len(vals) > 0 {
+		return vals
+	}
+	return []string{base}
+}
+
+// RunSweep executes the full cross-product {scheme × mobility × chaos ×
+// store policy} declared by the spec's sweep block (or DefaultChaosSweep
+// when absent), one sequential live in-process run per cell — sequential
+// because each cell binds its own loopback fleet and the grid compares
+// cells fairly only when they don't contend for the host.
+func RunSweep(base *Spec, opts Options) (*SweepReport, error) {
+	if base == nil {
+		return nil, fmt.Errorf("lab: nil spec")
+	}
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Mode != "" && opts.Mode != ModeInProcess {
+		return nil, fmt.Errorf("lab: sweeps run in mode %q only, got %q", ModeInProcess, opts.Mode)
+	}
+	sweep := base.Sweep
+	if sweep == nil {
+		sweep = DefaultChaosSweep()
+	}
+	if err := sweep.validate(); err != nil {
+		return nil, err
+	}
+
+	schemes := axis(sweep.Schemes, base.Scheme)
+	mobility := axis(sweep.Mobility, MobilitySteady)
+	chaosAxis := axis(sweep.Chaos, base.Chaos.Label())
+	policies := axis(sweep.Policies, base.Store.Policy)
+
+	out := &SweepReport{Name: base.Name}
+	total := len(schemes) * len(mobility) * len(chaosAxis) * len(policies)
+	n := 0
+	for _, scheme := range schemes {
+		for _, mob := range mobility {
+			for _, chz := range chaosAxis {
+				for _, pol := range policies {
+					n++
+					spec, err := cellSpec(base, scheme, mob, chz, pol)
+					if err != nil {
+						return nil, err
+					}
+					opts.logf("lab: sweep cell %d/%d: %s", n, total, spec.Name)
+					rep, err := Run(spec, opts)
+					if err != nil {
+						return nil, fmt.Errorf("lab: sweep cell %s: %w", spec.Name, err)
+					}
+					out.Cells = append(out.Cells, summarizeCell(scheme, mob, chz, pol, rep))
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// summarizeCell flattens one cell's report into grid columns.
+func summarizeCell(scheme, mob, chz, pol string, rep *Report) SweepCell {
+	cell := SweepCell{
+		Scheme:                  scheme,
+		Mobility:                mob,
+		Chaos:                   orDefault(chz, chaos.PresetNone),
+		Policy:                  orDefault(pol, "default"),
+		Created:                 rep.Created,
+		Deliveries:              rep.Deliveries,
+		RatioMean:               rep.Ratio.Mean,
+		DelayP50:                rep.Delay.P50,
+		DelayP90:                rep.Delay.P90,
+		ObservabilityViolations: rep.ObservabilityViolations(),
+		Report:                  rep,
+	}
+	if rep.Chaos != nil {
+		cell.ChaosDropped = rep.Chaos.FramesDropped + rep.Chaos.OneWayDrops
+		cell.ChaosDuplicated = rep.Chaos.FramesDuplicated
+		cell.ChaosReordered = rep.Chaos.FramesReordered
+	}
+	for _, node := range rep.Nodes {
+		if node.Stats != nil {
+			cell.Misbehavior += node.Stats.Message.MisbehaviorEvents
+			cell.Quarantines += node.Stats.Message.Quarantines
+			cell.Reconnects += node.Stats.Message.Reconnects
+		}
+	}
+	// The in-process fleet shares one medium, so every node's registry
+	// reports the same dial-retry counter: read it once, don't sum.
+	for _, node := range rep.Nodes {
+		if v, ok := node.Metrics["sos_net_dial_retries_total"]; ok {
+			cell.DialRetries = uint64(v)
+			break
+		}
+	}
+	return cell
+}
+
+// WriteCSV writes the grid as one CSV row per cell.
+func (r *SweepReport) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "scheme,mobility,chaos,policy,created,deliveries,ratio_mean,delay_p50_s,delay_p90_s,chaos_dropped,chaos_duplicated,chaos_reordered,misbehavior,quarantines,reconnects,dial_retries"); err != nil {
+		return fmt.Errorf("lab: writing sweep csv: %w", err)
+	}
+	for _, c := range r.Cells {
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%s,%d,%d,%.4f,%.3f,%.3f,%d,%d,%d,%d,%d,%d,%d\n",
+			c.Scheme, c.Mobility, c.Chaos, c.Policy,
+			c.Created, c.Deliveries, c.RatioMean, c.DelayP50, c.DelayP90,
+			c.ChaosDropped, c.ChaosDuplicated, c.ChaosReordered,
+			c.Misbehavior, c.Quarantines, c.Reconnects, c.DialRetries); err != nil {
+			return fmt.Errorf("lab: writing sweep csv: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteMarkdown writes the grid as a paper-style markdown table.
+func (r *SweepReport) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Scenario matrix: %s\n\n", r.Name)
+	b.WriteString("| scheme | mobility | chaos | policy | created | delivered | ratio | p50 | p90 | dropped | dup | reord | misbehavior | quarantines | redials |\n")
+	b.WriteString("|---|---|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %d | %d | %.2f | %.2fs | %.2fs | %d | %d | %d | %d | %d | %d |\n",
+			c.Scheme, c.Mobility, c.Chaos, c.Policy,
+			c.Created, c.Deliveries, c.RatioMean, c.DelayP50, c.DelayP90,
+			c.ChaosDropped, c.ChaosDuplicated, c.ChaosReordered,
+			c.Misbehavior, c.Quarantines, c.Reconnects)
+	}
+	for _, c := range r.Cells {
+		for _, v := range c.ObservabilityViolations {
+			fmt.Fprintf(&b, "\n- **%s/%s/%s/%s**: %s", c.Scheme, c.Mobility, c.Chaos, c.Policy, v)
+		}
+	}
+	b.WriteString("\n")
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("lab: writing sweep markdown: %w", err)
+	}
+	return nil
+}
+
+// WriteJSON writes the full sweep report as indented JSON.
+func (r *SweepReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("lab: writing sweep report: %w", err)
+	}
+	return nil
+}
+
+// Summary renders the human-readable sweep block soslab prints.
+func (r *SweepReport) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweep %q: %d cells\n", r.Name, len(r.Cells))
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "  %-16s %-8s %-16s %-22s ratio %.2f  delivered %d/%d  quarantines %d\n",
+			c.Scheme, c.Mobility, c.Chaos, c.Policy, c.RatioMean, c.Deliveries, c.Created, c.Quarantines)
+	}
+	return b.String()
+}

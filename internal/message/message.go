@@ -47,8 +47,10 @@ package message
 import (
 	"bytes"
 	"errors"
+	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"sos/internal/adhoc"
 	"sos/internal/clock"
@@ -89,6 +91,16 @@ const maxPeerSync = 512
 // ≈ 72 KiB per frame.
 const SummaryChunkEntries = 4096
 
+// DefaultResyncInterval is the period of the in-session resync
+// heartbeat when Config.ResyncInterval is zero. Each tick re-advertises
+// on every live link (an empty delta in steady state; the peer answers a
+// generation gap with SummaryPull, healing a lost advertisement) and
+// re-plans requests, expiring in-flight entries whose Request or Batch
+// frame a lossy radio swallowed. Links now survive frame loss, so this
+// heartbeat is the only thing that un-wedges a transfer whose frames
+// were dropped mid-contact.
+const DefaultResyncInterval = 3 * time.Second
+
 // Config assembles a message manager.
 type Config struct {
 	Store    store.Engine
@@ -106,6 +118,10 @@ type Config struct {
 	// discovered peer whose advertisement offers messages the active
 	// scheme wants.
 	AutoConnect bool
+
+	// ResyncInterval is the in-session resync heartbeat period: zero
+	// uses DefaultResyncInterval, negative disables the heartbeat.
+	ResyncInterval time.Duration
 
 	// Tracer, when set, records the contact-session lifecycle into the
 	// node's flight recorder: a "contact" envelope per link, spans for
@@ -150,6 +166,19 @@ type Stats struct {
 	// measurable on its own.
 	SummaryBytesSent uint64
 	PayloadBytesSent uint64
+
+	// Robustness counters: misbehavior signals scored against peers,
+	// quarantine episodes entered, connects/links refused while a peer
+	// was quarantined, and backoff-scheduled reconnect attempts after
+	// an unexpected link drop.
+	MisbehaviorEvents  uint64
+	Quarantines        uint64
+	QuarantineRefusals uint64
+	Reconnects         uint64
+	// InflightExpired counts requested-but-never-received messages the
+	// resync heartbeat released for re-planning (a lost Request or Batch
+	// frame on a lossy radio).
+	InflightExpired uint64
 }
 
 // peerSync is everything the manager knows about one peer device: the
@@ -170,6 +199,10 @@ type peerSync struct {
 	// track is the peer's "contact <peer>" tracer track, interned at
 	// LinkUp (0 while tracing is disabled).
 	track uint64
+
+	// redial counts consecutive backoff-scheduled reconnect attempts
+	// since the last successful LinkUp, bounding the retry ladder.
+	redial uint32
 }
 
 // Manager is the message manager for one node.
@@ -184,12 +217,20 @@ type Manager struct {
 	unacked map[mpc.PeerID]map[msg.Ref]bool
 	// inflight tracks messages requested from a peer and not yet
 	// received, so concurrent links to several peers holding the same
-	// message do not trigger duplicate transfers.
-	inflight map[msg.Ref]mpc.PeerID
+	// message do not trigger duplicate transfers. Entries carry the
+	// request time; the resync heartbeat expires stale ones so a lost
+	// Request or Batch frame does not pin its refs forever.
+	inflight map[msg.Ref]inflightEntry
 	// streams tracks the cancel channel of each link's in-flight chunked
 	// summary stream; starting a new stream or losing the link cancels
 	// the old one.
 	streams map[*adhoc.Link]chan struct{}
+	// quar is the per-peer misbehavior scoreboard (see misbehavior.go).
+	quar scoreboard
+	// refused marks links closed at LinkUp because the peer was
+	// quarantined: they were never admitted, so LinkDown must not emit
+	// scheme or consumer notifications for them.
+	refused map[*adhoc.Link]bool
 	stats   Stats
 
 	// advMu serializes the advertisement plane — beacon refresh plus the
@@ -203,6 +244,11 @@ type Manager struct {
 	adGen    uint64
 	adScheme string
 	adData   []byte
+
+	// resyncTimer drives the in-session resync heartbeat; closed stops
+	// it from re-arming. Both guarded by mu.
+	resyncTimer *time.Timer
+	closed      bool
 	// pad caches the non-recent portion of an oversize store's beacon
 	// digest (see beaconSummary). Guarded by advMu.
 	padValid bool
@@ -216,6 +262,13 @@ type padEntry struct {
 	seq    uint64
 }
 
+// inflightEntry records which peer a message was requested from and
+// when, so stale requests become re-plannable after a resync interval.
+type inflightEntry struct {
+	peer mpc.PeerID
+	at   time.Time
+}
+
 var _ adhoc.Handler = (*Manager)(nil)
 
 // New builds a message manager. Bind must be called with the ad hoc
@@ -227,12 +280,16 @@ func New(cfg Config) (*Manager, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.System()
 	}
+	if cfg.ResyncInterval == 0 {
+		cfg.ResyncInterval = DefaultResyncInterval
+	}
 	return &Manager{
 		cfg:      cfg,
 		peers:    make(map[mpc.PeerID]*peerSync),
 		unacked:  make(map[mpc.PeerID]map[msg.Ref]bool),
-		inflight: make(map[msg.Ref]mpc.PeerID),
+		inflight: make(map[msg.Ref]inflightEntry),
 		streams:  make(map[*adhoc.Link]chan struct{}),
+		refused:  make(map[*adhoc.Link]bool),
 	}, nil
 }
 
@@ -243,6 +300,62 @@ func (m *Manager) Bind(a *adhoc.Manager) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.adhocMgr = a
+	if m.cfg.ResyncInterval > 0 && m.resyncTimer == nil && !m.closed {
+		m.resyncTimer = time.AfterFunc(m.cfg.ResyncInterval, m.resyncTick)
+	}
+}
+
+// Close stops the resync heartbeat. Pending redial timers fire and
+// no-op against the closed ad hoc manager.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	if m.resyncTimer != nil {
+		m.resyncTimer.Stop()
+		m.resyncTimer = nil
+	}
+}
+
+// resyncTick is the in-session resync heartbeat. A lossy radio can
+// swallow any single frame of the sync conversation — an advertisement,
+// a Request, a Batch — and, with links now surviving loss, nothing else
+// would ever retry: discovery beacons are unchanged, so no event
+// re-fires. Each tick re-advertises on every live link (an empty delta
+// in steady state; a peer that missed an earlier advertisement sees a
+// generation gap and answers with SummaryPull) and re-plans requests
+// after expiring in-flight entries older than one interval.
+func (m *Manager) resyncTick() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	now := m.cfg.Clock.Now()
+	for ref, e := range m.inflight {
+		if now.Sub(e.at) >= m.cfg.ResyncInterval {
+			delete(m.inflight, ref)
+			m.stats.InflightExpired++
+		}
+	}
+	var links []*adhoc.Link
+	views := make(map[*peerSync]map[id.UserID]uint64, len(m.peers))
+	for _, ps := range m.peers {
+		if ps.link == nil {
+			continue
+		}
+		links = append(links, ps.link)
+		if len(ps.summary) > 0 {
+			views[ps] = ps.summary
+		}
+	}
+	sends := m.planLocked(views)
+	m.resyncTimer = time.AfterFunc(m.cfg.ResyncInterval, m.resyncTick)
+	m.mu.Unlock()
+	for _, link := range links {
+		m.sendAdTo(link, false)
+	}
+	m.sendPlans(sends)
 }
 
 // Stats returns a snapshot of the counters.
@@ -499,6 +612,11 @@ func (m *Manager) PeerDiscovered(peer mpc.PeerID, ad *wire.Advertisement) {
 		return // beacons are full by contract; ignore anything else
 	}
 	m.mu.Lock()
+	if m.quar.quarantined(peer, m.cfg.Clock.Now()) {
+		m.stats.QuarantineRefusals++
+		m.mu.Unlock()
+		return
+	}
 	ps := m.peers[peer]
 	linked := ps != nil && ps.link != nil
 	a := m.adhocMgr
@@ -515,10 +633,20 @@ func (m *Manager) PeerDiscovered(peer mpc.PeerID, ad *wire.Advertisement) {
 	}
 	m.mu.Lock()
 	m.stats.ConnectsAttempted++
+	if m.peers[peer] == nil {
+		// Seed the sync slot now so the redial ladder below has a home
+		// even if the handshake never completes.
+		m.evictSyncLocked()
+		m.peers[peer] = &peerSync{}
+	}
 	m.mu.Unlock()
 	m.cfg.Tracer.Event(m.contactTrack(peer), "peer.discovered")
 	// ErrLinkExists races are benign: the handshake in flight will serve.
 	_ = a.Connect(peer)
+	// Connect watchdog: on a lossy radio any handshake frame can vanish
+	// and the attempt times out without a LinkDown. The ladder re-checks
+	// and retries until LinkUp resets it.
+	m.scheduleRedial(peer, nil)
 }
 
 // PeerGone implements adhoc.Handler: the peer left radio range or
@@ -574,6 +702,15 @@ func (m *Manager) trackOf(link *adhoc.Link) uint64 {
 func (m *Manager) LinkUp(link *adhoc.Link) {
 	track := m.contactTrack(link.Peer())
 	m.mu.Lock()
+	if m.quar.quarantined(link.Peer(), m.cfg.Clock.Now()) {
+		// The peer dialed us (or a connect raced the quarantine): refuse
+		// the session before the scheme or consumer ever sees it.
+		m.stats.QuarantineRefusals++
+		m.refused[link] = true
+		m.mu.Unlock()
+		_ = link.Close()
+		return
+	}
 	ps := m.peers[link.Peer()]
 	if ps == nil {
 		m.evictSyncLocked()
@@ -582,6 +719,7 @@ func (m *Manager) LinkUp(link *adhoc.Link) {
 	}
 	ps.link = link
 	ps.track = track
+	ps.redial = 0
 	m.mu.Unlock()
 	// The contact envelope: every sync span until LinkDown nests inside.
 	m.cfg.Tracer.Begin(track, "contact")
@@ -812,8 +950,20 @@ func (m *Manager) FrameIn(link *adhoc.Link, f wire.Frame) {
 // behaviour from paper §III-C. The sync cursors survive: if the peer
 // relinks before PeerGone fires, the greeting is a delta, not a full
 // re-summary.
-func (m *Manager) LinkDown(link *adhoc.Link, _ error) {
+func (m *Manager) LinkDown(link *adhoc.Link, reason error) {
 	m.mu.Lock()
+	if m.refused[link] {
+		// Refused at LinkUp: the scheme and consumer never saw this
+		// session, so there is nothing to notify or unwind.
+		delete(m.refused, link)
+		m.mu.Unlock()
+		return
+	}
+	if errors.Is(reason, adhoc.ErrPeerMisbehaved) {
+		// Authenticated garbage ended this session: the strongest
+		// misbehavior signal there is.
+		m.penalizeLocked(link.Peer(), pointsGarbage, m.cfg.Clock.Now())
+	}
 	if ps := m.peers[link.Peer()]; ps != nil && ps.link == link {
 		ps.link = nil
 		m.cfg.Tracer.EndSlice(ps.track, "contact")
@@ -829,8 +979,8 @@ func (m *Manager) LinkDown(link *adhoc.Link, _ error) {
 	delete(m.unacked, link.Peer())
 	// Requests that died with this link become eligible again.
 	orphaned := false
-	for ref, peer := range m.inflight {
-		if peer == link.Peer() {
+	for ref, e := range m.inflight {
+		if e.peer == link.Peer() {
 			delete(m.inflight, ref)
 			orphaned = true
 		}
@@ -846,6 +996,86 @@ func (m *Manager) LinkDown(link *adhoc.Link, _ error) {
 		// transfer resumes within the same gathering.
 		m.pull()
 	}
+	m.scheduleRedial(link.Peer(), reason)
+}
+
+// redial ladder: capped jittered-exponential reconnect after a link
+// drops mid-contact. Radio chaos (a lost frame desynchronizes the AEAD
+// sequence) kills sessions while both peers are still in range and
+// still beaconing unchanged payloads — which means discovery alone
+// never re-fires and the contact would silently wedge. The ladder
+// restores it within a few hundred milliseconds.
+const (
+	redialBase        = 200 * time.Millisecond
+	redialCap         = 5 * time.Second
+	redialMaxAttempts = 6
+)
+
+// scheduleRedial arranges a reconnect attempt unless the drop was
+// deliberate (session Bye, manager close, peer out of range, protocol
+// abuse) or the ladder is exhausted.
+func (m *Manager) scheduleRedial(peer mpc.PeerID, reason error) {
+	if !m.cfg.AutoConnect ||
+		errors.Is(reason, adhoc.ErrClosed) || errors.Is(reason, mpc.ErrClosed) ||
+		errors.Is(reason, mpc.ErrPeerGone) || errors.Is(reason, mpc.ErrPeerUnknown) ||
+		errors.Is(reason, adhoc.ErrPeerMisbehaved) {
+		return
+	}
+	m.mu.Lock()
+	ps := m.peers[peer]
+	if ps == nil || ps.link != nil || m.adhocMgr == nil ||
+		ps.redial >= redialMaxAttempts || m.quar.quarantined(peer, m.cfg.Clock.Now()) {
+		m.mu.Unlock()
+		return
+	}
+	attempt := ps.redial
+	ps.redial++
+	m.mu.Unlock()
+	delay := redialBase << attempt
+	if delay > redialCap {
+		delay = redialCap
+	}
+	// Full jitter on the top half so two peers redialing each other
+	// don't stay phase-locked.
+	delay = delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
+	time.AfterFunc(delay, func() { m.redial(peer) })
+}
+
+// redial performs one scheduled reconnect attempt.
+func (m *Manager) redial(peer mpc.PeerID) {
+	m.mu.Lock()
+	ps := m.peers[peer]
+	a := m.adhocMgr
+	ok := ps != nil && ps.link == nil && a != nil && !m.quar.quarantined(peer, m.cfg.Clock.Now())
+	if ok {
+		m.stats.Reconnects++
+		m.stats.ConnectsAttempted++
+	}
+	m.mu.Unlock()
+	if !ok {
+		return
+	}
+	err := a.Connect(peer)
+	if err != nil && errors.Is(err, adhoc.ErrLinkExists) {
+		// A handshake is in flight — but on a chaotic radio it may
+		// still wedge and expire, so keep the ladder armed.
+		err = nil
+	}
+	// Climb the ladder regardless: a started handshake can still fail
+	// without a LinkDown, and LinkUp resets the ladder on success.
+	m.scheduleRedial(peer, err)
+}
+
+// penalizeLocked scores misbehavior points against a peer and reports
+// whether the peer just tripped into quarantine. Callers hold m.mu; on
+// a trip they should drop the peer's link after unlocking.
+func (m *Manager) penalizeLocked(peer mpc.PeerID, pts float64, now time.Time) bool {
+	m.stats.MisbehaviorEvents++
+	tripped, _ := m.quar.observe(peer, pts, now)
+	if tripped {
+		m.stats.Quarantines++
+	}
+	return tripped
 }
 
 // onSummary handles the peer's authenticated in-session advertisement,
@@ -857,10 +1087,21 @@ func (m *Manager) onSummary(link *adhoc.Link, ad *wire.Advertisement) {
 	if len(ad.SchemeData) > 0 {
 		scheme.OnPeerData(link.User(), ad.SchemeData)
 	}
+	now := m.cfg.Clock.Now()
 	m.mu.Lock()
 	ps := m.peers[link.Peer()]
 	if ps == nil || ps.link != link {
 		m.mu.Unlock()
+		return
+	}
+	if ad.Chunk == 0 && !m.quar.allowAd(link.Peer(), now) {
+		// Advertisement flood: the peer's token bucket ran dry. Score
+		// it and drop the frame; a tripped quarantine drops the link.
+		tripped := m.penalizeLocked(link.Peer(), pointsFlood, now)
+		m.mu.Unlock()
+		if tripped {
+			_ = link.Close()
+		}
 		return
 	}
 	switch {
@@ -905,8 +1146,15 @@ func (m *Manager) onSummary(link *adhoc.Link, ad *wire.Advertisement) {
 	default:
 		// Generation gap (e.g. we restarted while the peer kept its sync
 		// state for us): our view is unusable, ask for a full summary.
+		// One gap is an honest accident; a stream of them is the
+		// stale-delta attack, so each one scores.
 		ps.recvValid = false
 		ps.summary = nil
+		if m.penalizeLocked(link.Peer(), pointsStaleDelta, now) {
+			m.mu.Unlock()
+			_ = link.Close()
+			return
+		}
 		m.stats.SummaryPullsSent++
 		m.mu.Unlock()
 		_ = m.sendCounted(link, &wire.SummaryPull{}, false)
@@ -971,6 +1219,7 @@ func (m *Manager) pullView(link *adhoc.Link, view map[id.UserID]uint64) {
 // same message k times. Callers hold m.mu.
 func (m *Manager) planLocked(views map[*peerSync]map[id.UserID]uint64) []outgoingPlan {
 	scheme := m.cfg.Routing.Current()
+	now := m.cfg.Clock.Now()
 
 	// Deterministic order: sort viewed peers by peer id.
 	peers := make([]mpc.PeerID, 0, len(views))
@@ -997,7 +1246,7 @@ func (m *Manager) planLocked(views map[*peerSync]map[id.UserID]uint64) []outgoin
 			plans[ps] = p
 		}
 		p.wants[author] = append(p.wants[author], seq)
-		m.inflight[msg.Ref{Author: author, Seq: seq}] = ps.link.Peer()
+		m.inflight[msg.Ref{Author: author, Seq: seq}] = inflightEntry{peer: ps.link.Peer(), at: now}
 	}
 	for _, peer := range peers {
 		ps := m.peers[peer]
@@ -1050,6 +1299,23 @@ func (m *Manager) onRequest(link *adhoc.Link, req *wire.Request) {
 	m.mu.Lock()
 	m.stats.RequestsReceived++
 	m.mu.Unlock()
+
+	total := 0
+	for _, w := range req.Wants {
+		total += len(w.Seqs)
+	}
+	if total > oversizedWantSeqs {
+		// No honest sync wants this many sequences in one frame; score
+		// it and refuse to serve (serving would burn store reads and
+		// airtime on the attacker's behalf).
+		m.mu.Lock()
+		tripped := m.penalizeLocked(link.Peer(), pointsOversized, m.cfg.Clock.Now())
+		m.mu.Unlock()
+		if tripped {
+			_ = link.Close()
+		}
+		return
+	}
 
 	m.cfg.Store.SweepExpired()
 	scheme := m.cfg.Routing.Current()

@@ -1,0 +1,186 @@
+package message
+
+import (
+	"time"
+
+	"sos/internal/mpc"
+)
+
+// Misbehavior scoring: every peer accumulates a leaky score from
+// protocol-abuse signals; crossing the threshold quarantines it — the
+// link drops and re-admission backs off exponentially per strike. The
+// signals are chosen so radio chaos cannot trip them: packet loss on a
+// sealed link desynchronizes the AEAD sequence and fails
+// *authentication* (a decryption failure, never scored), while the
+// scored signals all require frames that authenticated under the
+// session key first.
+const (
+	// pointsGarbage scores an authenticated-undecodable frame
+	// (adhoc.ErrPeerMisbehaved): the strongest signal, impossible to
+	// produce by accident.
+	pointsGarbage = 3
+	// pointsStaleDelta scores a delta advertisement against a
+	// generation we never saw. Honest peers send one after an eviction
+	// race; attackers send streams of them.
+	pointsStaleDelta = 1
+	// pointsOversized scores a want-list requesting more sequence
+	// numbers than any honest sync needs.
+	pointsOversized = 2
+	// pointsFlood scores each in-session advertisement beyond the
+	// per-peer token bucket.
+	pointsFlood = 1
+
+	// misbehaviorThreshold is the quarantine trip point.
+	misbehaviorThreshold = 8.0
+	// misbehaviorDecayPerSec forgives honest accidents: a peer at half
+	// the threshold is clean again in a few seconds.
+	misbehaviorDecayPerSec = 0.5
+
+	// oversizedWantSeqs bounds an honest want-list. A full re-sync of a
+	// busy peer wants a few thousand sequences; tens of thousands in
+	// one frame is an attack or a bug, either way worth isolating.
+	oversizedWantSeqs = 16384
+
+	// adBurst and adRefillPerSec shape the in-session advertisement
+	// token bucket, charged per stream-starting frame (full and delta
+	// ads; continuation chunks ride their stream's token). Honest
+	// managers re-advertise on generation change — bursts during a sync
+	// storm, nowhere near this sustained rate.
+	adBurst        = 64.0
+	adRefillPerSec = 16.0
+
+	// quarantineBase is the first quarantine term; each further strike
+	// doubles it up to quarantineCap.
+	quarantineBase = 5 * time.Second
+	quarantineCap  = 60 * time.Second
+	// strikeForgiveness clears the strike history after a long clean
+	// stretch.
+	strikeForgiveness = 5 * time.Minute
+
+	// maxScoreEntries bounds the scoreboard: an attacker cycling device
+	// names cannot grow it without limit.
+	maxScoreEntries = 4096
+)
+
+// peerScore is one peer's misbehavior ledger.
+type peerScore struct {
+	score    float64
+	last     time.Time // last score update, for decay
+	adTokens float64
+	adLast   time.Time // last bucket refill
+	strikes  uint32
+	until    time.Time // quarantined while now < until
+}
+
+// scoreboard tracks misbehavior per peer. Callers hold the manager
+// mutex.
+type scoreboard struct {
+	entries map[mpc.PeerID]*peerScore
+}
+
+// entry returns the peer's ledger, creating it inside the bound. When
+// full, expired clean entries are evicted first; if every slot is an
+// active quarantine the newcomer is scored on a throwaway ledger — the
+// attacker cannot flush existing quarantines by inventing names.
+func (b *scoreboard) entry(peer mpc.PeerID, now time.Time) *peerScore {
+	if b.entries == nil {
+		b.entries = make(map[mpc.PeerID]*peerScore)
+	}
+	if e, ok := b.entries[peer]; ok {
+		return e
+	}
+	if len(b.entries) >= maxScoreEntries {
+		b.evict(now)
+	}
+	if len(b.entries) >= maxScoreEntries {
+		b.evictWeakest(now)
+	}
+	e := &peerScore{last: now, adTokens: adBurst, adLast: now}
+	if len(b.entries) < maxScoreEntries {
+		b.entries[peer] = e
+	}
+	return e
+}
+
+// evictWeakest forces one slot free by dropping the non-quarantined
+// entry with the lowest remaining score. Active quarantines are never
+// evicted; if every slot holds one, the newcomer is scored on a
+// throwaway ledger instead.
+func (b *scoreboard) evictWeakest(now time.Time) {
+	var victim mpc.PeerID
+	best := -1.0
+	for peer, e := range b.entries {
+		if now.Before(e.until) {
+			continue
+		}
+		if s := e.decayed(now); best < 0 || s < best {
+			victim, best = peer, s
+		}
+	}
+	if best >= 0 {
+		delete(b.entries, victim)
+	}
+}
+
+// evict drops ledgers that no longer matter: not quarantined and fully
+// decayed.
+func (b *scoreboard) evict(now time.Time) {
+	for peer, e := range b.entries {
+		if now.After(e.until) && e.decayed(now) <= 0 && now.Sub(e.last) > strikeForgiveness {
+			delete(b.entries, peer)
+		}
+	}
+}
+
+// decayed returns the score after leaking since the last update.
+func (e *peerScore) decayed(now time.Time) float64 {
+	s := e.score - now.Sub(e.last).Seconds()*misbehaviorDecayPerSec
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// observe adds points to the peer's ledger and reports whether it just
+// crossed into quarantine, with the term's end.
+func (b *scoreboard) observe(peer mpc.PeerID, pts float64, now time.Time) (tripped bool, until time.Time) {
+	e := b.entry(peer, now)
+	if !now.Before(e.until) && e.until != (time.Time{}) && now.Sub(e.until) > strikeForgiveness {
+		e.strikes = 0
+	}
+	e.score = e.decayed(now) + pts
+	e.last = now
+	if now.Before(e.until) || e.score < misbehaviorThreshold {
+		return false, e.until
+	}
+	term := quarantineBase << min(e.strikes, 10)
+	if term > quarantineCap {
+		term = quarantineCap
+	}
+	e.strikes++
+	e.until = now.Add(term)
+	e.score = 0
+	return true, e.until
+}
+
+// quarantined reports whether the peer is currently locked out.
+func (b *scoreboard) quarantined(peer mpc.PeerID, now time.Time) bool {
+	e, ok := b.entries[peer]
+	return ok && now.Before(e.until)
+}
+
+// allowAd spends one advertisement token, reporting false once the
+// peer's bucket runs dry — the flood signal.
+func (b *scoreboard) allowAd(peer mpc.PeerID, now time.Time) bool {
+	e := b.entry(peer, now)
+	e.adTokens += now.Sub(e.adLast).Seconds() * adRefillPerSec
+	if e.adTokens > adBurst {
+		e.adTokens = adBurst
+	}
+	e.adLast = now
+	if e.adTokens < 1 {
+		return false
+	}
+	e.adTokens--
+	return true
+}

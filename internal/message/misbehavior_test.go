@@ -1,0 +1,168 @@
+package message
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"sos/internal/mpc"
+)
+
+var t0 = time.Unix(1700000000, 0)
+
+// TestScoreboardTripsAndDecays walks the core ledger behavior: scores
+// accumulate to the threshold, trip exactly once per episode, decay
+// with time, and escalate the term per strike up to the cap.
+func TestScoreboardTripsAndDecays(t *testing.T) {
+	var b scoreboard
+	peer := mpc.PeerID("mallory")
+
+	// Below threshold: no trip, and a long pause decays to clean.
+	if tripped, _ := b.observe(peer, misbehaviorThreshold-1, t0); tripped {
+		t.Fatalf("tripped below threshold")
+	}
+	later := t0.Add(time.Duration(misbehaviorThreshold/misbehaviorDecayPerSec) * time.Second)
+	if got := b.entries[peer].decayed(later); got != 0 {
+		t.Fatalf("score %v after full decay window, want 0", got)
+	}
+
+	// Enough points in one burst: trips, and is quarantined for the
+	// base term.
+	tripped, until := b.observe(peer, misbehaviorThreshold, later)
+	if !tripped {
+		t.Fatalf("threshold burst did not trip")
+	}
+	if want := later.Add(quarantineBase); !until.Equal(want) {
+		t.Fatalf("first term ends %v, want %v", until, want)
+	}
+	if !b.quarantined(peer, later) {
+		t.Fatalf("not quarantined right after tripping")
+	}
+	if b.quarantined(peer, until.Add(time.Millisecond)) {
+		t.Fatalf("still quarantined after the term")
+	}
+
+	// Scoring during the term never re-trips (no term extension spiral).
+	if again, _ := b.observe(peer, 100, later.Add(time.Second)); again {
+		t.Fatalf("re-tripped during an active term")
+	}
+
+	// A second episode after the term doubles the backoff.
+	after := until.Add(time.Second)
+	tripped, until2 := b.observe(peer, misbehaviorThreshold, after)
+	if !tripped {
+		t.Fatalf("second episode did not trip")
+	}
+	if want := after.Add(2 * quarantineBase); !until2.Equal(want) {
+		t.Fatalf("second term ends %v, want doubled %v", until2, want)
+	}
+
+	// Strikes are forgiven after a long clean stretch.
+	clean := until2.Add(strikeForgiveness + time.Second)
+	_, until3 := b.observe(peer, misbehaviorThreshold, clean)
+	if want := clean.Add(quarantineBase); !until3.Equal(want) {
+		t.Fatalf("term after forgiveness ends %v, want base %v", until3, want)
+	}
+}
+
+// TestScoreboardTermCap checks the exponential ladder clamps at the cap.
+func TestScoreboardTermCap(t *testing.T) {
+	var b scoreboard
+	peer := mpc.PeerID("mallory")
+	now := t0
+	for i := 0; i < 12; i++ {
+		_, until := b.observe(peer, misbehaviorThreshold, now)
+		if term := until.Sub(now); term > quarantineCap {
+			t.Fatalf("strike %d term %v exceeds cap %v", i, term, quarantineCap)
+		}
+		now = until.Add(time.Second)
+	}
+}
+
+// TestScoreboardAdBucket checks the flood bucket: a burst spends down to
+// empty, then refills with time.
+func TestScoreboardAdBucket(t *testing.T) {
+	var b scoreboard
+	peer := mpc.PeerID("chatty")
+	for i := 0; i < int(adBurst); i++ {
+		if !b.allowAd(peer, t0) {
+			t.Fatalf("ad %d refused inside the burst budget", i)
+		}
+	}
+	if b.allowAd(peer, t0) {
+		t.Fatalf("ad allowed past the burst budget at the same instant")
+	}
+	refilled := t0.Add(time.Second)
+	allowed := 0
+	for b.allowAd(peer, refilled) {
+		allowed++
+	}
+	if allowed != int(adRefillPerSec) {
+		t.Fatalf("one second refilled %d tokens, want %v", allowed, adRefillPerSec)
+	}
+}
+
+// TestScoreboardBounded checks an attacker cycling device names cannot
+// grow the ledger map without limit.
+func TestScoreboardBounded(t *testing.T) {
+	var b scoreboard
+	for i := 0; i < 3*maxScoreEntries; i++ {
+		b.observe(mpc.PeerID(fmt.Sprintf("sybil-%d", i)), 1, t0)
+	}
+	if len(b.entries) > maxScoreEntries {
+		t.Fatalf("scoreboard grew to %d entries, bound is %d", len(b.entries), maxScoreEntries)
+	}
+	// Quarantined entries survive the bound: trip one peer, flood with
+	// fresh names, and the quarantine must still hold.
+	mallory := mpc.PeerID("mallory")
+	b.observe(mallory, misbehaviorThreshold, t0)
+	if !b.quarantined(mallory, t0) {
+		t.Fatalf("mallory not quarantined")
+	}
+	for i := 0; i < 2*maxScoreEntries; i++ {
+		b.observe(mpc.PeerID(fmt.Sprintf("sybil2-%d", i)), 1, t0.Add(time.Second))
+	}
+	if !b.quarantined(mallory, t0.Add(2*time.Second)) {
+		t.Fatalf("sybil flood flushed mallory's quarantine")
+	}
+}
+
+// FuzzMisbehaviorScore byte-drives the scoreboard — arbitrary peers,
+// point values, and clock steps — asserting the structural invariants:
+// no panics, the entry map stays bounded, scores never go negative, and
+// a peer's quarantine end never moves backwards.
+func FuzzMisbehaviorScore(f *testing.F) {
+	f.Add([]byte{0, 10, 1, 1, 20, 2, 2, 200, 120, 0, 0, 0})
+	f.Add([]byte{255, 255, 255, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var b scoreboard
+		now := t0
+		lastUntil := map[mpc.PeerID]time.Time{}
+		for i := 0; i+2 < len(data); i += 3 {
+			peer := mpc.PeerID(fmt.Sprintf("p%d", data[i]%16))
+			pts := float64(data[i+1]) / 8
+			now = now.Add(time.Duration(data[i+2]) * 100 * time.Millisecond)
+			switch data[i] % 3 {
+			case 0:
+				_, until := b.observe(peer, pts, now)
+				if until.Before(lastUntil[peer]) {
+					t.Fatalf("quarantine end moved backwards for %s: %v -> %v", peer, lastUntil[peer], until)
+				}
+				lastUntil[peer] = until
+			case 1:
+				b.allowAd(peer, now)
+			case 2:
+				b.quarantined(peer, now)
+			}
+		}
+		if len(b.entries) > maxScoreEntries {
+			t.Fatalf("entries grew to %d, bound is %d", len(b.entries), maxScoreEntries)
+		}
+		for peer, e := range b.entries {
+			if e.decayed(now) < 0 {
+				t.Fatalf("negative score for %s", peer)
+			}
+		}
+	})
+}

@@ -34,6 +34,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	mrand "math/rand"
 	"net"
 	"sync"
 	"syscall"
@@ -50,6 +51,10 @@ const (
 	DefaultBeaconInterval = 1 * time.Second
 	DefaultLossTimeout    = 3500 * time.Millisecond
 	DefaultDialTimeout    = 5 * time.Second
+
+	DefaultDialAttempts    = 3
+	DefaultDialBackoffBase = 50 * time.Millisecond
+	DefaultDialBackoffCap  = 1 * time.Second
 )
 
 // Config assembles a Medium.
@@ -81,8 +86,22 @@ type Config struct {
 	// LossTimeout is how long a peer may stay silent before PeerLost
 	// fires; it must exceed BeaconInterval.
 	LossTimeout time.Duration
-	// DialTimeout bounds Connect's TCP dial plus name exchange.
+	// DialTimeout bounds Connect's whole dial — every attempt plus the
+	// backoff between them — and each attempt's TCP dial plus name
+	// exchange.
 	DialTimeout time.Duration
+	// DialAttempts bounds how many times Connect tries the session dial
+	// before giving up. A refused or reset dial retries after a capped,
+	// jittered exponential backoff (the peer may be mid-restart of its
+	// listener, or the first SYN was unlucky); retries stop early when
+	// the DialTimeout budget would be exceeded. Defaults to
+	// DefaultDialAttempts.
+	DialAttempts int
+	// DialBackoffBase and DialBackoffCap shape the retry backoff:
+	// base, 2×base, 4×base … clamped to cap, each with full jitter on
+	// the top half. Defaults: DefaultDialBackoffBase/Cap.
+	DialBackoffBase time.Duration
+	DialBackoffCap  time.Duration
 	// Logf, when set, receives debug logging.
 	Logf func(format string, args ...any)
 	// Tracer, when set, records net-plane spans — session dials and
@@ -108,6 +127,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DialTimeout <= 0 {
 		c.DialTimeout = DefaultDialTimeout
+	}
+	if c.DialAttempts <= 0 {
+		c.DialAttempts = DefaultDialAttempts
+	}
+	if c.DialBackoffBase <= 0 {
+		c.DialBackoffBase = DefaultDialBackoffBase
+	}
+	if c.DialBackoffCap < c.DialBackoffBase {
+		c.DialBackoffCap = DefaultDialBackoffCap
 	}
 	return c
 }
@@ -441,7 +469,50 @@ func (ep *Endpoint) netTrack(peer mpc.PeerID) uint64 {
 	return ep.m.cfg.Tracer.Track("net " + string(ep.self) + "→" + string(peer))
 }
 
+// dialSession runs the capped jittered-exponential dial ladder: a
+// refused or reset attempt (the peer may be restarting its listener, or
+// the SYN was unlucky) backs off and retries within the DialTimeout
+// budget instead of giving up immediately.
 func (ep *Endpoint) dialSession(peer mpc.PeerID) (mpc.Conn, error) {
+	deadline := time.Now().Add(ep.m.cfg.DialTimeout)
+	var err error
+	for attempt := 0; attempt < ep.m.cfg.DialAttempts; attempt++ {
+		if attempt > 0 {
+			backoff := ep.m.cfg.DialBackoffBase << (attempt - 1)
+			if backoff > ep.m.cfg.DialBackoffCap {
+				backoff = ep.m.cfg.DialBackoffCap
+			}
+			// Full jitter on the top half keeps simultaneous dialers
+			// from staying phase-locked.
+			backoff = backoff/2 + time.Duration(mrand.Int63n(int64(backoff/2)+1))
+			if time.Now().Add(backoff).After(deadline) {
+				break // the budget is spent; report the last error
+			}
+			time.Sleep(backoff)
+			ep.m.stats.dialRetries.Add(1)
+		}
+		var conn mpc.Conn
+		conn, err = ep.dialOnce(peer, deadline)
+		if err == nil {
+			return conn, nil
+		}
+		// Only transport-level failures are worth retrying; a closed
+		// endpoint, unknown peer, or severed pair will not improve.
+		if errors.Is(err, mpc.ErrClosed) || errors.Is(err, mpc.ErrSelfConnect) ||
+			errors.Is(err, mpc.ErrPeerUnknown) || errors.Is(err, errPeerBlocked) {
+			return nil, err
+		}
+	}
+	return nil, err
+}
+
+// errPeerBlocked marks a dial refused because SetReachable severed the
+// pair: not retryable, but still an ErrPeerGone for callers.
+var errPeerBlocked = errors.New("netmedium: pair severed")
+
+// dialOnce performs one complete session dial: TCP connect on the best
+// advertised technology plus the name-exchange preamble.
+func (ep *Endpoint) dialOnce(peer mpc.PeerID, deadline time.Time) (mpc.Conn, error) {
 	if peer == ep.self {
 		return nil, mpc.ErrSelfConnect
 	}
@@ -462,15 +533,14 @@ func (ep *Endpoint) dialSession(peer mpc.PeerID) (mpc.Conn, error) {
 		return nil, fmt.Errorf("%w: %s", mpc.ErrPeerUnknown, peer)
 	}
 	if ep.m.isBlocked(ep.self, peer) {
-		return nil, fmt.Errorf("%w: %s", mpc.ErrPeerGone, peer)
+		return nil, fmt.Errorf("%w (%w): %s", mpc.ErrPeerGone, errPeerBlocked, peer)
 	}
 	tech, port, err := pickTechnology(ports)
 	if err != nil {
 		return nil, err
 	}
 
-	deadline := time.Now().Add(ep.m.cfg.DialTimeout)
-	sock, err := net.DialTimeout("tcp", net.JoinHostPort(ip.String(), fmt.Sprint(port)), ep.m.cfg.DialTimeout)
+	sock, err := net.DialTimeout("tcp", net.JoinHostPort(ip.String(), fmt.Sprint(port)), time.Until(deadline))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s: %v", mpc.ErrPeerGone, peer, err)
 	}

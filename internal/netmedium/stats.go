@@ -16,8 +16,11 @@ type Stats struct {
 	SessionsDialed   uint64
 	SessionsAccepted uint64
 	SessionsClosed   uint64
-	// DialFailures counts Connect attempts that never produced a session.
+	// DialFailures counts Connect attempts that never produced a session
+	// even after the retry ladder; DialRetries counts the individual
+	// backed-off re-dials inside Connect (see Config.DialAttempts).
 	DialFailures uint64
+	DialRetries  uint64
 	// FramesSent / FramesReceived and FrameBytes* count the length-
 	// prefixed session frames crossing the TCP plane.
 	FramesSent         uint64
@@ -34,6 +37,7 @@ type mediumStats struct {
 	sessionsAccepted   atomic.Uint64
 	sessionsClosed     atomic.Uint64
 	dialFailures       atomic.Uint64
+	dialRetries        atomic.Uint64
 	framesSent         atomic.Uint64
 	framesReceived     atomic.Uint64
 	frameBytesSent     atomic.Uint64
@@ -49,6 +53,7 @@ func (m *Medium) Stats() Stats {
 		SessionsAccepted:   m.stats.sessionsAccepted.Load(),
 		SessionsClosed:     m.stats.sessionsClosed.Load(),
 		DialFailures:       m.stats.dialFailures.Load(),
+		DialRetries:        m.stats.dialRetries.Load(),
 		FramesSent:         m.stats.framesSent.Load(),
 		FramesReceived:     m.stats.framesReceived.Load(),
 		FrameBytesSent:     m.stats.frameBytesSent.Load(),

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"sos/internal/chaos"
 	"sos/internal/cloud"
 	"sos/internal/core"
 	"sos/internal/netmedium"
@@ -38,6 +39,12 @@ func TestMetricCatalogDocumented(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	chz, err := chaos.Wrap(medium, chaos.Profile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer chz.Close()
+
 	mw, err := core.New(core.Config{Creds: creds, Medium: medium})
 	if err != nil {
 		t.Fatal(err)
@@ -54,7 +61,7 @@ func TestMetricCatalogDocumented(t *testing.T) {
 	defer exp.Close()
 
 	reg := NewRegistry()
-	RegisterNodeMetrics(reg, NodeMetrics{Middleware: mw, Medium: medium, Exporter: exp})
+	RegisterNodeMetrics(reg, NodeMetrics{Middleware: mw, Medium: medium, Exporter: exp, Chaos: chz})
 
 	text := string(doc)
 	for _, name := range reg.Names() {

@@ -3,6 +3,7 @@ package obs
 import (
 	"runtime"
 
+	"sos/internal/chaos"
 	"sos/internal/core"
 	"sos/internal/netmedium"
 	"sos/internal/secure"
@@ -22,6 +23,9 @@ type NodeMetrics struct {
 	// Exporter supplies the telemetry export-plane counters and queue
 	// depth when the node streams events to a collector.
 	Exporter *telemetry.Exporter
+	// Chaos supplies the fault-injection counters when the node's medium
+	// is wrapped by a chaos.Medium (lab adversarial scenarios).
+	Chaos *chaos.Medium
 }
 
 // RegisterNodeMetrics wires a node's layer statistics into reg as
@@ -40,6 +44,8 @@ type NodeMetrics struct {
 //	sos_net_*        transport: beacons, sessions, frames and bytes
 //	sos_secure_*     AEAD plane: seals/opens and their failures
 //	sos_telemetry_*  export plane: recorded/sent/dropped, queue depth
+//	sos_chaos_*      fault injection: frames dropped/duplicated/…,
+//	                 partition transitions (chaos-wrapped media only)
 //	sos_go_*         process runtime: goroutines, heap bytes
 func RegisterNodeMetrics(reg *Registry, nm NodeMetrics) {
 	if mw := nm.Middleware; mw != nil {
@@ -119,6 +125,17 @@ func RegisterNodeMetrics(reg *Registry, nm NodeMetrics) {
 			func() uint64 { return mw.Stats().Adhoc.FramesReceived })
 		reg.CounterFunc("sos_adhoc_decryption_failures_total", "Link frames that failed authenticated decryption.", nil,
 			func() uint64 { return mw.Stats().Adhoc.DecryptionFailures })
+
+		// Misbehavior plane: the quarantine machinery that isolates
+		// byzantine peers (see internal/message/misbehavior.go).
+		reg.CounterFunc("sos_sync_misbehavior_total", "Misbehavior signals scored against peers.", nil,
+			func() uint64 { return mw.Stats().Message.MisbehaviorEvents })
+		reg.CounterFunc("sos_sync_quarantine_total", "Peers tripped into quarantine.", nil,
+			func() uint64 { return mw.Stats().Message.Quarantines })
+		reg.CounterFunc("sos_sync_quarantine_refusals_total", "Contacts and links refused while a peer was quarantined.", nil,
+			func() uint64 { return mw.Stats().Message.QuarantineRefusals })
+		reg.CounterFunc("sos_sync_reconnects_total", "Backoff-ladder redials after unexpected link loss.", nil,
+			func() uint64 { return mw.Stats().Message.Reconnects })
 	}
 
 	if med := nm.Medium; med != nil {
@@ -142,6 +159,27 @@ func RegisterNodeMetrics(reg *Registry, nm NodeMetrics) {
 			func() uint64 { return med.Stats().FrameBytesSent })
 		reg.CounterFunc("sos_net_frame_bytes_total", "Session frame bytes on the TCP plane.", Labels{"dir": "received"},
 			func() uint64 { return med.Stats().FrameBytesReceived })
+		reg.CounterFunc("sos_net_dial_retries_total", "Dial attempts beyond the first inside the backoff ladder.", nil,
+			func() uint64 { return med.Stats().DialRetries })
+	}
+
+	if ch := nm.Chaos; ch != nil {
+		reg.CounterFunc("sos_chaos_frames_total", "Frames handled by the chaos medium.", Labels{"action": "passed"},
+			func() uint64 { return ch.Stats().FramesPassed })
+		reg.CounterFunc("sos_chaos_frames_total", "Frames handled by the chaos medium.", Labels{"action": "dropped"},
+			func() uint64 { return ch.Stats().FramesDropped })
+		reg.CounterFunc("sos_chaos_frames_total", "Frames handled by the chaos medium.", Labels{"action": "duplicated"},
+			func() uint64 { return ch.Stats().FramesDuplicated })
+		reg.CounterFunc("sos_chaos_frames_total", "Frames handled by the chaos medium.", Labels{"action": "reordered"},
+			func() uint64 { return ch.Stats().FramesReordered })
+		reg.CounterFunc("sos_chaos_frames_total", "Frames handled by the chaos medium.", Labels{"action": "delayed"},
+			func() uint64 { return ch.Stats().FramesDelayed })
+		reg.CounterFunc("sos_chaos_frames_total", "Frames handled by the chaos medium.", Labels{"action": "oneway-dropped"},
+			func() uint64 { return ch.Stats().OneWayDrops })
+		reg.CounterFunc("sos_chaos_partitions_total", "Scheduled partition transitions.", Labels{"event": "started"},
+			func() uint64 { return ch.Stats().PartitionsStarted })
+		reg.CounterFunc("sos_chaos_partitions_total", "Scheduled partition transitions.", Labels{"event": "healed"},
+			func() uint64 { return ch.Stats().PartitionsHealed })
 	}
 
 	// AEAD counters are process-wide (see secure.ReadStats), so they are

@@ -39,8 +39,11 @@ var (
 
 // Session is one side of an established encrypted channel between two
 // connected peers. Each direction has its own AES-256-GCM key, and frames
-// carry strictly increasing sequence numbers, so replayed or reordered
-// frames are rejected.
+// carry strictly increasing sequence numbers: a frame at or below the
+// last accepted sequence is rejected (replay protection), while forward
+// jumps are tolerated — every sequence authenticates independently
+// (nonce and AAD both bind it), so frames lost on a lossy radio skip the
+// window forward instead of desynchronizing the channel.
 //
 // A session is not safe for concurrent use within one direction: callers
 // must serialize Seal/AppendSeal calls among themselves and Open/
@@ -177,9 +180,9 @@ func (s *Session) open(frame, aad, dst []byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %d bytes", ErrFrameShort, len(frame))
 	}
 	seq := binary.BigEndian.Uint64(frame[:seqLen])
-	if seq != s.recvSeq {
+	if seq < s.recvSeq {
 		stats.openFailures.Add(1)
-		return nil, fmt.Errorf("%w: got %d, want %d", ErrReplay, seq, s.recvSeq)
+		return nil, fmt.Errorf("%w: got %d, want at least %d", ErrReplay, seq, s.recvSeq)
 	}
 
 	binary.BigEndian.PutUint64(s.openNonce[gcmNonce-seqLen:], seq)
@@ -189,7 +192,9 @@ func (s *Session) open(frame, aad, dst []byte) ([]byte, error) {
 		stats.openFailures.Add(1)
 		return nil, fmt.Errorf("secure: opening frame %d: %w", seq, err)
 	}
-	s.recvSeq++
+	// Only an authenticated frame advances the window: a forged sequence
+	// fails the tag check above and cannot burn future numbers.
+	s.recvSeq = seq + 1
 	stats.opens.Add(1)
 	return plaintext, nil
 }

@@ -60,6 +60,52 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte{byte(TypeAdvertisement)})
 	f.Add([]byte{0xFF, 0x00, 0x01})
 
+	// Chaos-shaped seeds: the frame damage a lossy, duplicating,
+	// reordering radio actually manufactures (the regimes the chaos
+	// medium injects in the lab).
+	chaosSeeds := []Frame{
+		// Delta claiming a base from the far past (receiver long ago
+		// trimmed its change log).
+		&Advertisement{Peer: "alice-device", Gen: 42, BaseGen: 1, Summary: map[id.UserID]uint64{alice: 3}},
+		// Continuation chunk that contradicts itself: Chunk set but More
+		// promised and no entries — a truncated stream's last gasp.
+		&Advertisement{Peer: "alice-device", Gen: 42, Chunk: 9, More: true, Summary: map[id.UserID]uint64{}},
+	}
+	for _, fr := range chaosSeeds {
+		enc, err := Encode(fr)
+		if err != nil {
+			f.Fatalf("encoding %s chaos seed: %v", fr.Type(), err)
+		}
+		f.Add(enc)
+		// Truncation at every length: a frame cut mid-air must be
+		// rejected cleanly at any byte boundary.
+		for cut := 1; cut < len(enc); cut += 3 {
+			f.Add(enc[:cut])
+		}
+		// Duplication: the same frame glued to itself — trailing bytes
+		// after a complete body must not panic the decoder.
+		f.Add(append(append([]byte{}, enc...), enc...))
+	}
+	// Stale-generation deltas (BaseGen >= Gen — the shape a reordered or
+	// byzantine delta arrives in) cannot be built through Encode, which
+	// enforces the invariant; seed them as single-byte corruptions of a
+	// valid delta so the generation fields get flipped among the rest.
+	if delta, err := Encode(&Advertisement{Peer: "a", Gen: 42, BaseGen: 40, Summary: map[id.UserID]uint64{bob: 9}}); err == nil {
+		for i := range delta {
+			bad := append([]byte{}, delta...)
+			bad[i] ^= 0xFF
+			f.Add(bad)
+		}
+	}
+	// A chunked continuation truncated exactly at the summary-entry
+	// boundary, then with a half-written entry.
+	if cont, err := Encode(&Advertisement{Peer: "alice-device", Gen: 42, Chunk: 2, More: true, Summary: map[id.UserID]uint64{alice: 3, bob: 9}}); err == nil {
+		f.Add(cont[:len(cont)-1])
+		if len(cont) > 10 {
+			f.Add(cont[:len(cont)-10])
+		}
+	}
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := Decode(data)
 		if err != nil {
