@@ -99,6 +99,14 @@ type Config struct {
 	// message layer uses, so the secure handshake heads each
 	// contact-session span tree. Nil disables tracing.
 	Tracer *span.Tracer
+	// SessionConfig, when set, supplies the secure.SessionConfig for each
+	// established link — rotation tuning, scoped stats, persistent replay
+	// scopes — called with the authenticated peer's user ID and the
+	// handshake-derived session context (so replay scopes can be bound to
+	// one session's key material). A zero-value result (or nil hook)
+	// selects secure-layer defaults; the manager fills in its own Clock
+	// when the hook leaves it nil.
+	SessionConfig func(peer id.UserID, context []byte) secure.SessionConfig
 }
 
 // Stats counts security-relevant events for reporting.
@@ -200,6 +208,20 @@ func New(cfg Config) (*Manager, error) {
 	}
 	m.endpoint = ep
 	return m, nil
+}
+
+// newSession derives the link session for an authenticated peer, routing
+// the node-level session configuration (clock, stats scope, replay
+// scopes) through the SessionConfig hook.
+func (m *Manager) newSession(peerCert *pki.UserCert, context []byte) (*secure.Session, error) {
+	var sc secure.SessionConfig
+	if m.cfg.SessionConfig != nil {
+		sc = m.cfg.SessionConfig(peerCert.User, context)
+	}
+	if sc.Clock == nil {
+		sc.Clock = m.cfg.Clock
+	}
+	return secure.NewSessionWithConfig(m.cfg.Ident.Key, peerCert.Key, context, sc)
 }
 
 // Self returns the local device name.
@@ -541,7 +563,7 @@ func (m *Manager) onHello(st *connState, frame []byte) {
 		m.failConn(st.conn, err)
 		return
 	}
-	sess, err := secure.NewSession(m.cfg.Ident.Key, peerCert.Key, sessionContext(st.nonceI, st.nonceR))
+	sess, err := m.newSession(peerCert, sessionContext(st.nonceI, st.nonceR))
 	if err != nil {
 		m.failConn(st.conn, err)
 		return
@@ -580,7 +602,7 @@ func (m *Manager) onHelloAck(st *connState, frame []byte) {
 		m.failConn(st.conn, ErrBadTranscript)
 		return
 	}
-	sess, err := secure.NewSession(m.cfg.Ident.Key, peerCert.Key, sessionContext(st.nonceI, st.nonceR))
+	sess, err := m.newSession(peerCert, sessionContext(st.nonceI, st.nonceR))
 	if err != nil {
 		m.failConn(st.conn, err)
 		return
@@ -616,10 +638,12 @@ func (m *Manager) onSealed(st *connState, frame []byte, expectFin bool) {
 		m.mu.Unlock()
 		// A stale sequence on an established link is a duplicated or
 		// late frame from a chaotic radio (the session tolerates forward
-		// gaps, so loss alone never lands here): discard the frame, keep
-		// the link. Authentication failures still tear down — a key
-		// mismatch cannot heal.
-		if !expectFin && errors.Is(err, secure.ErrReplay) {
+		// gaps, so loss alone never lands here), and a frame from an
+		// epoch retired past its overlap window is the same straggler one
+		// key rotation later: discard the frame, keep the link.
+		// Authentication failures still tear down — a key mismatch
+		// cannot heal.
+		if !expectFin && (errors.Is(err, secure.ErrReplay) || errors.Is(err, secure.ErrEpochExpired)) {
 			return
 		}
 		m.dropConn(st, err)

@@ -8,9 +8,11 @@
 package core
 
 import (
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"sos/internal/adhoc"
@@ -25,6 +27,7 @@ import (
 	"sos/internal/routing"
 	"sos/internal/secure"
 	"sos/internal/store"
+	"sos/internal/wire"
 )
 
 // Errors reported by the middleware facade.
@@ -159,6 +162,34 @@ type Config struct {
 	// debug server dumps as Chrome trace_event JSON. Nil disables
 	// tracing at zero cost.
 	Tracer *span.Tracer
+
+	// Security tunes the secure layer: session key rotation, the
+	// persistent replay store, and prekey bundles. The zero value selects
+	// secure-layer defaults with memory-only replay state.
+	Security SecurityConfig
+}
+
+// SecurityConfig is the node-level secure-layer tuning.
+type SecurityConfig struct {
+	// Dir, when set, persists replay floors, send cursors, and envelope
+	// nonces under this directory (the disk-engine idiom: CRC-framed
+	// append log, torn-tail truncation), so replay protection survives
+	// restart. Empty keeps replay state in memory only.
+	Dir string
+	// NoSync skips fsync on replay-log appends (tests, lab fleets).
+	NoSync bool
+	// RotationPeriod / OverlapWindow / MaxForwardJump override the
+	// session epoch-rotation defaults (secure.DefaultRotationPeriod et
+	// al.); the lab shortens the period to its fast radio timescale.
+	RotationPeriod time.Duration
+	OverlapWindow  time.Duration
+	MaxForwardJump int64
+	// SignedPrekeyLifetime overrides the signed-prekey rotation period.
+	SignedPrekeyLifetime time.Duration
+	// DisablePrekeys turns off prekey minting and the in-session bundle
+	// exchange; Direct then always seals to the recipient's long-term
+	// key.
+	DisablePrekeys bool
 }
 
 // Stats aggregates the counters of every layer.
@@ -177,6 +208,16 @@ type Middleware struct {
 	routing  *routing.Manager
 	msgMgr   *message.Manager
 	adhocMgr *adhoc.Manager
+
+	secRec  *secure.StatsRecorder
+	replay  *secure.ReplayStore
+	prekeys *secure.PrekeyStore
+
+	// bundles caches the latest verified prekey bundle per peer, so
+	// Direct can seal forward-secret even when the recipient is offline.
+	// A bundle's one-time component is stripped after its single use.
+	bundleMu sync.Mutex
+	bundles  map[id.UserID]*secure.PrekeyBundle
 }
 
 // New wires up a middleware instance and begins advertising.
@@ -266,6 +307,43 @@ func New(cfg Config) (*Middleware, error) {
 			}
 		}
 	}
+	// The node's secure-layer state: a scoped stats recorder (parallel
+	// fleets in one process stop cross-contaminating counters), the
+	// replay store, and — unless disabled — the prekey store.
+	secRec := &secure.StatsRecorder{}
+	replay, err := secure.OpenReplayStore(cfg.Security.Dir, secure.ReplayOptions{
+		NoSync: cfg.Security.NoSync,
+		Stats:  secRec,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: opening replay store: %w", err)
+	}
+	var prekeys *secure.PrekeyStore
+	if !cfg.Security.DisablePrekeys {
+		prekeys, err = secure.NewPrekeyStore(cfg.Creds.Ident, cfg.Creds.Ident.User, secure.PrekeyConfig{
+			Clock:          cfg.Clock,
+			Rand:           cfg.Rand,
+			SignedLifetime: cfg.Security.SignedPrekeyLifetime,
+			Stats:          secRec,
+		})
+		if err != nil {
+			replay.Close()
+			return nil, fmt.Errorf("core: building prekey store: %w", err)
+		}
+	}
+
+	mw := &Middleware{
+		cfg:      cfg,
+		clk:      cfg.Clock,
+		store:    st,
+		verifier: verifier,
+		routing:  routingMgr,
+		secRec:   secRec,
+		replay:   replay,
+		prekeys:  prekeys,
+		bundles:  make(map[id.UserID]*secure.PrekeyBundle),
+	}
+
 	msgMgr, err := message.New(message.Config{
 		Store:          st,
 		Routing:        routingMgr,
@@ -277,8 +355,11 @@ func New(cfg Config) (*Middleware, error) {
 		AutoConnect:    !cfg.DisableAutoConnect,
 		ResyncInterval: cfg.ResyncInterval,
 		Tracer:         cfg.Tracer,
+		PrekeySource:   mw.prekeySource(),
+		OnPrekeyBundle: mw.cachePrekeyBundle,
 	})
 	if err != nil {
+		replay.Close()
 		return nil, fmt.Errorf("core: building message manager: %w", err)
 	}
 	adhocMgr, err := adhoc.New(adhoc.Config{
@@ -292,26 +373,89 @@ func New(cfg Config) (*Middleware, error) {
 		Rand:             cfg.Rand,
 		Tracer:           cfg.Tracer,
 		HandshakeTimeout: cfg.HandshakeTimeout,
+		SessionConfig:    mw.sessionConfig,
 	})
 	if err != nil {
+		replay.Close()
 		return nil, fmt.Errorf("core: building ad hoc manager: %w", err)
 	}
 	msgMgr.Bind(adhocMgr)
-
-	mw := &Middleware{
-		cfg:      cfg,
-		clk:      cfg.Clock,
-		store:    st,
-		verifier: verifier,
-		routing:  routingMgr,
-		msgMgr:   msgMgr,
-		adhocMgr: adhocMgr,
-	}
+	mw.msgMgr = msgMgr
+	mw.adhocMgr = adhocMgr
 	if err := mw.msgMgr.Advertise(); err != nil {
 		adhocMgr.Close()
 		return nil, fmt.Errorf("core: initial advertisement: %w", err)
 	}
 	return mw, nil
+}
+
+// sessionConfig builds the secure.SessionConfig for one link: the node
+// clock (epoch rotation), the node's stats scope, and replay scopes
+// bound to the peer plus this session's handshake context, persisted in
+// the replay store. Binding scopes to the context means a fresh
+// handshake starts fresh scopes (no deadlock against a peer that lost
+// its state — its frames cannot authenticate under old keys anyway),
+// while a session resumed across a restart keeps its floor.
+func (mw *Middleware) sessionConfig(peer id.UserID, context []byte) secure.SessionConfig {
+	tag := peer.String() + "/" + hex.EncodeToString(context[:min(8, len(context))])
+	return secure.SessionConfig{
+		Clock:          mw.clk,
+		RotationPeriod: mw.cfg.Security.RotationPeriod,
+		OverlapWindow:  mw.cfg.Security.OverlapWindow,
+		MaxForwardJump: mw.cfg.Security.MaxForwardJump,
+		Stats:          mw.secRec,
+		Replay:         mw.replay.Scope("recv/" + tag),
+		SendCursor:     mw.replay.Scope("send/" + tag),
+	}
+}
+
+// prekeySource returns the message-layer hook publishing this node's
+// bundle, or nil when prekeys are disabled.
+func (mw *Middleware) prekeySource() func() (*wire.PrekeyBundle, error) {
+	if mw.prekeys == nil {
+		return nil
+	}
+	return func() (*wire.PrekeyBundle, error) {
+		b, err := mw.prekeys.Bundle()
+		if err != nil {
+			return nil, err
+		}
+		return &wire.PrekeyBundle{
+			User:       b.User,
+			SignedID:   b.SignedID,
+			SignedPub:  b.SignedPub,
+			SignedSig:  b.SignedSig,
+			OneTimeID:  b.OneTimeID,
+			OneTimePub: b.OneTimePub,
+		}, nil
+	}
+}
+
+// cachePrekeyBundle stores a peer's verified bundle for later Direct
+// sends.
+func (mw *Middleware) cachePrekeyBundle(peer id.UserID, b *secure.PrekeyBundle) {
+	mw.bundleMu.Lock()
+	mw.bundles[peer] = b
+	mw.bundleMu.Unlock()
+}
+
+// takePrekeyBundle returns the cached bundle for a recipient, stripping
+// its one-time component so it is never sealed against twice (the
+// recipient deletes the one-time private key on first open).
+func (mw *Middleware) takePrekeyBundle(user id.UserID) *secure.PrekeyBundle {
+	mw.bundleMu.Lock()
+	defer mw.bundleMu.Unlock()
+	b := mw.bundles[user]
+	if b == nil {
+		return nil
+	}
+	use := *b
+	if b.OneTimeID != 0 {
+		stripped := *b
+		stripped.OneTimeID, stripped.OneTimePub = 0, nil
+		mw.bundles[user] = &stripped
+	}
+	return &use
 }
 
 // User returns the local user identifier.
@@ -353,8 +497,24 @@ func (mw *Middleware) Subscribe(user id.UserID) {
 
 // Direct seals payload end-to-end for the recipient and disseminates the
 // envelope. Forwarders can route it but never read it; only the recipient
-// with cert recipCert can open it.
+// with cert recipCert can open it. When a prekey bundle for the recipient
+// has been cached (published during any earlier encounter), the envelope
+// is sealed to the bundle instead of the long-term key: the recipient
+// burns the one-time prekey on open, so capture of its device later
+// cannot reopen the envelope (forward secrecy). Without a bundle, Direct
+// falls back to the legacy long-term-key envelope.
 func (mw *Middleware) Direct(recipCert *pki.UserCert, payload []byte) (*msg.Message, error) {
+	if bundle := mw.takePrekeyBundle(recipCert.User); bundle != nil {
+		env, err := secure.SealPrekeyEnvelope(mw.cfg.Rand, recipCert.Key, bundle, mw.cfg.Creds.Ident, payload)
+		if err == nil {
+			return mw.publish(msg.KindDirect, recipCert.User, env.Marshal())
+		}
+		// A stale or damaged cached bundle must not strand the message:
+		// drop it and seal legacy.
+		mw.bundleMu.Lock()
+		delete(mw.bundles, recipCert.User)
+		mw.bundleMu.Unlock()
+	}
 	env, err := secure.SealEnvelope(mw.cfg.Rand, recipCert.Key, mw.cfg.Creds.Ident, payload)
 	if err != nil {
 		return nil, fmt.Errorf("core: sealing direct message: %w", err)
@@ -376,15 +536,49 @@ func (mw *Middleware) OpenDirect(m *msg.Message) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: verifying author certificate: %w", err)
 	}
-	env, err := secure.ParseEnvelope(m.Payload)
-	if err != nil {
-		return nil, fmt.Errorf("core: parsing envelope: %w", err)
+	var plain, nonce []byte
+	if secure.IsPrekeyEnvelope(m.Payload) {
+		if mw.prekeys == nil {
+			return nil, errors.New("core: prekey envelope received with prekeys disabled")
+		}
+		env, err := secure.ParsePrekeyEnvelope(m.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("core: parsing envelope: %w", err)
+		}
+		if plain, err = secure.OpenPrekeyEnvelope(mw.prekeys, cert.Key, env); err != nil {
+			return nil, fmt.Errorf("core: opening envelope: %w", err)
+		}
+		nonce = env.Nonce
+	} else {
+		env, err := secure.ParseEnvelope(m.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("core: parsing envelope: %w", err)
+		}
+		if plain, err = secure.OpenEnvelope(mw.cfg.Creds.Ident.Key, cert.Key, env); err != nil {
+			return nil, fmt.Errorf("core: opening envelope: %w", err)
+		}
+		nonce = env.Nonce
 	}
-	plain, err := secure.OpenEnvelope(mw.cfg.Creds.Ident.Key, cert.Key, env)
-	if err != nil {
-		return nil, fmt.Errorf("core: opening envelope: %w", err)
+	// At-most-once opening: the envelope nonce is marked in the replay
+	// store (persisted when Security.Dir is set), so the same envelope
+	// re-disseminated later — even across a restart — is rejected.
+	if !mw.replay.MarkNonce(nonce) {
+		return nil, fmt.Errorf("core: envelope %s replayed", m.Ref())
 	}
 	return plain, nil
+}
+
+// SecureStats snapshots this node's secure-layer counters (scoped — not
+// the process-wide aggregate secure.ReadStats returns).
+func (mw *Middleware) SecureStats() secure.Stats { return mw.secRec.Read() }
+
+// PrekeysRemaining reports the unissued one-time prekey pool depth (0
+// when prekeys are disabled).
+func (mw *Middleware) PrekeysRemaining() int {
+	if mw.prekeys == nil {
+		return 0
+	}
+	return mw.prekeys.Remaining()
 }
 
 // publish signs, stores, and advertises a new action message.
@@ -486,8 +680,12 @@ func (mw *Middleware) Close() error {
 	mw.msgMgr.Close()
 	mediumErr := mw.adhocMgr.Close()
 	storeErr := mw.store.Close()
+	replayErr := mw.replay.Close()
 	if mediumErr != nil {
 		return mediumErr
 	}
-	return storeErr
+	if storeErr != nil {
+		return storeErr
+	}
+	return replayErr
 }

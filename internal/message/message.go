@@ -60,6 +60,7 @@ import (
 	"sos/internal/obs/span"
 	"sos/internal/pki"
 	"sos/internal/routing"
+	"sos/internal/secure"
 	"sos/internal/store"
 	"sos/internal/wire"
 )
@@ -130,6 +131,18 @@ type Config struct {
 	// instants. Recording is allocation-free, so the tracer can stay
 	// enabled under the contact benchmark gates. Nil disables tracing.
 	Tracer *span.Tracer
+
+	// PrekeySource, when set, supplies this node's current prekey bundle
+	// (internal/secure); the manager publishes it inside each
+	// authenticated session at LinkUp so peers can seal forward-secret
+	// envelopes to us later without a live handshake.
+	PrekeySource func() (*wire.PrekeyBundle, error)
+	// OnPrekeyBundle, when set, receives each peer's prekey bundle after
+	// the manager has checked it: the bundle's user must match the
+	// link's authenticated identity and its signed-prekey signature must
+	// verify against the link's certified key. A bundle failing either
+	// check is scored as misbehavior instead.
+	OnPrekeyBundle func(peer id.UserID, b *secure.PrekeyBundle)
 }
 
 // Stats counts message-manager events.
@@ -179,6 +192,13 @@ type Stats struct {
 	// resync heartbeat released for re-planning (a lost Request or Batch
 	// frame on a lossy radio).
 	InflightExpired uint64
+
+	// Prekey-exchange counters: bundles published at LinkUp, verified
+	// peer bundles accepted, and bundles rejected (identity mismatch or
+	// bad signature — also scored as misbehavior).
+	PrekeyBundlesSent     uint64
+	PrekeyBundlesReceived uint64
+	PrekeyRejects         uint64
 }
 
 // peerSync is everything the manager knows about one peer device: the
@@ -245,9 +265,11 @@ type Manager struct {
 	adScheme string
 	adData   []byte
 
-	// resyncTimer drives the in-session resync heartbeat; closed stops
-	// it from re-arming. Both guarded by mu.
+	// resyncTimer drives the in-session resync heartbeat; resyncTicks
+	// counts completed ticks (the age base for in-flight expiry); closed
+	// stops the timer from re-arming. All guarded by mu.
 	resyncTimer *time.Timer
+	resyncTicks uint64
 	closed      bool
 	// pad caches the non-recent portion of an oversize store's beacon
 	// digest (see beaconSummary). Guarded by advMu.
@@ -262,11 +284,14 @@ type padEntry struct {
 	seq    uint64
 }
 
-// inflightEntry records which peer a message was requested from and
-// when, so stale requests become re-plannable after a resync interval.
+// inflightEntry records which peer a message was requested from and at
+// which resync-heartbeat tick, so stale requests become re-plannable
+// after a full interval. Age is measured in heartbeat ticks, not clock
+// time: the heartbeat runs on the wall-clock timer wheel, so expiry
+// keeps working when Config.Clock is a frozen virtual clock.
 type inflightEntry struct {
 	peer mpc.PeerID
-	at   time.Time
+	tick uint64
 }
 
 var _ adhoc.Handler = (*Manager)(nil)
@@ -331,13 +356,16 @@ func (m *Manager) resyncTick() {
 		m.mu.Unlock()
 		return
 	}
-	now := m.cfg.Clock.Now()
+	// Expire entries stamped before the previous tick: they have sat a
+	// full heartbeat interval without the Batch arriving, so the Request
+	// or its answer is gone and the refs must become plannable again.
 	for ref, e := range m.inflight {
-		if now.Sub(e.at) >= m.cfg.ResyncInterval {
+		if e.tick < m.resyncTicks {
 			delete(m.inflight, ref)
 			m.stats.InflightExpired++
 		}
 	}
+	m.resyncTicks++
 	var links []*adhoc.Link
 	views := make(map[*peerSync]map[id.UserID]uint64, len(m.peers))
 	for _, ps := range m.peers {
@@ -731,6 +759,53 @@ func (m *Manager) LinkUp(link *adhoc.Link) {
 	}
 
 	m.sendAdTo(link, false)
+	m.sendPrekeyTo(link)
+}
+
+// sendPrekeyTo publishes the node's current prekey bundle on one link.
+func (m *Manager) sendPrekeyTo(link *adhoc.Link) {
+	if m.cfg.PrekeySource == nil {
+		return
+	}
+	bundle, err := m.cfg.PrekeySource()
+	if err != nil || bundle == nil {
+		return // a node that cannot mint prekeys still syncs messages
+	}
+	if err := m.sendCounted(link, bundle, false); err != nil {
+		return // link failures surface via LinkDown
+	}
+	m.mu.Lock()
+	m.stats.PrekeyBundlesSent++
+	m.mu.Unlock()
+}
+
+// onPrekeyBundle vets a peer's published bundle against the link's
+// authenticated identity before handing it to the consumer: the bundle
+// must be the peer's own, and its signed prekey must carry a valid
+// signature from the certified key the handshake verified. Anything else
+// is authenticated garbage and scores like it.
+func (m *Manager) onPrekeyBundle(link *adhoc.Link, fr *wire.PrekeyBundle) {
+	b := &secure.PrekeyBundle{
+		User:       fr.User,
+		SignedID:   fr.SignedID,
+		SignedPub:  fr.SignedPub,
+		SignedSig:  fr.SignedSig,
+		OneTimeID:  fr.OneTimeID,
+		OneTimePub: fr.OneTimePub,
+	}
+	if fr.User != link.User() || !b.Verify(link.Cert().Key) {
+		m.mu.Lock()
+		m.stats.PrekeyRejects++
+		m.penalizeLocked(link.Peer(), pointsGarbage, m.cfg.Clock.Now())
+		m.mu.Unlock()
+		return
+	}
+	m.mu.Lock()
+	m.stats.PrekeyBundlesReceived++
+	m.mu.Unlock()
+	if m.cfg.OnPrekeyBundle != nil {
+		m.cfg.OnPrekeyBundle(link.User(), b)
+	}
 }
 
 // sendAdTo sends one in-session advertisement on a single link: a delta
@@ -938,6 +1013,8 @@ func (m *Manager) FrameIn(link *adhoc.Link, f wire.Frame) {
 		m.onBatch(link, fr)
 	case *wire.Ack:
 		m.onAck(link, fr)
+	case *wire.PrekeyBundle:
+		m.onPrekeyBundle(link, fr)
 	default:
 		// Unknown in-session frame: ignore (forward compatibility).
 	}
@@ -1094,7 +1171,17 @@ func (m *Manager) onSummary(link *adhoc.Link, ad *wire.Advertisement) {
 		m.mu.Unlock()
 		return
 	}
-	if ad.Chunk == 0 && !m.quar.allowAd(link.Peer(), now) {
+	// The flood bucket is charged only for frames that trigger
+	// dictionary-scale work: full summaries (an O(dictionary) view
+	// replacement and re-plan) and gap deltas (a SummaryPull round trip
+	// serving the whole dictionary). A delta that chains cleanly onto
+	// the cached view costs O(changed entries) — the same class as the
+	// Batch frames it steers — and a fast honest contact legitimately
+	// produces them faster than any sane refill rate; dropping one
+	// silently desynchronizes the delta chain and forces exactly the
+	// full-summary recovery the guard exists to prevent.
+	chained := ad.IsDelta() && ad.Chunk == 0 && ps.recvValid && ad.BaseGen == ps.recvGen
+	if ad.Chunk == 0 && !chained && !m.quar.allowAd(link.Peer(), now) {
 		// Advertisement flood: the peer's token bucket ran dry. Score
 		// it and drop the frame; a tripped quarantine drops the link.
 		tripped := m.penalizeLocked(link.Peer(), pointsFlood, now)
@@ -1219,7 +1306,6 @@ func (m *Manager) pullView(link *adhoc.Link, view map[id.UserID]uint64) {
 // same message k times. Callers hold m.mu.
 func (m *Manager) planLocked(views map[*peerSync]map[id.UserID]uint64) []outgoingPlan {
 	scheme := m.cfg.Routing.Current()
-	now := m.cfg.Clock.Now()
 
 	// Deterministic order: sort viewed peers by peer id.
 	peers := make([]mpc.PeerID, 0, len(views))
@@ -1246,7 +1332,7 @@ func (m *Manager) planLocked(views map[*peerSync]map[id.UserID]uint64) []outgoin
 			plans[ps] = p
 		}
 		p.wants[author] = append(p.wants[author], seq)
-		m.inflight[msg.Ref{Author: author, Seq: seq}] = inflightEntry{peer: ps.link.Peer(), at: now}
+		m.inflight[msg.Ref{Author: author, Seq: seq}] = inflightEntry{peer: ps.link.Peer(), tick: m.resyncTicks}
 	}
 	for _, peer := range peers {
 		ps := m.peers[peer]

@@ -176,6 +176,52 @@ func TestDeltaSyncSteadyState(t *testing.T) {
 	}
 }
 
+// TestFastContactStaysOnDeltaChain pins the flood-guard exemption for
+// clean-chaining deltas: an honest fast contact legitimately produces
+// delta advertisements faster than the ad bucket refills (one per post),
+// and the receiver must keep applying them rather than silently dropping
+// frames — a drop desynchronizes the delta chain and forces the
+// full-summary recovery the delta plane exists to avoid. The posts here
+// outnumber the bucket's burst capacity, so the run fails if chained
+// deltas are ever charged.
+func TestFastContactStaysOnDeltaChain(t *testing.T) {
+	medium, svc := newLiveWorld(t)
+	alice := newLiveNode(t, medium, svc, "alice")
+	bob := newLiveNode(t, medium, svc, "bob")
+
+	p1, err := alice.mw.Post([]byte("prime"))
+	if err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	waitFor(t, "priming delivery", func() bool { return bob.gotSeq(p1.Author, p1.Seq) })
+
+	base := alice.mw.Stats().Message
+	// Post back-to-back as fast as the sync round trip allows: each post
+	// is one delta advertisement, far beyond any sane refill rate.
+	const posts = 150
+	for i := 0; i < posts; i++ {
+		p, err := alice.mw.Post([]byte("burst"))
+		if err != nil {
+			t.Fatalf("Post: %v", err)
+		}
+		waitFor(t, "burst delivery", func() bool { return bob.gotSeq(p.Author, p.Seq) })
+	}
+
+	ast, bst := alice.mw.Stats().Message, bob.mw.Stats().Message
+	if got := ast.AdsDeltaSent - base.AdsDeltaSent; got < posts {
+		t.Errorf("fast contact sent %d delta advertisements, want >= %d", got, posts)
+	}
+	if got := ast.AdsFullSent - base.AdsFullSent; got != 0 {
+		t.Errorf("fast contact fell back to %d full summaries, want 0", got)
+	}
+	if bst.SummaryPullsSent != 0 {
+		t.Errorf("receiver hit %d generation gaps during an honest fast contact", bst.SummaryPullsSent)
+	}
+	if bst.MisbehaviorEvents != 0 {
+		t.Errorf("honest fast contact scored %d misbehavior events", bst.MisbehaviorEvents)
+	}
+}
+
 // TestChurnReconnectResync drives a radio-loss churn cycle: PeerGone
 // clears the per-peer sync state on both sides, so the post-churn
 // reconnect greets with a full summary (not a stale delta base) and

@@ -182,16 +182,29 @@ func RegisterNodeMetrics(reg *Registry, nm NodeMetrics) {
 			func() uint64 { return ch.Stats().PartitionsHealed })
 	}
 
-	// AEAD counters are process-wide (see secure.ReadStats), so they are
-	// registered unconditionally.
+	// AEAD counters. With a Middleware present they bridge that node's
+	// scoped recorder (parallel fleets in one process stay separated);
+	// without one they fall back to the process-wide aggregate.
+	secStats := func() secure.Stats { return secure.ReadStats() }
+	if mw := nm.Middleware; mw != nil {
+		secStats = mw.SecureStats
+	}
 	reg.CounterFunc("sos_secure_seals_total", "Frames sealed.", nil,
-		func() uint64 { return secure.ReadStats().Seals })
+		func() uint64 { return secStats().Seals })
 	reg.CounterFunc("sos_secure_opens_total", "Frames authenticated and opened.", nil,
-		func() uint64 { return secure.ReadStats().Opens })
-	reg.CounterFunc("sos_secure_seal_failures_total", "Seal calls rejected (closed session).", nil,
-		func() uint64 { return secure.ReadStats().SealFailures })
-	reg.CounterFunc("sos_secure_open_failures_total", "Frames rejected: short, replayed, or failing authentication.", nil,
-		func() uint64 { return secure.ReadStats().OpenFailures })
+		func() uint64 { return secStats().Opens })
+	reg.CounterFunc("sos_secure_seal_failures_total", "Seal calls rejected (closed session, exhausted sequence space).", nil,
+		func() uint64 { return secStats().SealFailures })
+	reg.CounterFunc("sos_secure_open_failures_total", "Frames rejected: short, replayed, epoch out of window, or failing authentication.", nil,
+		func() uint64 { return secStats().OpenFailures })
+	reg.CounterFunc("sos_secure_rotations_total", "Epoch key rotations completed (send ratchet steps, receive epoch adoptions, signed-prekey rotations).", nil,
+		func() uint64 { return secStats().Rotations })
+	reg.CounterFunc("sos_secure_replay_rejected_total", "Frames and envelope nonces rejected by replay checks.", nil,
+		func() uint64 { return secStats().ReplayRejected })
+	if mw := nm.Middleware; mw != nil {
+		reg.GaugeFunc("sos_secure_prekeys_remaining", "Unissued one-time prekeys left in the node's pool.", nil,
+			func() float64 { return float64(mw.PrekeysRemaining()) })
+	}
 
 	if exp := nm.Exporter; exp != nil {
 		reg.CounterFunc("sos_telemetry_recorded_total", "Events handed to the exporter.", nil,

@@ -6,6 +6,15 @@
 // own explicit cryptography: ECDH P-256 key agreement, HKDF-SHA256 key
 // derivation, and AES-256-GCM authenticated encryption, all from the
 // standard library.
+//
+// The layer is hardened for fleets rather than field studies: session
+// keys rotate on a clock-driven epoch ratchet with secure wiping of
+// expired material (epoch.go), replay floors and envelope nonces can
+// persist across restarts in a bounded store (replay.go), and prekey
+// bundles give asynchronous peers forward secrecy without a live
+// handshake (prekeys.go). Time never comes from time.Now() here — every
+// clock is injected, which is what makes the rotation and replay suites
+// deterministic.
 package secure
 
 import (
@@ -14,10 +23,12 @@ import (
 	"crypto/cipher"
 	"crypto/ecdsa"
 	"crypto/subtle"
-	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
+	"time"
 
+	"sos/internal/clock"
 	"sos/internal/hkdf"
 	"sos/internal/id"
 )
@@ -26,24 +37,66 @@ import (
 const (
 	aesKeyLen  = 32
 	gcmNonce   = 12
-	seqLen     = 8
-	sessionCtx = "sos/session/v1"
+	sessionCtx = "sos/session/v2"
 )
 
 // Errors reported by session operations.
 var (
-	ErrReplay      = errors.New("secure: frame sequence replayed or out of order")
-	ErrFrameShort  = errors.New("secure: frame too short")
-	ErrSessionDone = errors.New("secure: session closed")
+	ErrReplay       = errors.New("secure: frame sequence replayed or out of order")
+	ErrFrameShort   = errors.New("secure: frame too short")
+	ErrSessionDone  = errors.New("secure: session closed")
+	ErrSeqExhausted = errors.New("secure: send sequence space exhausted")
+	ErrSeqJump      = errors.New("secure: frame sequence jumped past the forward window")
+	ErrEpochSkew    = errors.New("secure: frame epoch ahead of the local clock bound")
+	ErrEpochExpired = errors.New("secure: frame epoch retired past its overlap window")
 )
 
+// SessionConfig tunes a session beyond the defaults NewSession applies.
+// The zero value is valid: wall clock, default rotation period and
+// overlap, default forward-jump bound, aggregate-only stats, no
+// persistent replay state.
+type SessionConfig struct {
+	// Clock drives epoch rotation. Nil selects the system clock; the
+	// secure layer itself never calls time.Now().
+	Clock clock.Clock
+	// RotationPeriod is the epoch length. 0 selects
+	// DefaultRotationPeriod; negative disables rotation (the session
+	// stays in epoch 0, for tests and very short-lived links).
+	RotationPeriod time.Duration
+	// OverlapWindow is how long the receive side keeps a superseded
+	// epoch's key usable after first accepting its successor, so frames
+	// in flight across a rotation still open. 0 selects
+	// DefaultOverlapWindow.
+	OverlapWindow time.Duration
+	// MaxForwardJump bounds how far a frame sequence may run ahead of
+	// the last accepted one (the first frame of a session is exempt: it
+	// establishes the position). 0 selects DefaultMaxForwardJump;
+	// negative disables the bound.
+	MaxForwardJump int64
+	// Stats, when set, scopes this session's counters to a recorder (a
+	// node, a fleet, a test) in addition to the process aggregate.
+	Stats *StatsRecorder
+	// Replay, when set, is the receive direction's persistent replay
+	// floor: the session starts its accept watermark at Replay.Floor()
+	// and commits every accepted sequence, so frames recorded before a
+	// restart stay rejected after it.
+	Replay *ReplayHandle
+	// SendCursor, when set, resumes the send sequence at
+	// SendCursor.Floor() and commits every sealed sequence, so a
+	// restarted sender never reuses sequence numbers (and never trips a
+	// peer's persisted replay floor).
+	SendCursor *ReplayHandle
+}
+
 // Session is one side of an established encrypted channel between two
-// connected peers. Each direction has its own AES-256-GCM key, and frames
-// carry strictly increasing sequence numbers: a frame at or below the
-// last accepted sequence is rejected (replay protection), while forward
-// jumps are tolerated — every sequence authenticates independently
-// (nonce and AAD both bind it), so frames lost on a lossy radio skip the
-// window forward instead of desynchronizing the channel.
+// connected peers. Each direction runs its own forward-only key ratchet
+// (see epoch.go): frames carry an epoch header naming the key they were
+// sealed under plus a strictly increasing sequence number. A frame at or
+// below the last accepted sequence is rejected (replay protection),
+// forward jumps are tolerated up to MaxForwardJump — every sequence
+// authenticates independently (nonce and AAD both bind epoch and
+// sequence), so frames lost on a lossy radio skip the window forward
+// instead of desynchronizing the channel.
 //
 // A session is not safe for concurrent use within one direction: callers
 // must serialize Seal/AppendSeal calls among themselves and Open/
@@ -51,12 +104,37 @@ var (
 // under the link's send mutex, opens on the endpoint's serial callback
 // queue). The two directions may run concurrently with each other.
 type Session struct {
-	send     cipher.AEAD
-	recv     cipher.AEAD
-	sendSeq  uint64
-	recvSeq  uint64
+	clk      clock.Clock
+	period   time.Duration
+	overlap  time.Duration
+	maxJump  int64
+	rec      *StatsRecorder
 	closed   bool
 	overhead int
+
+	// Send direction: the ratchet, the current epoch's cached AEAD, and
+	// the monotonically increasing sequence (never reset by rotation, so
+	// replay floors survive epoch changes).
+	sendChain *chain
+	sendAEAD  cipher.AEAD
+	sendKey   [aesKeyLen]byte
+	sendEpoch uint32
+	sendSeq   uint64
+	sendStart time.Time
+	sealsLeft int // seals until the next rotation clock check
+	sendCur   *ReplayHandle
+
+	// Receive direction: the ratchet frontier plus the small set of live
+	// epoch keys (current, its overlap predecessor, and at most one
+	// clock-tolerated successor a peer sealed just ahead of us).
+	recvChain *chain
+	recvLive  []epochKey
+	recvMax   uint32    // highest epoch an accepted frame has used
+	recvSeen  time.Time // when recvMax was first accepted
+	recvSeq   uint64    // next acceptable sequence lower bound
+	recvAny   bool      // a frame has been accepted (jump bound armed)
+	recvStart time.Time
+	replay    *ReplayHandle
 
 	// Per-direction scratch, reused across calls so the per-frame AEAD
 	// path allocates nothing in steady state. The nonces live here too:
@@ -69,13 +147,27 @@ type Session struct {
 	openNonce [gcmNonce]byte
 }
 
-// NewSession derives directional keys from an ECDH shared secret between
-// the local private key and the remote public key. Both peers compute the
-// same two keys; the lexicographic order of the marshaled public keys
-// decides which key serves which direction, so the two sides agree without
-// additional negotiation. The context binds the keys to a transcript (for
-// SOS, the connection handshake nonces).
+// epochKey is one live receive key.
+type epochKey struct {
+	epoch uint32
+	aead  cipher.AEAD
+	key   [aesKeyLen]byte
+}
+
+// NewSession derives directional key ratchets from an ECDH shared secret
+// between the local private key and the remote public key, with default
+// configuration. Both peers compute the same two root secrets; the
+// lexicographic order of the marshaled public keys decides which root
+// serves which direction, so the two sides agree without additional
+// negotiation. The context binds the keys to a transcript (for SOS, the
+// connection handshake nonces).
 func NewSession(local *ecdsa.PrivateKey, remote *ecdsa.PublicKey, context []byte) (*Session, error) {
+	return NewSessionWithConfig(local, remote, context, SessionConfig{})
+}
+
+// NewSessionWithConfig is NewSession with explicit rotation, replay, and
+// stats configuration.
+func NewSessionWithConfig(local *ecdsa.PrivateKey, remote *ecdsa.PublicKey, context []byte, cfg SessionConfig) (*Session, error) {
 	t := tracer.Load()
 	sp := t.Start(t.Track("secure"), "secure.derive")
 	defer sp.End()
@@ -104,24 +196,150 @@ func NewSession(local *ecdsa.PrivateKey, remote *ecdsa.PublicKey, context []byte
 	info := append([]byte(sessionCtx), context...)
 	okm, err := hkdf.Key(shared, salt, info, 2*aesKeyLen)
 	if err != nil {
-		return nil, fmt.Errorf("secure: deriving session keys: %w", err)
+		return nil, fmt.Errorf("secure: deriving session roots: %w", err)
 	}
-	firstKey, secondKey := okm[:aesKeyLen], okm[aesKeyLen:]
-
-	sendKey, recvKey := firstKey, secondKey
+	firstRoot, secondRoot := okm[:aesKeyLen], okm[aesKeyLen:]
+	sendRoot, recvRoot := firstRoot, secondRoot
 	if !localIsFirst {
-		sendKey, recvKey = secondKey, firstKey
+		sendRoot, recvRoot = secondRoot, firstRoot
 	}
-	send, err := newGCM(sendKey)
-	if err != nil {
+
+	s := &Session{
+		clk:       cfg.Clock,
+		period:    cfg.RotationPeriod,
+		overlap:   cfg.OverlapWindow,
+		maxJump:   cfg.MaxForwardJump,
+		rec:       cfg.Stats,
+		sendChain: newChain(sendRoot),
+		recvChain: newChain(recvRoot),
+		replay:    cfg.Replay,
+		sendCur:   cfg.SendCursor,
+		sealsLeft: rotateCheckEvery,
+	}
+	Zeroize(okm)
+	Zeroize(shared)
+	if s.clk == nil {
+		s.clk = clock.System()
+	}
+	if s.period == 0 {
+		s.period = DefaultRotationPeriod
+	}
+	if s.overlap == 0 {
+		s.overlap = DefaultOverlapWindow
+	}
+	if s.maxJump == 0 {
+		s.maxJump = DefaultMaxForwardJump
+	}
+	now := s.clk.Now()
+	s.sendStart, s.recvStart = now, now
+	if s.replay != nil {
+		s.recvSeq = s.replay.Floor()
+	}
+	if s.sendCur != nil {
+		s.sendSeq = s.sendCur.Floor()
+	}
+
+	if err := s.installSendEpoch(0); err != nil {
 		return nil, err
 	}
-	recv, err := newGCM(recvKey)
-	if err != nil {
+	if _, err := s.recvKeyFor(0); err != nil {
 		return nil, err
 	}
-	return &Session{send: send, recv: recv, overhead: seqLen + send.Overhead()}, nil
+	s.overhead = EpochHeaderLen + s.sendAEAD.Overhead()
+	return s, nil
 }
+
+// installSendEpoch positions the send direction at epoch e: ratchets the
+// chain, caches the epoch's AEAD, and wipes the previous raw key.
+func (s *Session) installSendEpoch(e uint32) error {
+	Zeroize(s.sendKey[:])
+	s.sendKey = s.sendChain.keyAt(e)
+	aead, err := newGCM(s.sendKey[:])
+	if err != nil {
+		return err
+	}
+	s.sendAEAD = aead
+	s.sendEpoch = e
+	return nil
+}
+
+// recvKeyFor returns the AEAD for epoch e, deriving and caching it when
+// the ratchet has not yet produced it.
+func (s *Session) recvKeyFor(e uint32) (cipher.AEAD, error) {
+	for i := range s.recvLive {
+		if s.recvLive[i].epoch == e {
+			return s.recvLive[i].aead, nil
+		}
+	}
+	if e < s.recvChain.epoch {
+		// The ratchet has moved past this epoch and its key was wiped.
+		return nil, fmt.Errorf("%w: epoch %d", ErrEpochExpired, e)
+	}
+	ek := epochKey{epoch: e, key: s.recvChain.keyAt(e)}
+	aead, err := newGCM(ek.key[:])
+	if err != nil {
+		return nil, err
+	}
+	ek.aead = aead
+	s.recvLive = append(s.recvLive, ek)
+	return aead, nil
+}
+
+// retireRecvBefore wipes and drops every live receive key older than
+// epoch e.
+func (s *Session) retireRecvBefore(e uint32) {
+	kept := s.recvLive[:0]
+	for i := range s.recvLive {
+		if s.recvLive[i].epoch >= e {
+			kept = append(kept, s.recvLive[i])
+		} else {
+			Zeroize(s.recvLive[i].key[:])
+			s.recvLive[i].aead = nil
+		}
+	}
+	s.recvLive = kept
+}
+
+// epochAt computes the clock-driven epoch number for elapsed time since
+// start.
+func (s *Session) epochAt(now, start time.Time) uint32 {
+	if s.period <= 0 {
+		return 0
+	}
+	elapsed := now.Sub(start)
+	if elapsed <= 0 {
+		return 0
+	}
+	e := int64(elapsed / s.period)
+	if e > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(e)
+}
+
+// MaybeRotate advances the send direction to the clock's current epoch,
+// returning true when a rotation happened. Sealing checks the clock at
+// most once per rotateCheckEvery frames to stay off the per-frame hot
+// path; callers with long idle gaps (or deterministic tests) may force
+// the check here.
+func (s *Session) MaybeRotate() (bool, error) {
+	if s.closed {
+		return false, ErrSessionDone
+	}
+	e := s.epochAt(s.clk.Now(), s.sendStart)
+	if e <= s.sendEpoch {
+		return false, nil
+	}
+	if err := s.installSendEpoch(e); err != nil {
+		return false, err
+	}
+	bump(s.rec, cRotations)
+	return true, nil
+}
+
+// Epochs reports the session's current send epoch and the highest
+// receive epoch an accepted frame has used.
+func (s *Session) Epochs() (send, recv uint32) { return s.sendEpoch, s.recvMax }
 
 // Overhead returns the number of bytes Seal adds to a plaintext.
 func (s *Session) Overhead() int { return s.overhead }
@@ -137,22 +355,36 @@ func (s *Session) Seal(plaintext, aad []byte) ([]byte, error) {
 // the extended slice; with a pre-grown dst it performs no allocations.
 func (s *Session) AppendSeal(dst, plaintext, aad []byte) ([]byte, error) {
 	if s.closed {
-		stats.sealFailures.Add(1)
+		bump(s.rec, cSealFailures)
 		return dst, ErrSessionDone
+	}
+	if s.sealsLeft--; s.sealsLeft <= 0 {
+		s.sealsLeft = rotateCheckEvery
+		if _, err := s.MaybeRotate(); err != nil {
+			bump(s.rec, cSealFailures)
+			return dst, err
+		}
+	}
+	if s.sendSeq == math.MaxUint64 {
+		bump(s.rec, cSealFailures)
+		return dst, ErrSeqExhausted
 	}
 	seq := s.sendSeq
 	s.sendSeq++
+	if s.sendCur != nil {
+		s.sendCur.Commit(s.sendEpoch, seq)
+	}
 
-	binary.BigEndian.PutUint64(s.sealNonce[gcmNonce-seqLen:], seq)
-	dst = binary.BigEndian.AppendUint64(dst, seq)
-	s.sealAAD = appendSeq(s.sealAAD[:0], aad, seq)
-	stats.seals.Add(1)
-	return s.send.Seal(dst, s.sealNonce[:], plaintext, s.sealAAD), nil
+	hdr := EpochHeader{Epoch: s.sendEpoch, Seq: seq}
+	hdr.AppendEncode(s.sealNonce[:0])
+	dst = hdr.AppendEncode(dst)
+	s.sealAAD = hdr.AppendEncode(append(s.sealAAD[:0], aad...))
+	bump(s.rec, cSeals)
+	return s.sendAEAD.Seal(dst, s.sealNonce[:], plaintext, s.sealAAD), nil
 }
 
 // Open authenticates and decrypts a frame produced by the peer's Seal.
-// The frame sequence must be exactly the next expected value. The
-// returned plaintext is freshly allocated; hot paths should prefer
+// The returned plaintext is freshly allocated; hot paths should prefer
 // OpenShared.
 func (s *Session) Open(frame, aad []byte) ([]byte, error) {
 	return s.open(frame, aad, nil)
@@ -172,35 +404,97 @@ func (s *Session) OpenShared(frame, aad []byte) ([]byte, error) {
 
 func (s *Session) open(frame, aad, dst []byte) ([]byte, error) {
 	if s.closed {
-		stats.openFailures.Add(1)
+		bump(s.rec, cOpenFailures)
 		return nil, ErrSessionDone
 	}
-	if len(frame) < seqLen {
-		stats.openFailures.Add(1)
+	hdr, body, err := ParseEpochHeader(frame)
+	if err != nil {
+		bump(s.rec, cOpenFailures)
 		return nil, fmt.Errorf("%w: %d bytes", ErrFrameShort, len(frame))
 	}
-	seq := binary.BigEndian.Uint64(frame[:seqLen])
-	if seq < s.recvSeq {
-		stats.openFailures.Add(1)
-		return nil, fmt.Errorf("%w: got %d, want at least %d", ErrReplay, seq, s.recvSeq)
+	if hdr.Seq < s.recvSeq {
+		bump(s.rec, cOpenFailures)
+		bump(s.rec, cReplayRejected)
+		return nil, fmt.Errorf("%w: got %d, want at least %d", ErrReplay, hdr.Seq, s.recvSeq)
+	}
+	// The forward-jump bound arms after the first accepted frame: the
+	// opening frame establishes the position (a persisted send cursor may
+	// legitimately start far ahead of a receiver that lost its state).
+	if s.recvAny && s.maxJump > 0 && hdr.Seq-s.recvSeq > uint64(s.maxJump) {
+		bump(s.rec, cOpenFailures)
+		return nil, fmt.Errorf("%w: got %d, window ends at %d", ErrSeqJump, hdr.Seq, s.recvSeq+uint64(s.maxJump))
 	}
 
-	binary.BigEndian.PutUint64(s.openNonce[gcmNonce-seqLen:], seq)
-	s.openAAD = appendSeq(s.openAAD[:0], aad, seq)
-	plaintext, err := s.recv.Open(dst, s.openNonce[:], frame[seqLen:], s.openAAD)
+	aead, err := s.acceptEpoch(hdr.Epoch)
 	if err != nil {
-		stats.openFailures.Add(1)
-		return nil, fmt.Errorf("secure: opening frame %d: %w", seq, err)
+		bump(s.rec, cOpenFailures)
+		return nil, err
+	}
+
+	hdr.AppendEncode(s.openNonce[:0])
+	s.openAAD = hdr.AppendEncode(append(s.openAAD[:0], aad...))
+	plaintext, err := aead.Open(dst, s.openNonce[:], body, s.openAAD)
+	if err != nil {
+		bump(s.rec, cOpenFailures)
+		return nil, fmt.Errorf("secure: opening frame %d: %w", hdr.Seq, err)
 	}
 	// Only an authenticated frame advances the window: a forged sequence
 	// fails the tag check above and cannot burn future numbers.
-	s.recvSeq = seq + 1
-	stats.opens.Add(1)
+	s.recvSeq = hdr.Seq + 1
+	s.recvAny = true
+	if hdr.Epoch > s.recvMax {
+		// The peer rotated: adopt the new epoch, start its overlap
+		// window, and retire everything older than its predecessor.
+		prev := s.recvMax
+		s.recvMax = hdr.Epoch
+		s.recvSeen = s.clk.Now()
+		s.retireRecvBefore(prev)
+		bump(s.rec, cRotations)
+	}
+	if s.replay != nil {
+		s.replay.Commit(hdr.Epoch, hdr.Seq)
+	}
+	bump(s.rec, cOpens)
 	return plaintext, nil
 }
 
-// Close renders the session unusable. Subsequent Seal/Open calls fail.
-func (s *Session) Close() { s.closed = true }
+// acceptEpoch vets a frame's claimed epoch against the rotation policy
+// and returns the AEAD to open it with. Frames at the current receive
+// epoch take the cached-key fast path with no clock read; older epochs
+// are accepted only inside the overlap window after their successor was
+// first seen; newer epochs are bounded one past the local clock's own
+// epoch (skew tolerance), so a hostile header cannot force unbounded
+// ratcheting.
+func (s *Session) acceptEpoch(e uint32) (cipher.AEAD, error) {
+	if e < s.recvMax {
+		if s.clk.Now().Sub(s.recvSeen) > s.overlap {
+			s.retireRecvBefore(s.recvMax)
+			return nil, fmt.Errorf("%w: epoch %d after overlap of %d", ErrEpochExpired, e, s.recvMax)
+		}
+		return s.recvKeyFor(e)
+	}
+	if e > s.recvMax {
+		local := s.epochAt(s.clk.Now(), s.recvStart)
+		if e > local+1 {
+			return nil, fmt.Errorf("%w: epoch %d, local %d", ErrEpochSkew, e, local)
+		}
+	}
+	return s.recvKeyFor(e)
+}
+
+// Close renders the session unusable and wipes its key material.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.sendChain.wipe()
+	s.recvChain.wipe()
+	Zeroize(s.sendKey[:])
+	s.sendAEAD = nil
+	s.retireRecvBefore(math.MaxUint32)
+	s.recvLive = nil
+}
 
 // newGCM builds an AES-256-GCM AEAD from a 32-byte key.
 func newGCM(key []byte) (cipher.AEAD, error) {
@@ -213,15 +507,6 @@ func newGCM(key []byte) (cipher.AEAD, error) {
 		return nil, fmt.Errorf("secure: creating GCM: %w", err)
 	}
 	return aead, nil
-}
-
-// appendSeq binds the frame sequence into the additional data so that a
-// frame cannot be re-authenticated at a different position even if the
-// caller supplies identical aad. It appends to dst (per-direction session
-// scratch) to keep the per-frame path allocation-free.
-func appendSeq(dst, aad []byte, seq uint64) []byte {
-	dst = append(dst, aad...)
-	return binary.BigEndian.AppendUint64(dst, seq)
 }
 
 // ConstantTimeEqual compares two byte strings without leaking timing.

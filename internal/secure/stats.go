@@ -6,36 +6,109 @@ import (
 	"sos/internal/obs/span"
 )
 
-// Package-level AEAD counters. Sessions are plentiful and short-lived
-// (one per contact), so the counters aggregate process-wide rather than
-// per-session; the hot-path cost is one lock-free atomic add per frame.
-// In multi-node in-process harnesses the totals span every node hosted
-// by the process.
-var stats struct {
-	seals        atomic.Uint64
-	opens        atomic.Uint64
-	sealFailures atomic.Uint64
-	openFailures atomic.Uint64
+// StatsRecorder scopes the AEAD counters to one owner — a node, a fleet,
+// a test — so parallel fleets hosted in one process no longer
+// cross-contaminate each other's numbers. Sessions carry a recorder via
+// SessionConfig.Stats; every event lands in the recorder *and* in the
+// process-wide aggregate (ReadStats), which the observability bridge
+// keeps for whole-process dashboards. The zero value is ready to use;
+// all methods are safe for concurrent use (one lock-free atomic add per
+// event).
+type StatsRecorder struct {
+	seals          atomic.Uint64
+	opens          atomic.Uint64
+	sealFailures   atomic.Uint64
+	openFailures   atomic.Uint64
+	rotations      atomic.Uint64
+	replayRejected atomic.Uint64
 }
 
-// Stats is a snapshot of the process-wide seal/open counters.
+// Read snapshots the recorder.
+func (r *StatsRecorder) Read() Stats {
+	return Stats{
+		Seals:          r.seals.Load(),
+		Opens:          r.opens.Load(),
+		SealFailures:   r.sealFailures.Load(),
+		OpenFailures:   r.openFailures.Load(),
+		Rotations:      r.rotations.Load(),
+		ReplayRejected: r.replayRejected.Load(),
+	}
+}
+
+// aggregate is the process-wide recorder every session also feeds; it
+// backs ReadStats for consumers (the obs bridge, sosctl) that want the
+// whole process regardless of how many nodes it hosts.
+var aggregate StatsRecorder
+
+// counter selects one StatsRecorder field for the session increment
+// helpers.
+type counter int
+
+const (
+	cSeals counter = iota
+	cOpens
+	cSealFailures
+	cOpenFailures
+	cRotations
+	cReplayRejected
+)
+
+// bump adds one event to the aggregate and, when set, the scoped
+// recorder.
+func bump(r *StatsRecorder, c counter) {
+	aggregate.add(c)
+	if r != nil {
+		r.add(c)
+	}
+}
+
+func (r *StatsRecorder) add(c counter) {
+	switch c {
+	case cSeals:
+		r.seals.Add(1)
+	case cOpens:
+		r.opens.Add(1)
+	case cSealFailures:
+		r.sealFailures.Add(1)
+	case cOpenFailures:
+		r.openFailures.Add(1)
+	case cRotations:
+		r.rotations.Add(1)
+	case cReplayRejected:
+		r.replayRejected.Add(1)
+	}
+}
+
+// Stats is a snapshot of secure-channel counters — per recorder, or
+// process-wide via ReadStats.
 type Stats struct {
 	// Seals / Opens count frames successfully sealed / authenticated.
 	Seals uint64
 	Opens uint64
-	// SealFailures counts Seal calls on closed sessions; OpenFailures
-	// counts frames rejected for any reason — closed session, short
-	// frame, replayed or out-of-order sequence, or AEAD authentication
-	// failure. A rising OpenFailures on a live node means a peer (or an
-	// attacker) is feeding it frames it refuses to trust.
+	// SealFailures counts Seal calls rejected before producing a frame
+	// (closed session, exhausted sequence space); OpenFailures counts
+	// frames rejected for any reason — closed session, short frame,
+	// replayed or out-of-order sequence, epoch outside the acceptance
+	// window, or AEAD authentication failure. A rising OpenFailures on a
+	// live node means a peer (or an attacker) is feeding it frames it
+	// refuses to trust.
 	SealFailures uint64
 	OpenFailures uint64
+	// Rotations counts completed epoch key rotations (send-side ratchet
+	// steps and receive-side epoch adoptions).
+	Rotations uint64
+	// ReplayRejected counts frames and envelope nonces rejected
+	// specifically by replay checks: a stale sequence, a sequence at or
+	// below a persisted replay floor, or an envelope nonce already
+	// marked in the replay store. It is a subset of OpenFailures for
+	// session frames.
+	ReplayRejected uint64
 }
 
-// tracer records session key derivations process-wide — like the
-// counters above, sessions are too short-lived to thread a per-node
-// tracer through, so one recorder serves the process (in multi-node
-// in-process harnesses its spans cover every hosted node).
+// tracer records session key derivations process-wide — sessions are
+// too short-lived to thread a per-node tracer through, so one recorder
+// serves the process (in multi-node in-process harnesses its spans
+// cover every hosted node).
 var tracer atomic.Pointer[span.Tracer]
 
 // SetTracer installs (or, with nil, removes) the process-wide tracer
@@ -43,11 +116,4 @@ var tracer atomic.Pointer[span.Tracer]
 func SetTracer(t *span.Tracer) { tracer.Store(t) }
 
 // ReadStats snapshots the process-wide secure-channel counters.
-func ReadStats() Stats {
-	return Stats{
-		Seals:        stats.seals.Load(),
-		Opens:        stats.opens.Load(),
-		SealFailures: stats.sealFailures.Load(),
-		OpenFailures: stats.openFailures.Load(),
-	}
-}
+func ReadStats() Stats { return aggregate.Read() }

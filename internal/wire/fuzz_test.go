@@ -48,6 +48,9 @@ func FuzzDecodeFrame(f *testing.F) {
 		&Ack{Refs: []msg.Ref{{Author: alice, Seq: 7}}},
 		&Bye{},
 		&SummaryPull{},
+		&PrekeyBundle{User: bob, SignedID: 3, SignedPub: []byte("signed-point"), SignedSig: []byte{7, 8, 9}, OneTimeID: 4, OneTimePub: []byte("one-time-point")},
+		// Exhausted pool: signed prekey alone.
+		&PrekeyBundle{User: bob, SignedID: 3, SignedPub: []byte("signed-point"), SignedSig: []byte{7, 8, 9}},
 	}
 	for _, fr := range seeds {
 		enc, err := Encode(fr)
@@ -103,6 +106,20 @@ func FuzzDecodeFrame(f *testing.F) {
 		f.Add(cont[:len(cont)-1])
 		if len(cont) > 10 {
 			f.Add(cont[:len(cont)-10])
+		}
+	}
+	// Prekey bundle truncated at every field boundary: after the user,
+	// the signed ID, each length-prefixed byte field, and the one-time
+	// ID — a bundle cut mid-air at any seam must be rejected cleanly —
+	// plus single-byte corruptions so the ID and length fields skew.
+	if pb, err := Encode(&PrekeyBundle{User: bob, SignedID: 3, SignedPub: []byte("signed-point"), SignedSig: []byte{7, 8, 9}, OneTimeID: 4, OneTimePub: []byte("one-time-point")}); err == nil {
+		for cut := 0; cut < len(pb); cut++ {
+			f.Add(pb[:cut])
+		}
+		for i := range pb {
+			bad := append([]byte{}, pb...)
+			bad[i] ^= 0xFF
+			f.Add(bad)
 		}
 	}
 

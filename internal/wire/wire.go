@@ -41,6 +41,7 @@ const (
 	TypeAck
 	TypeBye
 	TypeSummaryPull
+	TypePrekeyBundle
 )
 
 // String names the frame type for logs.
@@ -64,6 +65,8 @@ func (t Type) String() string {
 		return "bye"
 	case TypeSummaryPull:
 		return "summary-pull"
+	case TypePrekeyBundle:
+		return "prekey-bundle"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -82,6 +85,7 @@ const (
 	MaxCert           = 1 << 16
 	MaxSchemeData     = 1 << 13
 	NonceLen          = 16
+	MaxPrekeyPub      = 256
 	maxSig            = 1 << 12
 	maxName           = 255
 )
@@ -239,6 +243,24 @@ type SummaryPull struct{}
 // Type implements Frame.
 func (*SummaryPull) Type() Type { return TypeSummaryPull }
 
+// PrekeyBundle publishes the sender's current prekey material inside an
+// established session (see internal/secure: signed prekey authenticated
+// by the sender's identity key, plus an optional one-time prekey — ID 0
+// means the one-time pool is exhausted). Peers cache it so they can seal
+// forward-secret envelopes to the sender later, without a live
+// handshake.
+type PrekeyBundle struct {
+	User       id.UserID
+	SignedID   uint32
+	SignedPub  []byte
+	SignedSig  []byte
+	OneTimeID  uint32
+	OneTimePub []byte
+}
+
+// Type implements Frame.
+func (*PrekeyBundle) Type() Type { return TypePrekeyBundle }
+
 // Buffer is a pooled encode buffer. The contact hot path encodes and
 // seals hundreds of frames per encounter; pooling the backing arrays
 // keeps that path allocation-free in steady state.
@@ -298,6 +320,8 @@ func AppendEncode(dst []byte, f Frame) ([]byte, error) {
 		return append(dst, byte(TypeBye)), nil
 	case *SummaryPull:
 		return append(dst, byte(TypeSummaryPull)), nil
+	case *PrekeyBundle:
+		return appendPrekeyBundle(dst, fr)
 	default:
 		return dst, fmt.Errorf("%w: %T", ErrBadType, f)
 	}
@@ -342,6 +366,8 @@ func Decode(buf []byte) (Frame, error) {
 			return nil, ErrTrailing
 		}
 		return &SummaryPull{}, nil
+	case TypePrekeyBundle:
+		return decodePrekeyBundle(body)
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadType, typ)
 	}
@@ -584,6 +610,34 @@ func decodeAck(body []byte) (Frame, error) {
 		a.Refs = append(a.Refs, ref)
 	}
 	return finish(a, r)
+}
+
+func appendPrekeyBundle(dst []byte, b *PrekeyBundle) ([]byte, error) {
+	if len(b.SignedPub) > MaxPrekeyPub || len(b.OneTimePub) > MaxPrekeyPub {
+		return dst, fmt.Errorf("%w: prekey points %d/%d bytes", ErrOversize, len(b.SignedPub), len(b.OneTimePub))
+	}
+	if len(b.SignedSig) > maxSig {
+		return dst, fmt.Errorf("%w: prekey signature %d bytes", ErrOversize, len(b.SignedSig))
+	}
+	dst = append(dst, byte(TypePrekeyBundle))
+	dst = append(dst, b.User[:]...)
+	dst = binary.BigEndian.AppendUint32(dst, b.SignedID)
+	dst = appendBytes16(dst, b.SignedPub)
+	dst = appendBytes16(dst, b.SignedSig)
+	dst = binary.BigEndian.AppendUint32(dst, b.OneTimeID)
+	return appendBytes16(dst, b.OneTimePub), nil
+}
+
+func decodePrekeyBundle(body []byte) (Frame, error) {
+	r := &reader{buf: body}
+	b := &PrekeyBundle{}
+	r.userID(&b.User)
+	b.SignedID = r.uint32()
+	b.SignedPub = r.bytes16(MaxPrekeyPub)
+	b.SignedSig = r.bytes16(maxSig)
+	b.OneTimeID = r.uint32()
+	b.OneTimePub = r.bytes16(MaxPrekeyPub)
+	return finish(b, r)
 }
 
 // finish returns f if the reader consumed its buffer exactly.

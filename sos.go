@@ -172,6 +172,10 @@ type (
 	NodeConfig = core.Config
 	// NodeStats aggregates per-layer counters.
 	NodeStats = core.Stats
+	// SecurityConfig tunes the secure layer (NodeConfig.Security): the
+	// persistent replay-store directory, session key-rotation periods,
+	// and prekey lifetimes. See docs/SECURITY.md.
+	SecurityConfig = core.SecurityConfig
 	// Observer receives middleware lifecycle events (NodeConfig.Observer)
 	// — the hook live telemetry attaches.
 	Observer = core.Observer
